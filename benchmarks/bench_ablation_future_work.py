@@ -1,0 +1,74 @@
+"""Ablation — the paper's future-work items, quantified.
+
+The conclusions list the remaining acceleration opportunities:
+"multicore multithreading for the CPU-to-GPU data transformations, the
+acceleration of the setup phase using GPU-accelerated sorting and tree
+construction, and [overlap]" plus the limitations note "we do not
+thoroughly overlap computation and communication".  Two of these are
+implemented as modelled extensions; this bench reports what they buy.
+
+* **Overlap**: ghost-density exchange hidden behind the upward pass and
+  the reduce-scatter hidden behind the X-list (legal by Algorithm 1's
+  dependency structure).
+* **GPU sort**: the setup-phase Morton sort moved onto the device
+  (bandwidth-bound radix passes vs a single-core comparison sort).
+"""
+
+import numpy as np
+
+from common import make_points, print_series, run_distributed
+from repro.gpu import VirtualGpu
+from repro.gpu.sort import RADIX_BITS
+from repro.mpi import KRAKEN
+from repro.perf.model import overlapped_eval_seconds
+
+RANKS = [4, 8, 16]
+PER_RANK = 1500
+
+
+def test_ablation_overlap(benchmark):
+    def sweep():
+        rows = []
+        for p in RANKS:
+            points = make_points("ellipsoid", PER_RANK * p)
+            res = run_distributed(points, p, load_balance=True)
+            ovl, seq = overlapped_eval_seconds(res.profiles, KRAKEN)
+            rows.append(
+                [p, f"{seq:.4f}", f"{ovl:.4f}", f"{100 * (1 - ovl / seq):.1f}%"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Future work: comm/compute overlap (modelled eval seconds)",
+        ["p", "sequential", "overlapped", "saving"],
+        rows,
+    )
+    for r in rows:
+        assert float(r[2]) <= float(r[1]) + 1e-12
+    # the saving is bounded by the comm share (small here, as in Table II)
+    assert all(float(r[3].rstrip("%")) < 50 for r in rows)
+
+
+def test_ablation_gpu_sort(benchmark):
+    def sweep():
+        gpu = VirtualGpu()
+        passes = -(-64 // RADIX_BITS)
+        rows = []
+        for n in (100_000, 1_000_000, 10_000_000):
+            dev = gpu.model.kernel_seconds(
+                passes * n * 4.0, passes * n * 20.0
+            ) + gpu.model.transfer_seconds(16.0 * n)
+            cpu = KRAKEN.compute_seconds(4.0 * n * np.log2(n))
+            rows.append([n, f"{cpu:.4f}", f"{dev:.4f}", f"{cpu / dev:.1f}x"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Future work: GPU radix sort of Morton keys (modelled seconds/rank)",
+        ["n keys", "CPU sort", "GPU sort", "speedup"],
+        rows,
+    )
+    speedups = [float(r[3].rstrip("x")) for r in rows]
+    assert all(s > 5 for s in speedups)
+    assert speedups[-1] >= speedups[0]  # log n factor favours the device

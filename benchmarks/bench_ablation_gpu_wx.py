@@ -1,0 +1,72 @@
+"""Ablation — W/X lists on the CPU (paper's configuration) vs on the GPU.
+
+The paper keeps the W- and X-list phases on the CPU and names moving them
+to the device as ongoing work ("Our ongoing work includes transferring
+the W,X-lists on the GPU").  This bench quantifies that move on a
+nonuniform workload (adaptive trees are what make W/X nontrivial):
+modelled per-rank seconds of the W/X work in both configurations, and the
+resulting total-evaluation improvement.
+"""
+
+import numpy as np
+
+from repro.core import build_lists, build_tree
+from repro.datasets import ellipsoid_surface
+from repro.gpu import GpuFmmEvaluator
+from repro.kernels import get_kernel
+from repro.mpi import LINCOLN
+from repro.perf.report import format_table
+from repro.util.timer import PhaseProfile
+
+N = 30_000
+Q = 40
+
+
+def run(accelerate_wx: bool):
+    points = ellipsoid_surface(N, seed=88)
+    kernel = get_kernel("laplace")
+    tree = build_tree(points, Q)
+    lists = build_lists(tree)
+    dens = np.random.default_rng(2).standard_normal(N)[tree.order]
+    ev = GpuFmmEvaluator(kernel, 6, accelerate_wx=accelerate_wx)
+    prof = PhaseProfile()
+    out = ev.evaluate(tree, lists, dens, prof)
+    led = ev.gpu.ledger
+    wx_dev = led.phase_seconds("WLI") + led.phase_seconds("XLI")
+    wx_cpu = sum(
+        LINCOLN.compute_seconds(prof.events[ph].flops)
+        for ph in ("WLI", "XLI")
+        if ph in prof.events
+    )
+    dev_rest = sum(
+        led.phase_seconds(ph) for ph in ("S2U", "VLI", "D2T", "ULI")
+    )
+    cpu_rest = LINCOLN.fft_seconds(
+        sum(prof.events[ph].flops for ph in ("U2U", "D2D", "VLI") if ph in prof.events)
+    )
+    total = wx_dev + wx_cpu + dev_rest + cpu_rest
+    return out, wx_cpu, wx_dev, total
+
+
+def test_ablation_gpu_wx(benchmark):
+    def sweep():
+        out_cpu, wx_cpu, _, total_cpu = run(accelerate_wx=False)
+        out_gpu, _, wx_dev, total_gpu = run(accelerate_wx=True)
+        err = np.linalg.norm(out_gpu - out_cpu) / np.linalg.norm(out_cpu)
+        return [
+            ["W/X on CPU (paper)", f"{wx_cpu:.4f}", f"{total_cpu:.4f}", "-"],
+            ["W/X on GPU (ext.)", f"{wx_dev:.4f}", f"{total_gpu:.4f}",
+             f"{err:.1e}"],
+        ], wx_cpu, wx_dev, total_cpu, total_gpu
+
+    rows, wx_cpu, wx_dev, total_cpu, total_gpu = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["configuration", "W/X seconds", "total eval", "rel diff"],
+        rows,
+        title=f"Ablation: W/X placement (ellipsoid, N={N}, q={Q}) — modelled",
+    ))
+    assert wx_dev < wx_cpu, "device W/X must beat the CPU path"
+    assert total_gpu < total_cpu

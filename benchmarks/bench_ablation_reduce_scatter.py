@@ -1,0 +1,63 @@
+"""Ablation — hypercube REDUCE-AND-SCATTER (Alg. 3) vs owner-based scheme.
+
+Paper §III-C: the owner-based reduction "worked well on up to 32K
+processes, but failed in the 64K case" because octants near the root have
+up to p users, so the owner must send O(p) point-to-point messages; the
+hypercube scheme bounds every rank at log2(p) messages per round with
+total volume O(m (3 sqrt(p) - 2)).
+
+Here: both schemes reduce the same shared-octant densities from a real
+ellipsoid setup, sweeping the rank count.  Reported: the maximum
+per-rank message count and modelled communication seconds of the COMM
+phase.  Reproduced shape: owner-based max-messages grows linearly in p,
+hypercube stays logarithmic.
+"""
+
+import numpy as np
+
+from common import make_points, print_series, run_distributed
+
+RANKS = [4, 8, 16, 32]
+PER_RANK = 500
+
+
+def comm_stats(result):
+    """Max per-rank message count / modelled seconds of the reduction
+    step alone (the density exchange is identical in both schemes)."""
+    msgs, secs = [], []
+    for prof in result.profiles:
+        ev = prof.events.get("COMM_reduce")
+        msgs.append(ev.comm_messages if ev else 0)
+        secs.append(ev.comm_seconds if ev else 0.0)
+    return max(msgs), max(secs)
+
+
+def test_ablation_reduce_scatter(benchmark):
+    def sweep():
+        rows = []
+        for p in RANKS:
+            points = make_points("ellipsoid", PER_RANK * p)
+            m_h, s_h = comm_stats(
+                run_distributed(points, p, comm_scheme="hypercube")
+            )
+            m_o, s_o = comm_stats(
+                run_distributed(points, p, comm_scheme="owner")
+            )
+            rows.append(
+                [p, m_h, m_o, f"{s_h * 1e3:.2f}", f"{s_o * 1e3:.2f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Ablation: Algorithm 3 vs owner-based reduction (max per-rank COMM)",
+        ["p", "hcube msgs", "owner msgs", "hcube ms", "owner ms"],
+        rows,
+    )
+    # message growth: owner-based grows ~linearly with p, hypercube ~log p
+    h_growth = rows[-1][1] / rows[0][1]
+    o_growth = rows[-1][2] / rows[0][2]
+    assert o_growth > 2.0 * h_growth, (
+        f"owner scheme should blow up with p (owner x{o_growth:.1f}, "
+        f"hypercube x{h_growth:.1f})"
+    )

@@ -1,0 +1,82 @@
+"""Ablation — distributed tree construction vs replicated global tree.
+
+Paper §I/§III-A: the SC'03 implementation kept "a lightweight copy of the
+entire global tree on each process", which was already 15x slower than the
+evaluation at 3000 ranks; the new distributed construction (parallel
+sample sort + local refinement + LET exchange) brings setup down to ~10%
+of the evaluation.
+
+Here: (a) the new scheme's modelled setup/evaluation ratio, and (b) the
+communication volume of the replicated baseline — every rank allgathers
+all points — vs the distributed scheme's sample-sort + LET traffic, per
+rank, as p grows.  Reproduced shape: replicated volume grows ~O(n), the
+distributed scheme's stays ~O(n/p).
+"""
+
+import numpy as np
+
+from common import (
+    make_points,
+    modeled_eval_seconds,
+    modeled_setup_seconds,
+    print_series,
+    run_distributed,
+)
+from repro.mpi import run_spmd
+
+RANKS = [2, 4, 8, 16]
+PER_RANK = 1000
+
+
+def replicated_bytes(points, p):
+    """Traffic of the SC'03 baseline: allgather every point everywhere."""
+
+    def fn(comm):
+        mine = points[comm.rank :: comm.size]
+        comm.allgather(mine)  # the whole cloud lands on every rank
+        return comm.bytes_sent
+
+    res = run_spmd(p, fn, timeout=300)
+    return max(res.values)
+
+
+def test_ablation_tree_construction(benchmark):
+    def sweep():
+        rows = []
+        for p in RANKS:
+            points = make_points("ellipsoid", PER_RANK * p)
+            res = run_distributed(points, p, load_balance=False)
+            su, _ = modeled_setup_seconds(res)
+            ev, _ = modeled_eval_seconds(res)
+            # construction traffic only (sort + tree + LET), comparable to
+            # the baseline's point allgather
+            dist_bytes = max(
+                sum(
+                    prof.events[ph].comm_bytes
+                    for ph in ("tree", "let", "balance")
+                    if ph in prof.events
+                )
+                for prof in res.profiles
+            )
+            rep_bytes = replicated_bytes(points, p)
+            rows.append(
+                [p, f"{su:.3f}", f"{ev:.3f}", f"{100 * su / ev:.0f}%",
+                 f"{dist_bytes / 1e6:.2f}", f"{rep_bytes / 1e6:.2f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Ablation: distributed construction vs replicated-tree baseline",
+        ["p", "setup s", "eval s", "setup/eval",
+         "dist MB/rank", "replicated MB/rank"],
+        rows,
+    )
+    # the paper's claim: setup is a small fraction of evaluation
+    fractions = [float(r[3].rstrip("%")) for r in rows]
+    assert max(fractions) < 60.0
+    # replicated traffic per rank grows with total n; distributed traffic
+    # per rank stays roughly flat under weak scaling
+    dist_growth = float(rows[-1][4]) / float(rows[0][4])
+    rep_growth = float(rows[-1][5]) / float(rows[0][5])
+    assert rep_growth > 2.0 * dist_growth

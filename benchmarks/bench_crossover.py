@@ -1,0 +1,50 @@
+"""Sanity series — O(N) FMM vs O(N^2) direct summation crossover.
+
+Not a paper figure, but the premise of the whole paper ("By rapid
+evaluation, we imply an asymptotic time complexity of O(N)"): the FMM
+must overtake direct summation at moderate N and the gap must widen
+linearly from there.  Reported: wall seconds of both evaluators over an
+N sweep and the crossover point.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import Fmm
+from repro.datasets import uniform_cube
+from repro.kernels import direct_sum, get_kernel
+from repro.perf.report import format_table
+
+SIZES = [500, 1000, 2000, 4000, 8000, 16000]
+
+
+def test_crossover(benchmark):
+    kernel = get_kernel("laplace")
+
+    def sweep():
+        rows = []
+        for n in SIZES:
+            points = uniform_cube(n, seed=5)
+            dens = np.random.default_rng(0).standard_normal(n)
+            t0 = time.perf_counter()
+            direct_sum(kernel, points, points, dens)
+            t_direct = time.perf_counter() - t0
+            fmm = Fmm(kernel, order=4, max_points_per_box=60)
+            t0 = time.perf_counter()
+            fmm.evaluate(points, dens)
+            t_fmm = time.perf_counter() - t0
+            rows.append([n, f"{t_direct:.3f}", f"{t_fmm:.3f}",
+                         f"{t_direct / t_fmm:.2f}x"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["N", "direct s", "FMM s", "direct/FMM"],
+        rows,
+        title="FMM vs direct summation (order 4)",
+    ))
+    speed = [float(r[3].rstrip("x")) for r in rows]
+    assert speed[-1] > 1.5, "FMM must win at the largest size"
+    assert speed[-1] > speed[0], "FMM advantage must grow with N"

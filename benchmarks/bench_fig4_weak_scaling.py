@@ -1,0 +1,52 @@
+"""Figure 4 — MPI weak scaling on Kraken.
+
+Paper: fixed points per core (25K uniform / 100K nonuniform), p = 16..64K;
+total time grows only ~1.5x across a 4096x increase in p, and — unlike the
+SC'03 implementation — tree construction stays a small part of the total.
+
+Here: fixed points per virtual rank, p = 2..32, modelled Kraken times.
+Reproduced shape: modest growth of total time with p, and a small
+construction fraction.
+"""
+
+import pytest
+
+from common import (
+    make_points,
+    modeled_eval_seconds,
+    modeled_setup_seconds,
+    print_series,
+    run_distributed,
+)
+
+PER_RANK = {"uniform": 1500, "ellipsoid": 1000}
+RANKS = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("dist", list(PER_RANK))
+def test_fig4_weak_scaling(benchmark, dist):
+    def sweep():
+        rows = []
+        for p in RANKS:
+            points = make_points(dist, PER_RANK[dist] * p)
+            res = run_distributed(points, p, load_balance=True)
+            ev_max, _ = modeled_eval_seconds(res)
+            su_max, _ = modeled_setup_seconds(res)
+            rows.append(
+                [p, f"{su_max:.3f}", f"{ev_max:.3f}",
+                 f"{100 * su_max / (su_max + ev_max):.0f}%"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        f"Fig 4 (weak scaling, {dist}, {PER_RANK[dist]} pts/rank) — modelled Kraken seconds",
+        ["p", "setup max", "eval max", "setup fraction"],
+        rows,
+    )
+    growth = float(rows[-1][2]) / float(rows[0][2])
+    print(f"time growth {RANKS[0]}->{RANKS[-1]} ranks: {growth:.2f}x "
+          f"(paper: ~1.5x over 16->64K cores)")
+    assert growth < 4.0, "weak scaling degraded far beyond the paper's shape"
+    # the paper's headline: construction is no longer 15x the evaluation
+    assert float(rows[-1][3].rstrip("%")) < 60.0

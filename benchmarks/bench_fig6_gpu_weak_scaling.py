@@ -1,0 +1,94 @@
+"""Figure 6 — GPU weak scaling on Lincoln.
+
+Paper: 1M uniform points per GPU, up to 256 GPUs (one per MPI process);
+the GPU/CPU configuration maintains a ~25-30x speedup over CPU-only, with
+q ~ 400 for GPU runs vs ~100 for CPU runs (each tuned for its
+architecture); the largest run evaluates 256M points in ~2.2 s.
+
+Here: 12K points per virtual rank, p = 1..8 ranks each with a virtual
+S1070; modelled evaluation time = device ledger + CPU residual + comm.
+The q values keep the paper's per-architecture tuning ratio (GPU favours
+shallower trees / bigger boxes) scaled to the smaller per-rank load.
+Reproduced shape: roughly flat weak scaling and a >10x modelled speedup
+(the paper's 25-30x needs its 1M-points-per-GPU box sizes; at 12K/rank
+the V-list's CPU-side FFT share is proportionally larger).
+"""
+
+import numpy as np
+
+from common import density, make_points, print_series
+from repro.dist.driver import distributed_fmm_rank
+from repro.mpi import LINCOLN, run_spmd
+from repro.perf.model import EVAL_PHASES
+
+PER_RANK = 12_000
+RANKS = [1, 2, 4, 8]
+
+
+def modeled_seconds(result, use_gpu: bool) -> float:
+    per_rank = []
+    for prof, (_, _, fmm) in zip(result.profiles, result.values):
+        t = 0.0
+        for ph in EVAL_PHASES:
+            ev = prof.events.get(ph)
+            if ev is None:
+                continue
+            t += ev.comm_seconds
+            if not use_gpu:
+                t += LINCOLN.compute_seconds(ev.flops)
+        if use_gpu:
+            led = fmm.evaluator.gpu.ledger
+            t += led.total_seconds()
+            # residual CPU work: the structured batched matvecs and the
+            # per-octant FFTs (U2U/D2D/VLI); W/X run on the device (the
+            # paper's stated ongoing work, essential at this scale where
+            # mixed leaf levels make W/X a visible fraction)
+            for ph in ("U2U", "D2D", "VLI"):
+                ev = prof.events.get(ph)
+                if ev is not None:
+                    t += LINCOLN.fft_seconds(ev.flops)
+        per_rank.append(t)
+    return max(per_rank)
+
+
+def run_config(p: int, use_gpu: bool) -> float:
+    points = make_points("uniform", PER_RANK * p, seed=66)
+    q = 150 if use_gpu else 50  # per-architecture tuning, as in the paper
+    res = run_spmd(
+        p,
+        distributed_fmm_rank,
+        points,
+        density,
+        kernel="laplace",
+        order=6,
+        max_points_per_box=q,
+        use_gpu=use_gpu,
+        gpu_wx=use_gpu,
+        timeout=560,
+    )
+    return modeled_seconds(res, use_gpu)
+
+
+def test_fig6_gpu_weak_scaling(benchmark):
+    def sweep():
+        rows = []
+        for p in RANKS:
+            t_cpu = run_config(p, use_gpu=False)
+            t_gpu = run_config(p, use_gpu=True)
+            rows.append(
+                [p, PER_RANK * p, f"{t_cpu:.3f}", f"{t_gpu:.3f}",
+                 f"{t_cpu / t_gpu:.1f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        f"Fig 6 (GPU weak scaling, {PER_RANK} pts/rank) — modelled Lincoln seconds",
+        ["p (GPUs)", "N", "CPU-only", "GPU/CPU", "speedup"],
+        rows,
+    )
+    speedups = [float(r[-1].rstrip("x")) for r in rows]
+    assert all(s > 10.0 for s in speedups), "GPU speedup shape lost"
+    # weak scaling: GPU times stay roughly flat
+    gpu_times = [float(r[3]) for r in rows]
+    assert gpu_times[-1] < 3.0 * gpu_times[0]

@@ -1,0 +1,88 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at laptop
+scale: the virtual-rank counts and point counts are scaled down, but the
+series shapes (efficiency, crossover, who-wins) are the reproduction
+targets.  Numbers print next to the paper's values; EXPERIMENTS.md records
+both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import ellipsoid_surface, uniform_cube
+from repro.dist.driver import distributed_fmm_rank
+from repro.mpi import KRAKEN, run_spmd
+from repro.perf.model import EVAL_PHASES
+
+__all__ = [
+    "density",
+    "make_points",
+    "run_distributed",
+    "modeled_eval_seconds",
+    "modeled_setup_seconds",
+    "print_series",
+]
+
+
+def density(pts: np.ndarray) -> np.ndarray:
+    """Deterministic synthetic density (function of position)."""
+    return np.sin(17.0 * pts[:, 0]) + pts[:, 2] * np.cos(11.0 * pts[:, 1])
+
+
+def make_points(dist: str, n: int, seed: int = 1234) -> np.ndarray:
+    return {"uniform": uniform_cube, "ellipsoid": ellipsoid_surface}[dist](
+        n, seed=seed
+    )
+
+
+def vector_density(pts: np.ndarray) -> np.ndarray:
+    """Synthetic 3-dof density (Stokes force field)."""
+    return np.stack(
+        [np.sin(9 * pts[:, 0]), pts[:, 1] - 0.5, np.cos(7 * pts[:, 2])], axis=1
+    ).reshape(-1)
+
+
+def run_distributed(points: np.ndarray, p: int, density_fn=None, **kwargs):
+    """One full distributed FMM run; returns the SpmdResult."""
+    defaults = dict(kernel="laplace", order=4, max_points_per_box=50)
+    defaults.update(kwargs)
+    if density_fn is None:
+        density_fn = vector_density if defaults["kernel"] == "stokes" else density
+    return run_spmd(
+        p, distributed_fmm_rank, points, density_fn, timeout=560, **defaults
+    )
+
+
+def modeled_eval_seconds(result, machine=KRAKEN) -> tuple[float, float]:
+    """(max, avg) modelled evaluation seconds over ranks."""
+    per_rank = []
+    for prof in result.profiles:
+        t = 0.0
+        for ph in EVAL_PHASES:
+            ev = prof.events.get(ph)
+            if ev is not None:
+                t += machine.compute_seconds(ev.flops) + ev.comm_seconds
+        per_rank.append(t)
+    return max(per_rank), sum(per_rank) / len(per_rank)
+
+
+def modeled_setup_seconds(result, machine=KRAKEN) -> tuple[float, float]:
+    """(max, avg) modelled setup (tree+LET+lists+balance) seconds."""
+    per_rank = []
+    for prof in result.profiles:
+        t = 0.0
+        for ph in ("tree", "let", "lists", "balance"):
+            ev = prof.events.get(ph)
+            if ev is not None:
+                t += machine.compute_seconds(ev.flops) + ev.comm_seconds
+        per_rank.append(t)
+    return max(per_rank), sum(per_rank) / len(per_rank)
+
+
+def print_series(title: str, headers: list[str], rows: list[list]) -> None:
+    from repro.perf.report import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))

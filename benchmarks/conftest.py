@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated paper tables.)  Every benchmark executes its
+experiment exactly once per round; the interesting output is the printed
+series, not the wall time of the simulator.
+"""
+
+import sys
+from pathlib import Path
+
+# allow `import common` from benchmark modules
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,63 @@
+"""Potential and field maps on a grid slice (separate targets).
+
+Uses ``Fmm.evaluate_targets`` — the tree and expansions are built over the
+sources once, then reused for two different observation sets: a planar
+grid for the potential map, and the same grid with the gradient
+evaluation kernel for the field magnitude.  Renders both as ASCII contour
+maps (no plotting dependencies).
+
+Run:  python examples/field_visualization.py
+"""
+
+import numpy as np
+
+from repro import Fmm
+from repro.datasets import plummer_cluster
+from repro.kernels import LaplaceKernel
+from repro.kernels.gradients import LaplaceGradientKernel
+
+SHADES = " .:-=+*#%@"
+
+
+def ascii_map(values: np.ndarray, title: str) -> None:
+    lo, hi = values.min(), values.max()
+    norm = (values - lo) / (hi - lo + 1e-30)
+    idx = (norm * (len(SHADES) - 1)).astype(int)
+    print(title)
+    for row in idx:
+        print("".join(SHADES[i] for i in row))
+    print(f"[{lo:.3g} .. {hi:.3g}]")
+    print()
+
+
+def main() -> None:
+    n, res = 4000, 48
+    sources = plummer_cluster(n, seed=21, scale=0.08)
+    # two clusters: offset a third of the mass
+    sources[: n // 3] = np.clip(
+        sources[: n // 3] + np.array([0.25, 0.2, 0.0]), 1e-9, 1 - 1e-9
+    )
+    mass = np.full(n, 1.0 / n)
+
+    # observation grid: the z = 0.5 slice
+    xs = np.linspace(0.02, 0.98, res)
+    gx, gy = np.meshgrid(xs, xs, indexing="xy")
+    grid = np.stack([gx.ravel(), gy.ravel(), np.full(res * res, 0.5)], axis=1)
+
+    pot_fmm = Fmm(LaplaceKernel(), order=6, max_points_per_box=60)
+    plan = pot_fmm.plan(sources)
+    phi = pot_fmm.evaluate_targets(sources, mass, grid, plan=plan)
+    ascii_map(phi.reshape(res, res), f"potential on z=0.5 (N={n} sources)")
+
+    grad_fmm = Fmm(LaplaceKernel(), order=6, max_points_per_box=60,
+                   eval_kernel=LaplaceGradientKernel())
+    g = grad_fmm.evaluate_targets(sources, mass, grid, plan=plan)
+    gmag = np.linalg.norm(g.reshape(-1, 3), axis=1).reshape(res, res)
+    ascii_map(np.log10(gmag + 1e-12), "log10 |grad phi| on z=0.5")
+
+    print("Both maps reuse one FMM plan: tree + lists built once, two")
+    print("O(targets) read-outs with different evaluation kernels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""CPU vs virtual-GPU evaluation of the same FMM plan.
+
+Reproduces the paper's §IV setup on one (virtual) Tesla S1070: S2U, the
+frequency-space diagonal V-list translation, D2T and the Algorithm 4
+U-list run on the device; the tree walks stay on the CPU.  Prints the
+device ledger and the modelled speedup over a CPU-only evaluation at the
+paper's GPU-friendly points-per-box setting (q ~ 400).
+
+Run:  python examples/gpu_acceleration.py
+"""
+
+import numpy as np
+
+from repro import GpuFmmEvaluator, get_kernel
+from repro.core import build_lists, build_tree
+from repro.core.evaluator import FmmEvaluator
+from repro.datasets import uniform_cube
+from repro.mpi import LINCOLN
+from repro.perf.model import EVAL_PHASES
+from repro.util.timer import PhaseProfile
+
+
+def main() -> None:
+    n, q = 60_000, 400
+    points = uniform_cube(n, seed=9)
+    charges = np.random.default_rng(4).standard_normal(n)
+    kernel = get_kernel("laplace")
+
+    tree = build_tree(points, q)
+    lists = build_lists(tree)
+    dens = charges[tree.order]
+
+    cpu_prof = PhaseProfile()
+    p_cpu = FmmEvaluator(kernel, 6).evaluate(tree, lists, dens, cpu_prof)
+
+    gpu_ev = GpuFmmEvaluator(kernel, 6)
+    gpu_prof = PhaseProfile()
+    p_gpu = gpu_ev.evaluate(tree, lists, dens, gpu_prof)
+
+    err = np.linalg.norm(p_gpu - p_cpu) / np.linalg.norm(p_cpu)
+    print(f"N={n}, q={q}: GPU(single) vs CPU(double) rel diff {err:.1e}")
+    print()
+    led = gpu_ev.gpu.ledger
+    print("device ledger (modelled):")
+    for ph in ("S2U", "VLI", "D2T", "ULI"):
+        print(f"  {ph:4s}: kernels {led.kernel_seconds.get(ph, 0) * 1e3:8.2f} ms, "
+              f"transfers {led.transfer_seconds.get(ph, 0) * 1e3:7.2f} ms, "
+              f"{led.kernel_flops.get(ph, 0):.2e} flops")
+
+    cpu_total = sum(
+        LINCOLN.compute_seconds(cpu_prof.events[ph].flops)
+        for ph in EVAL_PHASES
+        if ph in cpu_prof.events
+    )
+    gpu_residual = sum(
+        LINCOLN.compute_seconds(gpu_prof.events[ph].flops)
+        for ph in ("U2U", "D2D", "WLI", "XLI")
+        if ph in gpu_prof.events
+    ) + LINCOLN.fft_seconds(gpu_prof.events["VLI"].flops)
+    gpu_total = led.total_seconds() + gpu_residual
+    print()
+    print(f"modelled CPU-only evaluation: {cpu_total:8.3f} s")
+    print(f"modelled GPU/CPU evaluation:  {gpu_total:8.3f} s "
+          f"(device {led.total_seconds():.3f} s + host {gpu_residual:.3f} s)")
+    print(f"modelled speedup: {cpu_total / gpu_total:.1f}x "
+          f"(paper: ~25-30x at 1M points/GPU)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Gravitational potential of a Plummer star cluster.
+
+A classic N-body workload: the Plummer model concentrates most stars in a
+dense core, producing the strongly adaptive octrees the paper's
+"nonuniform" experiments stress (its ellipsoid tree spanned 25 levels).
+We compute per-star potentials, total potential energy, and show how the
+adaptive tree depth responds to the clustering.
+
+Run:  python examples/gravitational_cluster.py
+"""
+
+import numpy as np
+
+from repro import Fmm, direct_sum, get_kernel
+from repro.datasets import plummer_cluster, uniform_cube
+from repro.util import morton
+
+
+def main() -> None:
+    n = 6000
+    masses = np.full(n, 1.0 / n)  # equal-mass stars, total mass 1
+
+    for name, points in (
+        ("uniform", uniform_cube(n, seed=3)),
+        ("plummer", plummer_cluster(n, seed=3)),
+    ):
+        fmm = Fmm(kernel="laplace", order=6, max_points_per_box=50)
+        plan = fmm.plan(points)
+        levels = morton.level(plan.tree.keys[plan.tree.is_leaf])
+        potential = fmm.evaluate(points, masses, plan=plan)
+        # gravitational sign convention: Phi = -G * sum m/r  (G = 4*pi here
+        # so the kernel's 1/(4 pi r) normalisation cancels)
+        phi = -4.0 * np.pi * potential
+        total_energy = 0.5 * float(masses @ phi)
+        sample = np.random.default_rng(0).choice(n, 300, replace=False)
+        exact = -4.0 * np.pi * direct_sum(
+            get_kernel("laplace"), points[sample], points, masses
+        )
+        err = np.linalg.norm(phi[sample] - exact) / np.linalg.norm(exact)
+        print(f"{name:8s}: leaf levels {levels.min()}..{levels.max()}, "
+              f"{plan.tree.n_nodes} octants")
+        print(f"          total potential energy U = {total_energy:.6f} "
+              f"(virial scale |U| ~ {abs(total_energy):.3f})")
+        print(f"          spot-check vs direct sum: rel err {err:.1e}")
+        print()
+    print("The Plummer core drives the tree ~twice as deep as the uniform")
+    print("cube at the same N — the adaptivity the paper's algorithms are")
+    print("built to load-balance.")
+
+
+if __name__ == "__main__":
+    main()

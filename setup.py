@@ -1,0 +1,7 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel`` package,
+so ``pip install -e .`` must go through the setuptools develop path
+(``--no-use-pep517 --no-build-isolation``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of Lashuk et al., *A massively parallel adaptive
+fast-multipole method on heterogeneous architectures* (SC 2009).
+
+Public entry points:
+
+* :class:`repro.Fmm` — single-process kernel-independent adaptive FMM.
+* :class:`repro.DistributedFmm` — the distributed FMM on the simulated MPI
+  runtime (:func:`repro.run_spmd` launches SPMD functions).
+* :class:`repro.GpuFmmEvaluator` — the virtual-GPU accelerated evaluator.
+* :func:`repro.get_kernel` / :func:`repro.direct_sum` — kernels and the
+  exact O(N^2) baseline.
+"""
+
+from repro.core import Fmm
+from repro.dist.driver import DistributedFmm
+from repro.gpu import GpuFmmEvaluator, VirtualGpu
+from repro.kernels import direct_sum, get_kernel
+from repro.mpi import run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fmm",
+    "DistributedFmm",
+    "GpuFmmEvaluator",
+    "VirtualGpu",
+    "get_kernel",
+    "direct_sum",
+    "run_spmd",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``evaluate``  run a single-process FMM on a synthetic distribution and
+              (optionally) verify against direct summation
+``tune``      autotune the points-per-box parameter for CPU or GPU
+``info``      print version, kernels, machine/device models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _cmd_evaluate(args) -> int:
+    from repro import Fmm, direct_sum, get_kernel
+    from repro.datasets import make_distribution
+    from repro.util.timer import PhaseProfile
+
+    kernel = get_kernel(args.kernel)
+    points = make_distribution(args.distribution, args.n, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    dens = rng.standard_normal(args.n * kernel.source_dim)
+
+    fmm = Fmm(kernel, order=args.order, max_points_per_box=args.q)
+    profile = PhaseProfile()
+    t0 = time.perf_counter()
+    pot = fmm.evaluate(points, dens, profile=profile)
+    dt = time.perf_counter() - t0
+    print(
+        f"N={args.n} {args.distribution} {args.kernel} order={args.order} "
+        f"q={args.q}: {dt:.2f}s, {profile.total_flops():.3g} flops"
+    )
+    for name, wall, flops, _, _ in profile.as_table():
+        print(f"  {name:8s} {wall:7.2f}s  {flops:.3g} flops")
+    if args.check:
+        sample = rng.choice(args.n, min(args.n, args.check), replace=False)
+        ref = direct_sum(kernel, points[sample], points, dens)
+        kt = kernel.target_dim
+        got = pot.reshape(-1, kt)[sample].reshape(-1)
+        err = np.linalg.norm(got - ref) / np.linalg.norm(ref)
+        print(f"spot check ({len(sample)} targets): rel err {err:.2e}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.autotune import autotune_points_per_box
+    from repro.datasets import make_distribution
+
+    points = make_distribution(args.distribution, args.n, seed=args.seed)
+    res = autotune_points_per_box(
+        points,
+        kernel=args.kernel,
+        order=args.order,
+        target=args.target,
+        sample=args.sample,
+    )
+    print(f"best q for {args.target}: {res.best_q}  (metric: {res.metric})")
+    for q, cost in res.ranked():
+        marker = " <-- best" if q == res.best_q else ""
+        print(f"  q={q:5d}: {cost:.4f}s{marker}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.gpu.device import TESLA_S1070
+    from repro.kernels import _REGISTRY
+    from repro.mpi import KRAKEN, LINCOLN
+
+    print(f"repro {repro.__version__} — SC'09 parallel adaptive KIFMM reproduction")
+    print(f"kernels: {', '.join(sorted(_REGISTRY))}")
+    for m in (KRAKEN, LINCOLN):
+        print(
+            f"machine {m.name}: {m.cpu_flops / 1e6:.0f} MFlop/s/core, "
+            f"t_s={m.latency * 1e6:.0f}us, bw={m.bandwidth / 1e9:.1f} GB/s"
+        )
+    d = TESLA_S1070
+    print(
+        f"device {d.name}: {d.peak_flops / 1e9:.0f} GFlop/s, "
+        f"{d.mem_bandwidth / 1e9:.0f} GB/s, PCIe {d.pcie_bandwidth / 1e9:.0f} GB/s"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel adaptive kernel-independent FMM (SC'09 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pe = sub.add_parser("evaluate", help="run an FMM evaluation")
+    pe.add_argument("--kernel", default="laplace")
+    pe.add_argument("--distribution", default="uniform",
+                    choices=["uniform", "ellipsoid", "plummer",
+                             "two_spheres", "filament"])
+    pe.add_argument("--n", type=int, default=10_000)
+    pe.add_argument("--order", type=int, default=6)
+    pe.add_argument("--q", type=int, default=100,
+                    help="max points per box")
+    pe.add_argument("--seed", type=int, default=0)
+    pe.add_argument("--check", type=int, nargs="?", const=200, default=0,
+                    metavar="N_SAMPLES",
+                    help="verify against direct summation on a sample")
+    pe.set_defaults(fn=_cmd_evaluate)
+
+    pt = sub.add_parser("tune", help="autotune points-per-box")
+    pt.add_argument("--kernel", default="laplace")
+    pt.add_argument("--distribution", default="uniform",
+                    choices=["uniform", "ellipsoid", "plummer",
+                             "two_spheres", "filament"])
+    pt.add_argument("--n", type=int, default=20_000)
+    pt.add_argument("--order", type=int, default=6)
+    pt.add_argument("--target", default="cpu", choices=["cpu", "gpu"])
+    pt.add_argument("--sample", type=int, default=20_000)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.set_defaults(fn=_cmd_tune)
+
+    pi = sub.add_parser("info", help="print build/config information")
+    pi.set_defaults(fn=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

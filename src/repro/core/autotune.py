@@ -1,0 +1,111 @@
+"""Autotuning of the points-per-box parameter ``q``.
+
+Paper §V, on the Table III sweep: "This test resembles the tuning phase
+and can be part of an autotuning algorithm."  This module is that
+algorithm: it evaluates candidate ``q`` values on a subsample of the
+target workload and picks the one minimising either measured wall time
+(CPU) or modelled device time (virtual GPU), so production runs can use
+per-architecture box sizes exactly as the paper did (q ~ 100 for CPU,
+q ~ 400 for GPU on Lincoln).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluator import FmmEvaluator
+from repro.core.lists import build_lists
+from repro.core.tree import build_tree
+from repro.kernels import Kernel, get_kernel
+from repro.util.timer import PhaseProfile
+
+__all__ = ["TuneResult", "autotune_points_per_box"]
+
+#: Geometric default candidate grid, bracketing the usual optimum.
+DEFAULT_CANDIDATES = (16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one autotuning sweep."""
+
+    best_q: int
+    costs: dict[int, float]  # candidate q -> cost (seconds)
+    metric: str  # "wall" or "device-model"
+
+    def ranked(self) -> list[tuple[int, float]]:
+        return sorted(self.costs.items(), key=lambda kv: kv[1])
+
+
+def _gpu_cost(kernel, order, tree, lists, dens) -> float:
+    from repro.gpu.accel import GpuFmmEvaluator
+    from repro.mpi import LINCOLN
+
+    ev = GpuFmmEvaluator(kernel, order)
+    prof = PhaseProfile()
+    ev.evaluate(tree, lists, dens, prof)
+    cost = ev.gpu.ledger.total_seconds()
+    for ph in ("WLI", "XLI"):
+        e = prof.events.get(ph)
+        if e is not None:
+            cost += LINCOLN.compute_seconds(e.flops)
+    for ph in ("U2U", "D2D", "VLI"):
+        e = prof.events.get(ph)
+        if e is not None:
+            cost += LINCOLN.fft_seconds(e.flops)
+    return cost
+
+
+def autotune_points_per_box(
+    points: np.ndarray,
+    kernel: Kernel | str = "laplace",
+    order: int = 6,
+    candidates=DEFAULT_CANDIDATES,
+    sample: int | None = 20_000,
+    target: str = "cpu",
+    seed: int = 0,
+) -> TuneResult:
+    """Pick the best ``max_points_per_box`` for a workload.
+
+    Parameters
+    ----------
+    points:
+        The production point set (a random subsample of ``sample`` points
+        is tuned on; the tree *shape* statistics transfer).
+    target:
+        ``"cpu"`` minimises measured wall seconds of a full evaluation;
+        ``"gpu"`` minimises the virtual-device modelled seconds.
+    """
+    if target not in ("cpu", "gpu"):
+        raise ValueError("target must be 'cpu' or 'gpu'")
+    kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    pts = np.asarray(points, dtype=np.float64)
+    if sample is not None and len(pts) > sample:
+        rng = np.random.default_rng(seed)
+        pts = pts[rng.choice(len(pts), sample, replace=False)]
+    dens_raw = np.random.default_rng(seed + 1).standard_normal(
+        len(pts) * kernel.source_dim
+    )
+
+    costs: dict[int, float] = {}
+    for q in candidates:
+        tree = build_tree(pts, int(q))
+        lists = build_lists(tree)
+        dens = dens_raw.reshape(-1, kernel.source_dim)[tree.order].reshape(-1)
+        if target == "cpu":
+            ev = FmmEvaluator(kernel, order)
+            t0 = time.perf_counter()
+            ev.evaluate(tree, lists, dens, PhaseProfile())
+            costs[int(q)] = time.perf_counter() - t0
+        else:
+            costs[int(q)] = _gpu_cost(kernel, order, tree, lists, dens)
+
+    best = min(costs, key=costs.get)
+    return TuneResult(
+        best_q=best,
+        costs=costs,
+        metric="wall" if target == "cpu" else "device-model",
+    )

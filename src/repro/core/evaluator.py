@@ -1,0 +1,581 @@
+"""Sequential FMM evaluation (paper Algorithm 1).
+
+Phases, matching the paper's naming:
+
+=========  =================================================================
+``S2U``    source-to-up: leaf sources -> upward equivalent densities
+``U2U``    up-to-up: post-order accumulation of children into parents (M2M)
+``VLI``    V-list: up densities -> downward check potentials (M2L)
+``XLI``    X-list: leaf sources -> downward check potentials
+``D2D``    down-to-down: pre-order parent-to-child propagation (L2L) and
+           conversion of accumulated check potentials to down densities
+``WLI``    W-list: up densities evaluated directly at target points
+``D2T``    down-to-targets: down densities -> potentials (L2T)
+``ULI``    U-list: direct (exact) near-field summation
+=========  =================================================================
+
+The evaluator owns no tree state: it maps ``(tree, lists, densities)`` to
+potentials, charging flops to an optional :class:`PhaseProfile`.  Both the
+distributed driver and the GPU-accelerated evaluator reuse its phase
+methods, overriding only what they accelerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fft_m2l import FftM2L
+from repro.core.lists import InteractionLists
+from repro.core.operators import OperatorCache
+from repro.core.tree import FmmTree
+from repro.kernels.base import Kernel
+from repro.util.timer import PhaseProfile
+
+__all__ = ["FmmEvaluator"]
+
+
+class FmmEvaluator:
+    """Evaluates the N-body sum on a built tree via the KIFMM.
+
+    Parameters
+    ----------
+    kernel, order:
+        Interaction kernel and surface order (accuracy).
+    m2l_mode:
+        ``"fft"`` (default; the paper's diagonal translation) or
+        ``"dense"`` (ablation baseline).
+    rcond:
+        Pseudo-inverse regularisation.
+    eval_kernel:
+        Optional second kernel for the *target-side* phases (D2T, W-list,
+        U-list): the expansions reproduce the potential field, so
+        evaluating them with e.g. the Laplace gradient kernel yields
+        forces from the same pass.  Must share the base kernel's
+        ``source_dim``.  Default: the base kernel itself.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        order: int,
+        m2l_mode: str = "fft",
+        rcond: float | None = None,
+        eval_kernel: Kernel | None = None,
+    ):
+        if m2l_mode not in ("fft", "dense"):
+            raise ValueError("m2l_mode must be 'fft' or 'dense'")
+        self.kernel = kernel
+        self.eval_kernel = kernel if eval_kernel is None else eval_kernel
+        if self.eval_kernel.source_dim != kernel.source_dim:
+            raise ValueError(
+                "eval_kernel must share the base kernel's source_dim"
+            )
+        self.order = int(order)
+        self.m2l_mode = m2l_mode
+        self.ops = OperatorCache(kernel, order, rcond=rcond)
+        self.fft = FftM2L(kernel, order) if m2l_mode == "fft" else None
+        self.ns = self.ops.n_surf
+
+    # -- public API -------------------------------------------------------
+
+    def evaluate(
+        self,
+        tree: FmmTree,
+        lists: InteractionLists,
+        densities: np.ndarray,
+        profile: PhaseProfile | None = None,
+    ) -> np.ndarray:
+        """Potentials at the tree's (Morton-sorted) points.
+
+        ``densities`` must be in the tree's sorted point order with dof
+        interleaved per point; the result uses the same layout.
+        """
+        profile = profile if profile is not None else PhaseProfile()
+        state = self.allocate(tree)
+        dens = np.ascontiguousarray(densities, dtype=np.float64).reshape(-1)
+        expected = tree.n_points * self.kernel.source_dim
+        if dens.size != expected:
+            raise ValueError(f"densities size {dens.size} != {expected}")
+
+        with profile.phase("S2U"):
+            self.s2u(tree, dens, state, profile)
+        with profile.phase("U2U"):
+            self.u2u(tree, state, profile)
+        with profile.phase("VLI"):
+            self.vli(tree, lists, state, profile)
+        with profile.phase("XLI"):
+            self.xli(tree, lists, dens, state, profile)
+        with profile.phase("D2D"):
+            self.d2d(tree, state, profile)
+        with profile.phase("WLI"):
+            self.wli(tree, lists, state, profile)
+        with profile.phase("D2T"):
+            self.d2t(tree, state, profile)
+        with profile.phase("ULI"):
+            self.uli(tree, lists, dens, state, profile)
+        return state["pot"]
+
+    def evaluate_targets(
+        self,
+        tree: FmmTree,
+        lists: InteractionLists,
+        densities: np.ndarray,
+        targets: np.ndarray,
+        profile: PhaseProfile | None = None,
+    ) -> np.ndarray:
+        """Potentials at arbitrary target points (sources stay on the tree).
+
+        Runs the full upward/interaction/downward machinery on the source
+        tree, then evaluates the final phases (D2T, W-list, U-list direct)
+        at the given targets: each target inherits the interaction lists of
+        the leaf containing it.  Targets must lie in the unit cube.
+        """
+        from repro.octree.linear import covering_leaf_indices
+
+        profile = profile if profile is not None else PhaseProfile()
+        state = self.allocate(tree)
+        dens = np.ascontiguousarray(densities, dtype=np.float64).reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64)
+
+        with profile.phase("S2U"):
+            self.s2u(tree, dens, state, profile)
+        with profile.phase("U2U"):
+            self.u2u(tree, state, profile)
+        with profile.phase("VLI"):
+            self.vli(tree, lists, state, profile)
+        with profile.phase("XLI"):
+            self.xli(tree, lists, dens, state, profile)
+        with profile.phase("D2D"):
+            self.d2d(tree, state, profile)
+
+        # Locate each target's leaf.
+        from repro.util import morton
+
+        tkeys = morton.encode_points(targets)
+        leaf_idx_in_leaves = covering_leaf_indices(
+            tree.keys[tree.is_leaf], tkeys
+        )
+        if np.any(leaf_idx_in_leaves < 0):
+            raise ValueError("every target must fall inside a tree leaf")
+        leaf_nodes = tree.leaf_indices[leaf_idx_in_leaves]
+
+        ks = self.kernel.source_dim
+        kt = self.eval_kernel.target_dim
+        counts = tree.point_counts()
+        out = np.zeros(len(targets) * kt)
+        with profile.phase("TGT"):
+            for i in np.unique(leaf_nodes):
+                sel = leaf_nodes == i
+                pts = targets[sel]
+                row = np.zeros(len(pts) * kt)
+                # far field via the leaf's downward density
+                de = self.ops.de_points(tree.levels[i], tree.centers[i])
+                row += self.eval_kernel.matrix(pts, de) @ state["dequiv"][i]
+                profile.add_flops(self.eval_kernel.pair_flops(len(pts), self.ns))
+                # W-list multipoles
+                for a in lists.w.of(i):
+                    if not state["up"][a].any():
+                        continue
+                    ue = self.ops.ue_points(tree.levels[a], tree.centers[a])
+                    row += self.eval_kernel.matrix(pts, ue) @ state["up"][a]
+                    profile.add_flops(self.eval_kernel.pair_flops(len(pts), self.ns))
+                # near field: direct sum over the U-list sources
+                srcs = lists.u.of(i)
+                srcs = srcs[counts[srcs] > 0]
+                if srcs.size:
+                    spts = np.concatenate([tree.leaf_points(a) for a in srcs])
+                    sden = np.concatenate(
+                        [
+                            dens[tree.pt_begin[a] * ks : tree.pt_end[a] * ks]
+                            for a in srcs
+                        ]
+                    )
+                    row += self.eval_kernel.matrix(pts, spts) @ sden
+                    profile.add_flops(self.eval_kernel.pair_flops(len(pts), len(spts)))
+                out.reshape(-1, kt)[sel] = row.reshape(-1, kt)
+        return out
+
+    # -- state ------------------------------------------------------------
+
+    def allocate(self, tree: FmmTree) -> dict:
+        """Per-run working arrays (upward/downward densities, potentials)."""
+        ks, kt = self.kernel.source_dim, self.kernel.target_dim
+        n = tree.n_nodes
+        return {
+            "up": np.zeros((n, self.ns * ks)),
+            "dcheck": np.zeros((n, self.ns * kt)),
+            "dequiv": np.zeros((n, self.ns * ks)),
+            "pot": np.zeros(tree.n_points * self.eval_kernel.target_dim),
+        }
+
+    # -- phases -----------------------------------------------------------
+
+    #: Leaf boxes per batched kernel-matrix call (bounds peak memory).
+    LEAF_BATCH = 1024
+
+    def _leaf_batches(self, tree, sel):
+        from repro.core.tree import leaf_batches
+
+        yield from leaf_batches(tree, sel, self.LEAF_BATCH)
+
+    def _gather_leaf_points(self, tree, dens, group, pad, ks):
+        from repro.core.tree import gather_leaf_points
+
+        return gather_leaf_points(tree, dens, group, pad, ks)
+
+    def s2u(self, tree, dens, state, profile, scope=None) -> None:
+        """Leaf sources to upward equivalent densities.
+
+        ``scope`` (bool mask over nodes) restricts the phase; the
+        distributed driver passes ownership masks so ghost data never
+        double-counts.
+        """
+        ks, kt = self.kernel.source_dim, self.kernel.target_dim
+        up = state["up"]
+        counts = tree.point_counts()
+        sel = tree.is_leaf & (counts > 0)
+        if scope is not None:
+            sel = sel & scope
+        base = {}
+        for lev, pad, group in self._leaf_batches(tree, sel):
+            pts, den = self._gather_leaf_points(tree, dens, group, pad, ks)
+            if lev not in base:
+                base[lev] = self.ops.uc_points(lev)
+            uc = base[lev][None, :, :] + tree.centers[group][:, None, :]
+            k = self.kernel.matrix_batch(uc, pts)
+            q = np.einsum("bij,bj->bi", k, den)
+            up[group] = q @ self.ops.uc2ue(lev).T
+            true_pts = counts[group].sum()
+            profile.add_flops(
+                self.kernel.pair_flops(self.ns, true_pts)
+                + 2.0 * group.size * (self.ns * ks) * (self.ns * kt)
+            )
+
+    def u2u(self, tree, state, profile, scope=None) -> None:
+        """Post-order M2M accumulation (children into parents)."""
+        up = state["up"]
+        counts = tree.point_counts()
+        for lev in range(tree.max_level, 0, -1):
+            nodes = tree.nodes_at_level(lev)
+            nodes = nodes[counts[nodes] > 0]
+            if scope is not None:
+                nodes = nodes[scope[nodes]]
+            if nodes.size == 0:
+                continue
+            pos = tree.child_pos[nodes]
+            for k in range(8):
+                sel = nodes[pos == k]
+                if sel.size == 0:
+                    continue
+                m = self.ops.m2m(lev, k)
+                up[tree.parent[sel]] += up[sel] @ m.T
+                profile.add_flops(2.0 * sel.size * m.size)
+
+    def vli(self, tree, lists, state, profile, scope=None) -> None:
+        """V-list translations (FFT-diagonal by default)."""
+        if self.m2l_mode == "fft":
+            self._vli_fft(tree, lists, state, profile, scope)
+        else:
+            self._vli_dense(tree, lists, state, profile, scope)
+
+    def _v_pairs_by_level(self, tree, lists, scope=None):
+        """Yield (level, tgt_idx, src_idx, offsets) for nonzero V pairs."""
+        v = lists.v
+        counts = v.counts
+        tgts = np.repeat(np.arange(tree.n_nodes), counts)
+        srcs = v.indices
+        if scope is not None and tgts.size:
+            keep = scope[tgts]
+            tgts, srcs = tgts[keep], srcs[keep]
+        if srcs.size == 0:
+            return
+        levels = tree.levels[tgts]
+        side = 2.0 * tree.half_widths[tgts]
+        offs = np.rint(
+            (tree.centers[tgts] - tree.centers[srcs]) / side[:, None]
+        ).astype(np.int64)
+        for lev in np.unique(levels):
+            sel = levels == lev
+            yield int(lev), tgts[sel], srcs[sel], offs[sel]
+
+    def _vli_dense(self, tree, lists, state, profile, scope=None) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        for lev, tgts, srcs, offs in self._v_pairs_by_level(tree, lists, scope):
+            code = (offs[:, 0] + 3) * 49 + (offs[:, 1] + 3) * 7 + offs[:, 2] + 3
+            for c in np.unique(code):
+                sel = code == c
+                off = tuple(offs[sel][0])
+                m = self.ops.m2l_dense(lev, off)
+                # Within one offset each target appears at most once.
+                dcheck[tgts[sel]] += up[srcs[sel]] @ m.T
+                profile.add_flops(2.0 * sel.sum() * m.size)
+
+    #: Target boxes processed per FFT batch: bounds the frequency-grid
+    #: working set (each box holds a (2p)^3 complex grid) so deep levels
+    #: with tens of thousands of boxes do not blow up memory.
+    VLI_CHUNK = 2048
+
+    def _vli_fft(self, tree, lists, state, profile, scope=None) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        fft = self.fft
+        kt = self.kernel.target_dim
+        for lev, tgts, srcs, offs in self._v_pairs_by_level(tree, lists, scope):
+            # pairs arrive sorted by target; chunks are contiguous slices
+            utgt_all = np.unique(tgts)
+            for t0 in range(0, utgt_all.size, self.VLI_CHUNK):
+                chunk = utgt_all[t0 : t0 + self.VLI_CHUNK]
+                a = np.searchsorted(tgts, chunk[0], side="left")
+                b = np.searchsorted(tgts, chunk[-1], side="right")
+                ctgts, csrcs, coffs = tgts[a:b], srcs[a:b], offs[a:b]
+                usrc, src_pos = np.unique(csrcs, return_inverse=True)
+                utgt, tgt_pos = np.unique(ctgts, return_inverse=True)
+                uhat = fft.forward(up[usrc])
+                acc = np.zeros(
+                    (utgt.size, kt, fft.n, fft.n, fft.nf), dtype=np.complex128
+                )
+                code = (
+                    (coffs[:, 0] + 3) * 49 + (coffs[:, 1] + 3) * 7 + coffs[:, 2] + 3
+                )
+                for c in np.unique(code):
+                    sel = code == c
+                    off = tuple(coffs[sel][0])
+                    that = fft.kernel_hat(lev, off)
+                    acc[tgt_pos[sel]] += fft.translate(that, uhat[src_pos[sel]])
+                    profile.add_flops(
+                        sel.sum() * fft.translate_flops_per_pair()
+                    )
+                dcheck[utgt] += fft.inverse(acc)
+                profile.add_flops(
+                    (usrc.size * self.kernel.source_dim + utgt.size * kt)
+                    * fft.fft_flops_per_box()
+                )
+
+    def _pair_batches(self, tree, rows, cols, level_of, pad_count_of):
+        """Group interaction pairs by (level, padded count) and chunk.
+
+        ``level_of``/``pad_count_of`` pick which side of the pair sets the
+        surface level and the padded point count.  Pairs within a group
+        share one broadcast kernel evaluation.
+        """
+        if rows.size == 0:
+            return
+        counts = pad_count_of
+        kpad = np.maximum(1 << np.ceil(np.log2(np.maximum(counts, 1))).astype(np.int64), 1)
+        code = level_of * np.int64(1 << 24) + kpad
+        for c in np.unique(code):
+            sel = np.flatnonzero(code == c)
+            pad = int(kpad[sel[0]])
+            lev = int(level_of[sel[0]])
+            chunk = max(1, int(6e6 / max(pad * self.ns, 1)))
+            for s in range(0, sel.size, chunk):
+                part = sel[s : s + chunk]
+                yield lev, pad, rows[part], cols[part]
+
+    def xli(self, tree, lists, dens, state, profile, scope=None) -> None:
+        """X-list: source points of coarse leaves onto DC surfaces.
+
+        Pairs are batched by (target level, padded source count): the DC
+        surfaces are regenerated from target centres, the coarse-leaf
+        source points padded with zero-density centre points.
+        """
+        ks, kt = self.kernel.source_dim, self.kernel.target_dim
+        dcheck = state["dcheck"]
+        counts = tree.point_counts()
+        x = lists.x
+        sel = x.counts > 0
+        if scope is not None:
+            sel = sel & scope
+        rows = np.repeat(np.arange(tree.n_nodes), np.where(sel, x.counts, 0))
+        cols = x.indices[np.repeat(sel, x.counts)] if x.indices.size else x.indices
+        keep = counts[cols] > 0
+        rows, cols = rows[keep], cols[keep]
+        if rows.size == 0:
+            return
+        base = {}
+        for lev, pad, ri, ci in self._pair_batches(
+            tree, rows, cols, tree.levels[rows], counts[cols]
+        ):
+            pts, den = self._gather_leaf_points_for(tree, dens, ci, pad, ks)
+            if lev not in base:
+                base[lev] = self.ops.dc_points(lev)
+            dc = base[lev][None, :, :] + tree.centers[ri][:, None, :]
+            k = self.kernel.matrix_batch(dc, pts)
+            vals = np.einsum("bij,bj->bi", k, den)
+            # segment-sum by target (np.add.at is an order slower)
+            order = np.argsort(ri, kind="stable")
+            sorted_ri = ri[order]
+            starts = np.flatnonzero(
+                np.concatenate([[True], sorted_ri[1:] != sorted_ri[:-1]])
+            )
+            dcheck[sorted_ri[starts]] += np.add.reduceat(vals[order], starts, axis=0)
+            profile.add_flops(self.kernel.pair_flops(self.ns, counts[ci].sum()))
+
+    def _gather_leaf_points_for(self, tree, dens, nodes, pad, ks):
+        """Padded (points, densities) for arbitrary (possibly repeated)
+        leaf nodes; padding at box centres with zero density."""
+        b = nodes.size
+        pts = np.repeat(tree.centers[nodes][:, None, :], pad, axis=1)
+        den = np.zeros((b, pad * ks))
+        for j, i in enumerate(nodes):
+            n = tree.pt_end[i] - tree.pt_begin[i]
+            pts[j, :n] = tree.points[tree.pt_begin[i] : tree.pt_end[i]]
+            if ks:
+                den[j, : n * ks] = dens[tree.pt_begin[i] * ks : tree.pt_end[i] * ks]
+        return pts, den
+
+    def d2d(self, tree, state, profile, scope=None) -> None:
+        """Pre-order L2L propagation and check-to-equivalent conversion."""
+        dcheck, dequiv = state["dcheck"], state["dequiv"]
+        # Root has no far field: dequiv stays zero.
+        for lev in range(1, tree.max_level + 1):
+            nodes = tree.nodes_at_level(lev)
+            if scope is not None:
+                nodes = nodes[scope[nodes]]
+            if nodes.size == 0:
+                continue
+            pos = tree.child_pos[nodes]
+            for k in range(8):
+                sel = nodes[pos == k]
+                if sel.size == 0:
+                    continue
+                m = self.ops.l2l(lev, k)
+                dcheck[sel] += dequiv[tree.parent[sel]] @ m.T
+                profile.add_flops(2.0 * sel.size * m.size)
+            conv = self.ops.dc2de(lev)
+            dequiv[nodes] = dcheck[nodes] @ conv.T
+            profile.add_flops(2.0 * nodes.size * conv.size)
+
+    def wli(self, tree, lists, state, profile, scope=None) -> None:
+        """W-list: source-box up densities evaluated at target points.
+
+        Pairs are batched by (source level, padded target count); the
+        source UE surfaces are regenerated from box centres.  Sources are
+        gated on their density (not local point counts): in a LET an
+        internal ghost source has a valid up density but no locally
+        stored points.
+        """
+        ks = self.kernel.source_dim
+        kt = self.eval_kernel.target_dim
+        up, pot = state["up"], state["pot"]
+        counts = tree.point_counts()
+        w = lists.w
+        sel = tree.is_leaf & (w.counts > 0) & (counts > 0)
+        if scope is not None:
+            sel = sel & scope
+        rows = np.repeat(np.arange(tree.n_nodes), np.where(sel, w.counts, 0))
+        cols = w.indices[np.repeat(sel, w.counts)] if w.indices.size else w.indices
+        if rows.size:
+            keep = np.any(up[cols] != 0.0, axis=1)
+            rows, cols = rows[keep], cols[keep]
+        if rows.size == 0:
+            return
+        base = {}
+        for lev, pad, ri, ci in self._pair_batches(
+            tree, rows, cols, tree.levels[cols], counts[rows]
+        ):
+            pts, _ = self._gather_leaf_points_for(tree, np.empty(0), ri, pad, 0)
+            if lev not in base:
+                base[lev] = self.ops.ue_points(lev)
+            ue = base[lev][None, :, :] + tree.centers[ci][:, None, :]
+            k = self.eval_kernel.matrix_batch(pts, ue)
+            vals = np.einsum("bij,bj->bi", k, up[ci])
+            for j, i in enumerate(ri):
+                n = tree.pt_end[i] - tree.pt_begin[i]
+                pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
+                    j, : n * kt
+                ]
+            profile.add_flops(self.eval_kernel.pair_flops(counts[ri].sum(), self.ns))
+
+    def d2t(self, tree, state, profile, scope=None) -> None:
+        """Down equivalent densities to potentials at leaf targets."""
+        ks = self.kernel.source_dim
+        kt = self.eval_kernel.target_dim
+        dequiv, pot = state["dequiv"], state["pot"]
+        counts = tree.point_counts()
+        sel = tree.is_leaf & (counts > 0)
+        if scope is not None:
+            sel = sel & scope
+        base = {}
+        for lev, pad, group in self._leaf_batches(tree, sel):
+            pts, _ = self._gather_leaf_points(tree, np.empty(0), group, pad, 0)
+            if lev not in base:
+                base[lev] = self.ops.de_points(lev)
+            de = base[lev][None, :, :] + tree.centers[group][:, None, :]
+            k = self.eval_kernel.matrix_batch(pts, de)
+            vals = np.einsum("bij,bj->bi", k, dequiv[group])
+            for j, i in enumerate(group):
+                n = tree.pt_end[i] - tree.pt_begin[i]
+                pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
+                    j, : n * kt
+                ]
+            profile.add_flops(self.eval_kernel.pair_flops(counts[group].sum(), self.ns))
+
+    def uli(self, tree, lists, dens, state, profile, scope=None) -> None:
+        """U-list: exact near-field interactions.
+
+        Leaves are batched by (padded target count, padded total source
+        count); each batch evaluates one broadcast kernel block over the
+        concatenated (centre-padded, zero-density) neighbour sources.
+        """
+        ks = self.kernel.source_dim
+        kt = self.eval_kernel.target_dim
+        pot = state["pot"]
+        counts = tree.point_counts()
+        u = lists.u
+        sel = tree.is_leaf & (counts > 0)
+        if scope is not None:
+            sel = sel & scope
+        leaves = np.flatnonzero(sel)
+        if leaves.size == 0:
+            return
+        # total source points per target leaf
+        src_total = np.array(
+            [counts[u.of(i)].sum() for i in leaves], dtype=np.int64
+        )
+        active = src_total > 0
+        leaves, src_total = leaves[active], src_total[active]
+        if leaves.size == 0:
+            return
+        tpad = np.maximum(
+            1 << np.ceil(np.log2(np.maximum(counts[leaves], 1))).astype(np.int64), 1
+        )
+        spad = np.maximum(
+            1 << np.ceil(np.log2(np.maximum(src_total, 1))).astype(np.int64), 1
+        )
+        code = tpad * np.int64(1 << 32) + spad
+        for c in np.unique(code):
+            grp = np.flatnonzero(code == c)
+            tp = int(tpad[grp[0]])
+            sp = int(spad[grp[0]])
+            chunk = max(1, int(6e6 / max(tp * sp, 1)))
+            for s in range(0, grp.size, chunk):
+                part = grp[s : s + chunk]
+                boxes = leaves[part]
+                m = boxes.size
+                tgt, _ = self._gather_leaf_points_for(tree, np.empty(0), boxes, tp, 0)
+                src = np.repeat(tree.centers[boxes][:, None, :], sp, axis=1)
+                den = np.zeros((m, sp * ks))
+                for j, i in enumerate(boxes):
+                    pos = 0
+                    for a in u.of(i):
+                        n = counts[a]
+                        if n == 0:
+                            continue
+                        src[j, pos : pos + n] = tree.points[
+                            tree.pt_begin[a] : tree.pt_end[a]
+                        ]
+                        den[j, pos * ks : (pos + n) * ks] = dens[
+                            tree.pt_begin[a] * ks : tree.pt_end[a] * ks
+                        ]
+                        pos += n
+                k = self.eval_kernel.matrix_batch(tgt, src)
+                vals = np.einsum("bij,bj->bi", k, den)
+                for j, i in enumerate(boxes):
+                    n = tree.pt_end[i] - tree.pt_begin[i]
+                    pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
+                        j, : n * kt
+                    ]
+                profile.add_flops(
+                    self.eval_kernel.pair_flops(1, 1)
+                    * float((counts[boxes] * src_total[part]).sum())
+                )

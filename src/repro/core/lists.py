@@ -1,0 +1,250 @@
+"""Construction of the FMM interaction lists (U, V, W, X).
+
+Definitions (paper Table I), for octants of a complete adaptive tree:
+
+* ``U(B)`` — leaves only: all leaves adjacent to leaf ``B``, including
+  ``B`` itself.  Direct (exact) interactions.
+* ``V(B)`` — all octants: children of the colleagues of ``P(B)`` that are
+  not adjacent to ``B``.  Multipole-to-local translations.
+* ``W(B)`` — leaves only: descendants ``A`` of colleagues of ``B`` with
+  ``P(A)`` adjacent to ``B`` but ``A`` itself not adjacent (``A`` need not
+  be a leaf).  Source-box multipole evaluated directly at ``B``'s targets.
+* ``X(B)`` — all octants: the duals of W — leaves ``A`` with
+  ``B ∈ W(A)``.  ``A``'s sources evaluated onto ``B``'s downward check
+  surface.
+
+The paper relies on the symmetry of U/V and of W∪X to prove LET
+correctness; `tests/test_lists.py` checks those symmetries directly.
+
+Everything here is built from vectorised passes over the sorted key array:
+colleague resolution is a batched neighbour lookup, V a batched
+gather+adjacency filter, U/W a breadth-first frontier over (leaf, node)
+pairs, and X a direct formula (leaves adjacent to the parent but not to
+the node itself, at coarser-or-parent level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tree import FmmTree
+from repro.octree import linear
+from repro.util import morton
+
+__all__ = ["CsrList", "InteractionLists", "build_lists"]
+
+
+@dataclass
+class CsrList:
+    """Compressed adjacency: ``indices[offsets[i]:offsets[i+1]]`` per node."""
+
+    offsets: np.ndarray
+    indices: np.ndarray
+
+    @classmethod
+    def from_pairs(cls, rows: np.ndarray, cols: np.ndarray, n: int) -> "CsrList":
+        """Build from (row, col) pair arrays; sorts and de-duplicates."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.size:
+            code = rows * np.int64(n) + cols
+            code = np.unique(code)
+            rows = code // n
+            cols = code % n
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(offsets, rows + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return cls(offsets, cols)
+
+    def of(self, i: int) -> np.ndarray:
+        return self.indices[self.offsets[i] : self.offsets[i + 1]]
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def total(self) -> int:
+        return int(self.indices.size)
+
+    def invert(self, n: int | None = None) -> "CsrList":
+        """Transpose of the adjacency (``j in inv.of(i)`` iff ``i in of(j)``)."""
+        n = self.offsets.size - 1 if n is None else n
+        rows = np.repeat(np.arange(self.offsets.size - 1), self.counts)
+        return CsrList.from_pairs(self.indices, rows, n)
+
+
+@dataclass
+class InteractionLists:
+    """The four FMM lists plus the colleague table, all as :class:`CsrList`."""
+
+    u: CsrList
+    v: CsrList
+    w: CsrList
+    x: CsrList
+    colleagues: CsrList
+
+    def work_summary(self) -> dict[str, int]:
+        return {
+            "u_pairs": self.u.total(),
+            "v_pairs": self.v.total(),
+            "w_pairs": self.w.total(),
+            "x_pairs": self.x.total(),
+        }
+
+
+def _colleague_table(tree: FmmTree, chunk: int = 16384) -> np.ndarray:
+    """(n_nodes, 26) node indices of same-level adjacent octants (-1 absent)."""
+    n = tree.n_nodes
+    out = np.full((n, 26), -1, dtype=np.int64)
+    for s in range(0, n, chunk):
+        e = min(s + chunk, n)
+        ids, valid = morton.neighbors(tree.keys[s:e])
+        found = tree.find(ids.ravel()).reshape(ids.shape)
+        out[s:e] = np.where(valid, found, -1)
+    return out
+
+
+def _build_v(tree: FmmTree, coll: np.ndarray, chunk: int = 8192):
+    """V-list pairs: children of parent's colleagues, not adjacent."""
+    rows_parts, cols_parts = [], []
+    cand_nodes = np.flatnonzero(tree.levels >= 2)
+    for s in range(0, cand_nodes.size, chunk):
+        nodes = cand_nodes[s : s + chunk]
+        pc = coll[tree.parent[nodes]]  # (m, 26)
+        kids = np.where(pc[..., None] >= 0, tree.children[pc.clip(0)], -1)
+        kids = kids.reshape(len(nodes), -1)  # (m, 208)
+        ok = kids >= 0
+        bkeys = np.broadcast_to(tree.keys[nodes][:, None], kids.shape)
+        adj = np.zeros_like(ok)
+        adj[ok] = morton.adjacent(bkeys[ok], tree.keys[kids[ok]])
+        take = ok & ~adj
+        rows_parts.append(np.broadcast_to(nodes[:, None], kids.shape)[take])
+        cols_parts.append(kids[take])
+    rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, np.int64)
+    cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, np.int64)
+    return rows, cols
+
+
+def _adjacent_candidates(tree: FmmTree, nodes: np.ndarray):
+    """For each node: same-level neighbour resolution.
+
+    Returns (pair_node, pair_cand_node, pair_is_exact) where missing
+    neighbours are replaced by the coarser leaf covering their region
+    (``pair_is_exact`` False).  All returned candidates touch the node.
+    """
+    leaf_idx = tree.leaf_indices
+    leaf_keys = tree.keys[leaf_idx]
+    ids, valid = morton.neighbors(tree.keys[nodes])
+    found = tree.find(ids.ravel()).reshape(ids.shape)
+    rows = np.broadcast_to(nodes[:, None], ids.shape)
+
+    exact = valid & (found >= 0)
+    missing = valid & (found < 0)
+    # Missing neighbours are strictly inside a coarser leaf.
+    cover_rows = rows[missing]
+    cover = linear.covering_leaf_indices(leaf_keys, ids[missing])
+    okc = cover >= 0
+    return (
+        rows[exact],
+        found[exact],
+        cover_rows[okc],
+        leaf_idx[cover[okc]],
+    )
+
+
+def _build_u_w(tree: FmmTree):
+    """U and W pairs via a frontier sweep from each leaf's colleagues."""
+    leaves = tree.leaf_indices
+    en_rows, en_nodes, cv_rows, cv_leaves = _adjacent_candidates(tree, leaves)
+
+    u_rows = [leaves, cv_rows]  # self + coarser adjacent leaves
+    u_cols = [leaves, cv_leaves]
+    w_rows, w_cols = [], []
+
+    is_leaf = tree.is_leaf
+    lf = is_leaf[en_nodes]
+    u_rows.append(en_rows[lf])
+    u_cols.append(en_nodes[lf])
+
+    fr_rows = en_rows[~lf]
+    fr_nodes = en_nodes[~lf]
+    while fr_rows.size:
+        kids = tree.children[fr_nodes]  # (m, 8)
+        ok = kids >= 0
+        rows8 = np.broadcast_to(fr_rows[:, None], kids.shape)
+        adj = np.zeros_like(ok)
+        adj[ok] = morton.adjacent(tree.keys[rows8[ok]], tree.keys[kids[ok]])
+        far = ok & ~adj
+        w_rows.append(rows8[far])
+        w_cols.append(kids[far])
+        near = ok & adj
+        near_rows = rows8[near]
+        near_nodes = kids[near]
+        nl = is_leaf[near_nodes]
+        u_rows.append(near_rows[nl])
+        u_cols.append(near_nodes[nl])
+        fr_rows = near_rows[~nl]
+        fr_nodes = near_nodes[~nl]
+
+    return (
+        np.concatenate(u_rows),
+        np.concatenate(u_cols),
+        np.concatenate(w_rows) if w_rows else np.empty(0, np.int64),
+        np.concatenate(w_cols) if w_cols else np.empty(0, np.int64),
+    )
+
+
+def _build_x(tree: FmmTree):
+    """X pairs: leaves adjacent to the parent but not to the node itself."""
+    nodes = np.flatnonzero(tree.levels >= 1)
+    parents = tree.parent[nodes]
+    uniq_parents, inv = np.unique(parents, return_inverse=True)
+    en_rows, en_nodes, cv_rows, cv_leaves = _adjacent_candidates(tree, uniq_parents)
+    lf = tree.is_leaf[en_nodes]
+    # Per unique parent: candidate leaves (same level as parent, or coarser).
+    cand_rows = np.concatenate([en_rows[lf], cv_rows])
+    cand_leaves = np.concatenate([en_nodes[lf], cv_leaves])
+    # Expand back to children: every node whose parent is cand_rows[k].
+    order = np.argsort(cand_rows, kind="stable")
+    cand_rows = cand_rows[order]
+    cand_leaves = cand_leaves[order]
+    # counts per unique parent
+    pos = np.searchsorted(uniq_parents, cand_rows)
+    counts = np.bincount(pos, minlength=uniq_parents.size)
+    starts = np.concatenate([[0], np.cumsum(counts)])
+
+    node_counts = counts[inv]
+    rows_rep = np.repeat(nodes, node_counts)
+    total = int(node_counts.sum())
+    # gather[k] walks starts[inv[i]] .. starts[inv[i]]+node_counts[i]-1 for
+    # each node i, fully vectorised.
+    head = np.repeat(np.cumsum(node_counts) - node_counts, node_counts)
+    within = np.arange(total, dtype=np.int64) - head
+    gather = np.repeat(starts[inv], node_counts) + within
+    cols_rep = cand_leaves[gather]
+    rows_out, cols_out = [], []
+    keep = ~morton.adjacent(tree.keys[rows_rep], tree.keys[cols_rep])
+    rows_out.append(rows_rep[keep])
+    cols_out.append(cols_rep[keep])
+    return np.concatenate(rows_out), np.concatenate(cols_out)
+
+
+def build_lists(tree: FmmTree) -> InteractionLists:
+    """Build all four interaction lists for every node of the tree."""
+    n = tree.n_nodes
+    coll = _colleague_table(tree)
+    v_rows, v_cols = _build_v(tree, coll)
+    u_rows, u_cols, w_rows, w_cols = _build_u_w(tree)
+    x_rows, x_cols = _build_x(tree)
+
+    coll_rows = np.repeat(np.arange(n), (coll >= 0).sum(axis=1))
+    coll_cols = coll[coll >= 0]
+    return InteractionLists(
+        u=CsrList.from_pairs(u_rows, u_cols, n),
+        v=CsrList.from_pairs(v_rows, v_cols, n),
+        w=CsrList.from_pairs(w_rows, w_cols, n),
+        x=CsrList.from_pairs(x_rows, x_cols, n),
+        colleagues=CsrList.from_pairs(coll_rows, coll_cols, n),
+    )

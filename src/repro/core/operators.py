@@ -1,0 +1,204 @@
+"""Translation-operator factory for the kernel-independent FMM.
+
+All FMM operators are built from two primitives:
+
+* kernel matrices between surface point sets (see
+  :mod:`repro.core.surfaces`), and
+* regularised pseudo-inverses of check-from-equivalent matrices.
+
+Operators depend only on the octant *level* (and, for M2M/L2L, the child's
+position within its parent; for M2L, the translation offset), so they are
+computed lazily and memoised.  For kernels homogeneous of degree ``h``
+(Laplace, Stokes) matrices at any level are a scalar multiple of the
+reference level's, so only one level is ever materialised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import surfaces
+from repro.kernels.base import Kernel
+
+__all__ = ["OperatorCache", "regularized_pinv", "child_center_offset"]
+
+#: Reference level used when homogeneous scaling allows cross-level reuse.
+_REF_LEVEL = 2
+
+
+def regularized_pinv(mat: np.ndarray, rcond: float) -> np.ndarray:
+    """Truncated-SVD pseudo-inverse.
+
+    The equivalent-from-check systems are severely ill-conditioned
+    first-kind integral equations; truncating singular values below
+    ``rcond * s_max`` is the standard KIFMM regularisation.
+    """
+    u, s, vt = np.linalg.svd(mat, full_matrices=False)
+    cutoff = rcond * s[0]
+    inv_s = np.where(s > cutoff, 1.0 / np.where(s > cutoff, s, 1.0), 0.0)
+    return (vt.T * inv_s) @ u.T
+
+
+def child_center_offset(child_pos: int, child_half_width: float) -> np.ndarray:
+    """Child-centre displacement from the parent centre.
+
+    ``child_pos`` is the Morton position (bit 2 = x, bit 1 = y, bit 0 = z),
+    matching :func:`repro.util.morton.children` ordering.
+    """
+    xo = (child_pos >> 2) & 1
+    yo = (child_pos >> 1) & 1
+    zo = child_pos & 1
+    return child_half_width * np.array(
+        [2 * xo - 1, 2 * yo - 1, 2 * zo - 1], dtype=np.float64
+    )
+
+
+def level_half_width(level: int) -> float:
+    """Half-width of a level-``level`` octant in the unit cube."""
+    return 0.5 * 2.0**-level
+
+
+class OperatorCache:
+    """Lazy, memoised source of all dense KIFMM translation operators.
+
+    Parameters
+    ----------
+    kernel:
+        The interaction kernel; its ``source_dim``/``target_dim`` set the
+        block structure and its ``homogeneity`` enables cross-level reuse.
+    order:
+        Surface order ``p`` (points per cube edge); accuracy parameter.
+    rcond:
+        Relative singular-value cutoff of the pseudo-inverses.
+    """
+
+    def __init__(self, kernel: Kernel, order: int, rcond: float | None = None):
+        if order < surfaces.MIN_ORDER:
+            raise ValueError(f"order must be >= {surfaces.MIN_ORDER}")
+        self.kernel = kernel
+        self.order = int(order)
+        self.rcond = float(kernel.default_rcond if rcond is None else rcond)
+        self.n_surf = surfaces.n_surface_points(order)
+        self._inner = surfaces.inner_scale(order)
+        self._outer = surfaces.outer_scale(order)
+        self._uc2ue: dict[int, np.ndarray] = {}
+        self._uc2ue_f32: dict[int, np.ndarray] = {}
+        self._dc2de: dict[int, np.ndarray] = {}
+        self._m2m: dict[tuple[int, int], np.ndarray] = {}
+        self._l2l: dict[tuple[int, int], np.ndarray] = {}
+        self._m2l: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
+
+    # -- surface helpers ---------------------------------------------------
+
+    def ue_points(self, level: int, center=(0.0, 0.0, 0.0)) -> np.ndarray:
+        """Upward-equivalent surface points of a box at ``level``."""
+        return surfaces.surface_points(
+            self.order, np.asarray(center), level_half_width(level), self._inner
+        )
+
+    def uc_points(self, level: int, center=(0.0, 0.0, 0.0)) -> np.ndarray:
+        """Upward-check surface points of a box at ``level``."""
+        return surfaces.surface_points(
+            self.order, np.asarray(center), level_half_width(level), self._outer
+        )
+
+    def de_points(self, level: int, center=(0.0, 0.0, 0.0)) -> np.ndarray:
+        """Downward-equivalent surface points of a box at ``level``."""
+        return self.uc_points(level, center)
+
+    def dc_points(self, level: int, center=(0.0, 0.0, 0.0)) -> np.ndarray:
+        """Downward-check surface points of a box at ``level``."""
+        return self.ue_points(level, center)
+
+    # -- homogeneity bookkeeping -------------------------------------------
+
+    def _canonical(self, level: int) -> tuple[int, float]:
+        """(level to compute at, multiplier for kernel-matrix entries)."""
+        h = self.kernel.homogeneity
+        if h is None:
+            return level, 1.0
+        # K at `level` = lam**h * K at _REF_LEVEL with lam = r_level / r_ref.
+        lam = 2.0 ** (_REF_LEVEL - level)
+        return _REF_LEVEL, lam**h
+
+    # -- operators ----------------------------------------------------------
+
+    def uc2ue(self, level: int) -> np.ndarray:
+        """Map check potentials on UC to the upward-equivalent density."""
+        lvl, fac = self._canonical(level)
+        mat = self._uc2ue.get(lvl)
+        if mat is None:
+            k = self.kernel.matrix(self.uc_points(lvl), self.ue_points(lvl))
+            mat = self._uc2ue[lvl] = regularized_pinv(k, self.rcond)
+        return mat if fac == 1.0 else mat / fac
+
+    #: Pseudo-inverse cutoff for single-precision (GPU) application: the
+    #: double-precision cutoff sits below float32 resolution and would
+    #: amplify device roundoff catastrophically.
+    F32_RCOND = 1e-4
+
+    def uc2ue_f32(self, level: int) -> np.ndarray:
+        """Single-precision-safe variant of :meth:`uc2ue` for GPU kernels."""
+        lvl, fac = self._canonical(level)
+        mat = self._uc2ue_f32.get(lvl)
+        if mat is None:
+            k = self.kernel.matrix(self.uc_points(lvl), self.ue_points(lvl))
+            mat = self._uc2ue_f32[lvl] = regularized_pinv(k, self.F32_RCOND)
+        return mat if fac == 1.0 else mat / fac
+
+    def dc2de(self, level: int) -> np.ndarray:
+        """Map check potentials on DC to the downward-equivalent density."""
+        lvl, fac = self._canonical(level)
+        mat = self._dc2de.get(lvl)
+        if mat is None:
+            k = self.kernel.matrix(self.dc_points(lvl), self.de_points(lvl))
+            mat = self._dc2de[lvl] = regularized_pinv(k, self.rcond)
+        return mat if fac == 1.0 else mat / fac
+
+    def m2m(self, child_level: int, child_pos: int) -> np.ndarray:
+        """Child upward density -> parent upward density contribution.
+
+        Level-independent for homogeneous kernels (the check-matrix scale
+        cancels against the pseudo-inverse).
+        """
+        lvl, _ = self._canonical(child_level)
+        key = (lvl, child_pos)
+        mat = self._m2m.get(key)
+        if mat is None:
+            parent_level = lvl - 1
+            off = child_center_offset(child_pos, level_half_width(lvl))
+            k = self.kernel.matrix(
+                self.uc_points(parent_level), self.ue_points(lvl, off)
+            )
+            mat = self._m2m[key] = self.uc2ue(parent_level) @ k
+        return mat
+
+    def l2l(self, child_level: int, child_pos: int) -> np.ndarray:
+        """Parent downward density -> child downward *check* potentials."""
+        lvl, fac = self._canonical(child_level)
+        key = (lvl, child_pos)
+        mat = self._l2l.get(key)
+        if mat is None:
+            off = child_center_offset(child_pos, level_half_width(lvl))
+            mat = self._l2l[key] = self.kernel.matrix(
+                self.dc_points(lvl, off), self.de_points(lvl - 1)
+            )
+        return mat if fac == 1.0 else mat * fac
+
+    def m2l_dense(self, level: int, offset: tuple[int, int, int]) -> np.ndarray:
+        """Source upward density -> target downward *check* potentials.
+
+        ``offset`` is ``(c_target - c_source) / box_side`` — an integer
+        vector with infinity-norm 2 or 3 for V-list pairs.  The dense
+        operator is the ablation baseline for the FFT-diagonalised path.
+        """
+        lvl, fac = self._canonical(level)
+        key = (lvl, tuple(int(o) for o in offset))
+        mat = self._m2l.get(key)
+        if mat is None:
+            side = 2.0 * level_half_width(lvl)
+            tgt_center = side * np.asarray(offset, dtype=np.float64)
+            mat = self._m2l[key] = self.kernel.matrix(
+                self.dc_points(lvl, tgt_center), self.ue_points(lvl)
+            )
+        return mat if fac == 1.0 else mat * fac

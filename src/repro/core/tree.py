@@ -1,0 +1,226 @@
+"""Adaptive FMM tree: linear octree plus per-node topology and point data.
+
+The tree stores *all* octants (leaves and ancestors) of a complete adaptive
+octree as parallel arrays indexed by node id order (sorted Morton pre-order).
+Points are kept in Morton-sorted order; each leaf records its contiguous
+slice.  This array-of-struct-of-arrays layout is what makes both the
+vectorised CPU evaluator and the GPU data-structure translation cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.octree import build as obuild
+from repro.util import geometry, morton
+
+__all__ = ["FmmTree", "build_tree"]
+
+
+@dataclass
+class FmmTree:
+    """Topology + geometry + point storage of an adaptive FMM octree.
+
+    Attributes
+    ----------
+    keys:
+        Sorted ids of all nodes (leaves and internal), ``(n_nodes,)``.
+    levels / is_leaf / parent / children / child_pos:
+        Per-node topology.  ``children`` is ``(n_nodes, 8)`` with -1 where
+        a child does not exist; ``child_pos`` is the Morton position of a
+        node inside its parent (0 for the root).
+    points:
+        Morton-sorted point coordinates ``(n_points, 3)``.
+    order:
+        Permutation such that ``points == original_points[order]``.
+    pt_begin / pt_end:
+        Per-node ranges into ``points`` covering the node's subtree (for a
+        leaf: its own points).
+    centers / half_widths:
+        Physical box geometry per node.
+    """
+
+    keys: np.ndarray
+    levels: np.ndarray
+    is_leaf: np.ndarray
+    parent: np.ndarray
+    children: np.ndarray
+    child_pos: np.ndarray
+    points: np.ndarray
+    order: np.ndarray
+    pt_begin: np.ndarray
+    pt_end: np.ndarray
+    centers: np.ndarray
+    half_widths: np.ndarray
+    _level_index: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.keys.size
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def max_level(self) -> int:
+        return int(self.levels.max(initial=0))
+
+    @property
+    def leaf_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.is_leaf)
+
+    def point_counts(self) -> np.ndarray:
+        """Number of points in each node's subtree."""
+        return self.pt_end - self.pt_begin
+
+    def nodes_at_level(self, level: int) -> np.ndarray:
+        """Indices of nodes at the given level (cached)."""
+        idx = self._level_index.get(level)
+        if idx is None:
+            idx = self._level_index[level] = np.flatnonzero(self.levels == level)
+        return idx
+
+    def find(self, query_keys: np.ndarray) -> np.ndarray:
+        """Node indices of the queried octant ids (-1 when absent)."""
+        query_keys = np.asarray(query_keys, dtype=np.uint64)
+        pos = np.searchsorted(self.keys, query_keys)
+        pos = np.clip(pos, 0, self.keys.size - 1)
+        return np.where(self.keys[pos] == query_keys, pos, -1)
+
+    def leaf_points(self, node: int) -> np.ndarray:
+        """Points of a leaf node (view into the sorted array)."""
+        return self.points[self.pt_begin[node] : self.pt_end[node]]
+
+    def validate(self) -> None:
+        """Structural invariants; raises AssertionError on violation."""
+        assert np.all(self.keys[1:] > self.keys[:-1]), "keys not sorted unique"
+        root = 0
+        assert self.parent[root] == -1 and self.levels[root] == 0
+        nz = np.arange(1, self.n_nodes)
+        assert np.all(self.parent[nz] >= 0), "non-root without parent"
+        p = self.parent[nz]
+        assert np.all(self.levels[p] == self.levels[nz] - 1)
+        assert np.all(
+            self.children[p, self.child_pos[nz]] == nz
+        ), "children table inconsistent"
+        leaf = self.is_leaf
+        assert np.all(self.children[leaf] == -1), "leaf with children"
+        assert np.all((self.children[~leaf] >= 0).any(axis=1) | ~(~leaf).any())
+        # Point ranges of children partition the parent's range.
+        internal = np.flatnonzero(~leaf)
+        for i in internal:
+            ch = self.children[i]
+            ch = ch[ch >= 0]
+            assert self.pt_begin[ch].min() == self.pt_begin[i]
+            assert self.pt_end[ch].max() == self.pt_end[i]
+            assert np.sum(self.pt_end[ch] - self.pt_begin[ch]) == (
+                self.pt_end[i] - self.pt_begin[i]
+            )
+
+
+def leaf_batches(tree: FmmTree, sel: np.ndarray, batch: int = 1024):
+    """Yield ``(level, padded_count, node_indices)`` groups of leaves.
+
+    Groups selected leaves by (level, power-of-two padded point count) so
+    evaluator phases can process thousands of small leaves per broadcast
+    kernel call; each group is additionally capped at ``batch`` boxes to
+    bound peak memory.
+    """
+    idx = np.flatnonzero(sel)
+    if idx.size == 0:
+        return
+    counts = (tree.pt_end - tree.pt_begin)[idx]
+    kpad = np.maximum(1 << np.ceil(np.log2(counts)).astype(np.int64), 1)
+    code = tree.levels[idx] * np.int64(1 << 24) + kpad
+    for c in np.unique(code):
+        grp = idx[code == c]
+        lev = int(tree.levels[grp[0]])
+        pad = int(kpad[code == c][0])
+        for s in range(0, grp.size, batch):
+            yield lev, pad, grp[s : s + batch]
+
+
+def gather_leaf_points(tree: FmmTree, dens: np.ndarray, group: np.ndarray,
+                       pad: int, source_dim: int):
+    """Padded per-leaf (points, densities) arrays for one batch group.
+
+    Padding slots hold the box centre with zero density, contributing
+    nothing to any kernel sum.
+    """
+    b = group.size
+    pts = np.repeat(tree.centers[group][:, None, :], pad, axis=1)
+    den = np.zeros((b, pad * source_dim))
+    for j, i in enumerate(group):
+        n = tree.pt_end[i] - tree.pt_begin[i]
+        pts[j, :n] = tree.points[tree.pt_begin[i] : tree.pt_end[i]]
+        if source_dim:
+            den[j, : n * source_dim] = dens[
+                tree.pt_begin[i] * source_dim : tree.pt_end[i] * source_dim
+            ]
+    return pts, den
+
+
+def tree_from_leaves(
+    leaves: np.ndarray,
+    sorted_points: np.ndarray,
+    point_keys: np.ndarray,
+    order: np.ndarray,
+) -> FmmTree:
+    """Assemble an :class:`FmmTree` from a complete leaf set and sorted points."""
+    leaves = np.asarray(leaves, dtype=np.uint64)
+    keys = np.union1d(leaves, morton.ancestors_of(leaves))
+    levels = morton.level(keys)
+    is_leaf = np.isin(keys, leaves, assume_unique=True)
+
+    parent_keys = morton.parent(keys)
+    parent = np.searchsorted(keys, parent_keys).astype(np.int64)
+    parent[0] = -1
+
+    # Child position: the 3 interleaved anchor bits at the node's own level.
+    shift = np.uint64(morton.LEVEL_BITS) + 3 * (
+        morton.MAX_DEPTH - levels
+    ).astype(np.uint64)
+    child_pos = ((keys >> shift) & np.uint64(7)).astype(np.int64)
+    child_pos[0] = 0
+
+    children = np.full((keys.size, 8), -1, dtype=np.int64)
+    nz = np.arange(1, keys.size)
+    children[parent[nz], child_pos[nz]] = nz
+
+    lo = morton.deepest_first_descendant(keys)
+    hi = morton.deepest_last_descendant(keys)
+    pt_begin = np.searchsorted(point_keys, lo, side="left").astype(np.int64)
+    pt_end = np.searchsorted(point_keys, hi, side="right").astype(np.int64)
+
+    centers = geometry.box_center(keys)
+    half_widths = geometry.box_half_width(levels)
+
+    tree = FmmTree(
+        keys=keys,
+        levels=levels,
+        is_leaf=is_leaf,
+        parent=parent,
+        children=children,
+        child_pos=child_pos,
+        points=sorted_points,
+        order=order,
+        pt_begin=pt_begin,
+        pt_end=pt_end,
+        centers=centers,
+        half_widths=half_widths,
+    )
+    return tree
+
+
+def build_tree(
+    points: np.ndarray,
+    max_points_per_box: int,
+    max_depth: int = morton.MAX_DEPTH,
+) -> FmmTree:
+    """Adaptive tree over the unit cube with at most ``q`` points per leaf."""
+    points = np.asarray(points, dtype=np.float64)
+    ob = obuild.points_to_octree(points, max_points_per_box, max_depth)
+    return tree_from_leaves(ob.leaves, points[ob.order], ob.point_keys, ob.order)

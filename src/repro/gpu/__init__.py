@@ -1,0 +1,23 @@
+"""Virtual GPU acceleration (paper §IV).
+
+No physical GPU exists in this environment, so the CUDA layer is
+reproduced as a *virtual device*: kernels execute their real numerics in
+single precision (as the paper's CUDA code did) with an explicit
+grid/block/shared-memory structure, while a device performance model
+(S1070-era constants) converts the counted flops, global-memory traffic
+and PCIe transfers into modelled kernel times.  The accelerated phases
+are the paper's: S2U, VLI (frequency-space diagonal translation; FFTs
+stay on the CPU), ULI (Algorithm 4) and D2T.  U2U, D2D, W- and X-lists
+remain on the CPU, exactly as in the paper's implementation.
+"""
+
+from repro.gpu.device import DeviceModel, GpuLedger, TESLA_S1070, VirtualGpu
+from repro.gpu.accel import GpuFmmEvaluator
+
+__all__ = [
+    "DeviceModel",
+    "GpuLedger",
+    "TESLA_S1070",
+    "VirtualGpu",
+    "GpuFmmEvaluator",
+]

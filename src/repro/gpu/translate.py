@@ -1,0 +1,158 @@
+"""CPU -> GPU data-structure translation (paper §IV / Algorithm 4 setup).
+
+The evaluation tree uses pointers and ragged lists; the device wants flat,
+streaming-friendly arrays.  The paper flags this translation as one of its
+contributions ("carefully constructed data structure transformations ...
+whose cost we show is minor", "somewhat high memory footprint").
+
+:class:`UListStream` is the Algorithm 4 layout: target boxes padded to a
+multiple of the thread-block size ``b`` (padded slots carry NaN targets —
+harmless under the kernel's IEEE ``fmax`` trick and discarded on unpack),
+plus a per-box CSR of source slices into one flat source array of
+``(x, y, z, density...)`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lists import InteractionLists
+from repro.core.tree import FmmTree
+
+__all__ = ["UListStream", "LeafStream", "build_u_stream", "build_leaf_stream"]
+
+
+@dataclass
+class UListStream:
+    """Flattened U-list interaction structure (Algorithm 4 input)."""
+
+    boxes: np.ndarray  # leaf node index per streamed box
+    tgt_offsets: np.ndarray  # (n_boxes + 1,) offsets into padded targets
+    tgt_points: np.ndarray  # (n_padded, 3) float32, NaN in padding slots
+    tgt_valid: np.ndarray  # (n_padded,) bool
+    src_offsets: np.ndarray  # (n_boxes + 1,) offsets into flat sources
+    src_points: np.ndarray  # (n_src_total, 3) float32
+    src_dens_index: np.ndarray  # (n_src_total,) int: row into density table
+
+    @property
+    def n_boxes(self) -> int:
+        return self.boxes.size
+
+    def padded_pairs(self, block: int) -> float:
+        """Total (padded-target x source) pairs the device will process."""
+        total = 0
+        for i in range(self.n_boxes):
+            nt = self.tgt_offsets[i + 1] - self.tgt_offsets[i]
+            ns = self.src_offsets[i + 1] - self.src_offsets[i]
+            ns_padded = -(-int(ns) // block) * block
+            total += int(nt) * ns_padded
+        return float(total)
+
+
+@dataclass
+class LeafStream:
+    """Per-leaf stream for the S2U / D2T phases.
+
+    Surface points are *not* stored: the device kernels regenerate them
+    from (center, half_width) — the paper's trick of producing the regular
+    surface positions from data resident in shared memory, which is what
+    buys the ">50X speed-up for those phases".
+    """
+
+    boxes: np.ndarray  # leaf node index per box
+    levels: np.ndarray
+    centers: np.ndarray  # float32 (n_boxes, 3)
+    half_widths: np.ndarray  # float32 (n_boxes,)
+    pt_offsets: np.ndarray  # (n_boxes + 1,) offsets into flat points
+    points: np.ndarray  # float32 flat leaf points
+
+
+def _pad_to(n: int, block: int) -> int:
+    return -(-n // block) * block
+
+
+def build_u_stream(
+    tree: FmmTree,
+    lists: InteractionLists,
+    block: int,
+    leaf_sel: np.ndarray,
+) -> UListStream:
+    """Flatten the U-list of the selected leaves into the device layout."""
+    boxes = np.flatnonzero(leaf_sel)
+    counts = tree.point_counts()
+    tgt_offsets = [0]
+    src_offsets = [0]
+    tgt_parts, valid_parts, src_parts, den_idx_parts = [], [], [], []
+    for i in boxes:
+        pts = tree.leaf_points(i)
+        npad = _pad_to(len(pts), block)
+        block_pts = np.full((npad, 3), np.nan, dtype=np.float32)
+        block_pts[: len(pts)] = pts
+        tgt_parts.append(block_pts)
+        v = np.zeros(npad, dtype=bool)
+        v[: len(pts)] = True
+        valid_parts.append(v)
+        tgt_offsets.append(tgt_offsets[-1] + npad)
+
+        srcs = lists.u.of(i)
+        srcs = srcs[counts[srcs] > 0]
+        if srcs.size:
+            sp = np.concatenate([tree.leaf_points(a) for a in srcs]).astype(
+                np.float32
+            )
+            di = np.concatenate(
+                [np.arange(tree.pt_begin[a], tree.pt_end[a]) for a in srcs]
+            )
+        else:
+            sp = np.empty((0, 3), dtype=np.float32)
+            di = np.empty(0, dtype=np.int64)
+        src_parts.append(sp)
+        den_idx_parts.append(di)
+        src_offsets.append(src_offsets[-1] + len(sp))
+
+    return UListStream(
+        boxes=boxes,
+        tgt_offsets=np.asarray(tgt_offsets, dtype=np.int64),
+        tgt_points=(
+            np.concatenate(tgt_parts)
+            if tgt_parts
+            else np.empty((0, 3), dtype=np.float32)
+        ),
+        tgt_valid=(
+            np.concatenate(valid_parts) if valid_parts else np.empty(0, dtype=bool)
+        ),
+        src_offsets=np.asarray(src_offsets, dtype=np.int64),
+        src_points=(
+            np.concatenate(src_parts)
+            if src_parts
+            else np.empty((0, 3), dtype=np.float32)
+        ),
+        src_dens_index=(
+            np.concatenate(den_idx_parts)
+            if den_idx_parts
+            else np.empty(0, dtype=np.int64)
+        ),
+    )
+
+
+def build_leaf_stream(tree: FmmTree, leaf_sel: np.ndarray) -> LeafStream:
+    """Flatten leaf geometry + points for the S2U / D2T device phases."""
+    boxes = np.flatnonzero(leaf_sel)
+    offsets = [0]
+    parts = []
+    for i in boxes:
+        pts = tree.leaf_points(i)
+        parts.append(pts.astype(np.float32))
+        offsets.append(offsets[-1] + len(pts))
+    return LeafStream(
+        boxes=boxes,
+        levels=tree.levels[boxes].copy(),
+        centers=tree.centers[boxes].astype(np.float32),
+        half_widths=tree.half_widths[boxes].astype(np.float32),
+        pt_offsets=np.asarray(offsets, dtype=np.int64),
+        points=(
+            np.concatenate(parts) if parts else np.empty((0, 3), dtype=np.float32)
+        ),
+    )

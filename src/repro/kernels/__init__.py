@@ -1,0 +1,49 @@
+"""Interaction kernels and the O(N^2) direct-summation baseline.
+
+The paper evaluates two kernels: the scalar Laplace single-layer potential
+(used for the GPU experiments) and the Stokes single-layer (Stokeslet)
+potential with three unknowns per point (used for the Kraken experiments).
+A Yukawa (screened Laplace) kernel is included as a non-homogeneous kernel
+to exercise the kernel-*independent* machinery (it cannot reuse translation
+operators across levels by scaling), and a Navier/elastostatics kernel
+(the Kelvin solution) extends coverage to another vector kernel from the
+KIFMM method's supported class.
+"""
+
+from repro.kernels.base import Kernel
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.stokes import StokesKernel
+from repro.kernels.yukawa import YukawaKernel
+from repro.kernels.navier import NavierKernel
+from repro.kernels.gradients import LaplaceGradientKernel
+from repro.kernels.direct import direct_sum, direct_flops
+
+__all__ = [
+    "Kernel",
+    "LaplaceKernel",
+    "StokesKernel",
+    "YukawaKernel",
+    "NavierKernel",
+    "LaplaceGradientKernel",
+    "direct_sum",
+    "direct_flops",
+    "get_kernel",
+]
+
+_REGISTRY = {
+    "laplace": LaplaceKernel,
+    "stokes": StokesKernel,
+    "yukawa": YukawaKernel,
+    "navier": NavierKernel,
+}
+
+
+def get_kernel(name: str, **kwargs) -> Kernel:
+    """Instantiate a kernel by registry name (``laplace|stokes|yukawa|navier``)."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

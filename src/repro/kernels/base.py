@@ -1,0 +1,120 @@
+"""Kernel interface used by every FMM translation operator.
+
+A kernel maps a density vector attached to source points to a potential
+vector at target points.  The FMM never needs anything else: all of S2M,
+M2M, M2L, L2L, L2T, W- and X-list operators are built from plain kernel
+matrix evaluations between point sets (that is the *kernel independence* of
+Ying et al. 2004).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Kernel"]
+
+
+class Kernel(ABC):
+    """Abstract two-point interaction kernel.
+
+    Attributes
+    ----------
+    name:
+        Registry name.
+    source_dim / target_dim:
+        Degrees of freedom per source / target point (1 for Laplace,
+        3 for Stokes).
+    homogeneity:
+        Exponent ``h`` such that ``K(λ x, λ y) = λ**h K(x, y)`` for all
+        ``λ > 0``, or ``None`` when the kernel is not homogeneous.  A
+        homogeneous kernel lets translation operators computed at one
+        octree level be rescaled for every other level.
+    flops_per_pair:
+        Floating-point operations charged per source-target pair when the
+        kernel is applied directly; used by the performance ledgers.
+    default_rcond:
+        Default relative singular-value cutoff for the equivalent-density
+        pseudo-inverses.  Vector kernels (Stokes) are more ill-conditioned
+        and need a looser cutoff than scalar kernels.
+    """
+
+    name: str = "abstract"
+    source_dim: int = 1
+    target_dim: int = 1
+    homogeneity: float | None = None
+    flops_per_pair: int = 1
+    default_rcond: float = 1e-9
+
+    @abstractmethod
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        """Dense interaction matrix of shape ``(m*target_dim, n*source_dim)``.
+
+        Degrees of freedom are interleaved per point (point-major layout):
+        row ``i*target_dim + a`` is component ``a`` of target ``i``.
+        Coincident target/source points contribute zero (the FMM convention
+        for excluding self-interaction).
+        """
+
+    def matrix_batch(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        """Batched interaction matrices.
+
+        ``targets``: ``(b, m, 3)``; ``sources``: ``(b, n, 3)``; returns
+        ``(b, m*target_dim, n*source_dim)``.  The generic fallback loops;
+        concrete kernels override with broadcast implementations — this is
+        what lets the evaluator process thousands of small leaves per
+        call instead of one Python iteration each.
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.float64)
+        b = targets.shape[0]
+        out = np.empty(
+            (b, targets.shape[1] * self.target_dim, sources.shape[1] * self.source_dim)
+        )
+        for i in range(b):
+            out[i] = self.matrix(targets[i], sources[i])
+        return out
+
+    def apply(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        density: np.ndarray,
+        block: int = 2048,
+    ) -> np.ndarray:
+        """Apply the kernel without materialising the full matrix.
+
+        Blocks over targets so peak memory is ``O(block * n)``; this is the
+        building block of the direct-summation baseline.
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.float64)
+        density = np.asarray(density, dtype=np.float64).reshape(-1)
+        if density.size != len(sources) * self.source_dim:
+            raise ValueError(
+                f"density size {density.size} != n_sources*source_dim "
+                f"{len(sources) * self.source_dim}"
+            )
+        out = np.zeros(len(targets) * self.target_dim, dtype=np.float64)
+        td = self.target_dim
+        for start in range(0, len(targets), block):
+            stop = min(start + block, len(targets))
+            out[start * td : stop * td] = self.matrix(
+                targets[start:stop], sources
+            ) @ density
+        return out
+
+    def pair_flops(self, n_targets: int, n_sources: int) -> float:
+        """Flop charge for a dense ``n_targets x n_sources`` interaction."""
+        return float(self.flops_per_pair) * n_targets * n_sources
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def displacements(targets: np.ndarray, sources: np.ndarray):
+    """Pairwise displacement tensor ``(m, n, 3)`` and distances ``(m, n)``."""
+    d = targets[:, None, :] - sources[None, :, :]
+    r = np.sqrt(np.einsum("mnk,mnk->mn", d, d))
+    return d, r

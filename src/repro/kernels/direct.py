@@ -1,0 +1,43 @@
+"""Blocked O(N^2) direct summation: the accuracy reference and baseline.
+
+Every FMM experiment validates against (or races) this evaluator.  It is
+deliberately simple — a target-blocked dense matvec — because its role is
+to be *obviously correct*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+__all__ = ["direct_sum", "direct_flops"]
+
+
+def direct_sum(
+    kernel: Kernel,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    density: np.ndarray,
+    block: int = 1024,
+    profile=None,
+) -> np.ndarray:
+    """Exact potential at ``targets`` from ``density`` at ``sources``.
+
+    Parameters
+    ----------
+    block:
+        Number of target points per dense block (bounds peak memory).
+    profile:
+        Optional :class:`repro.util.timer.PhaseProfile` charged with the
+        pairwise flop count.
+    """
+    out = kernel.apply(targets, sources, density, block=block)
+    if profile is not None:
+        profile.add_flops(direct_flops(kernel, len(targets), len(sources)))
+    return out
+
+
+def direct_flops(kernel: Kernel, n_targets: int, n_sources: int) -> float:
+    """Flop charge of a full direct evaluation."""
+    return kernel.pair_flops(n_targets, n_sources)

@@ -1,0 +1,51 @@
+"""Yukawa (screened Laplace) kernel ``exp(-lambda r) / (4 pi r)``.
+
+A non-oscillatory kernel that is *not* homogeneous: translation operators
+must be computed per octree level instead of rescaled, which exercises the
+kernel-independent operator cache on its general code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, displacements
+
+__all__ = ["YukawaKernel"]
+
+_FOUR_PI_INV = 1.0 / (4.0 * np.pi)
+
+
+class YukawaKernel(Kernel):
+    name = "yukawa"
+    source_dim = 1
+    target_dim = 1
+    homogeneity = None
+    flops_per_pair = 26  # Laplace charge + exponential
+
+    def __init__(self, lam: float = 1.0):
+        if lam < 0:
+            raise ValueError("screening parameter lam must be non-negative")
+        self.lam = float(lam)
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        targets = np.asarray(targets, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.float64)
+        _, r = displacements(targets, sources)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = _FOUR_PI_INV * np.exp(-self.lam * r) / r
+        out[r == 0.0] = 0.0
+        return out
+
+    def matrix_batch(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        targets = np.asarray(targets, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.float64)
+        d = targets[:, :, None, :] - sources[:, None, :, :]
+        r = np.sqrt(np.einsum("bmnk,bmnk->bmn", d, d))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = _FOUR_PI_INV * np.exp(-self.lam * r) / r
+        out[r == 0.0] = 0.0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"YukawaKernel(lam={self.lam})"

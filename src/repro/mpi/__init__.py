@@ -1,0 +1,23 @@
+"""Simulated MPI runtime.
+
+This environment has no MPI (and one core), so the paper's distributed
+algorithms run on a *simulated* communicator: every virtual rank executes
+the real SPMD code in its own thread, exchanging pickled payloads through
+an in-process fabric with MPI point-to-point semantics.  Collectives are
+implemented *on top of* point-to-point with the textbook algorithms
+(binomial trees, recursive doubling, pairwise exchange), so per-rank
+message counts and byte volumes are the ones a real run would produce.
+
+Time is *modelled*, not measured: each message charges the standard
+alpha-beta cost ``t_s + nbytes / bandwidth`` to both endpoints' phase
+profiles, and compute phases are converted from counted flops by
+:mod:`repro.perf.model` using a :class:`MachineModel`.  This reproduces the
+paper's own analysis framework (its Section III-C/III-D complexity model)
+at laptop scale.
+"""
+
+from repro.mpi.machine import KRAKEN, LINCOLN, LOCAL, MachineModel
+from repro.mpi.comm import SimComm
+from repro.mpi.runtime import run_spmd
+
+__all__ = ["MachineModel", "KRAKEN", "LINCOLN", "LOCAL", "SimComm", "run_spmd"]

@@ -1,0 +1,275 @@
+"""The simulated communicator: MPI semantics over an in-process fabric.
+
+Point-to-point messages are pickled at ``send`` time — this both isolates
+the receiver from sender-side mutation (threads share an address space)
+and yields an honest byte count for the communication ledger.  Collectives
+are built from point-to-point with the textbook algorithms so that the
+per-rank message/byte ledgers match what a real MPI run would produce:
+
+===============  ==========================================================
+``barrier``       dissemination barrier, ``ceil(log2 p)`` rounds
+``bcast``         binomial tree
+``reduce``        binomial tree (commutative ``op``)
+``allreduce``     reduce + bcast
+``gather``        binomial tree
+``allgather``     recursive doubling (power-of-two), ring otherwise
+``alltoall``      pairwise exchange (XOR partners for power-of-two)
+``exscan``        recursive doubling (power-of-two), chain otherwise
+===============  ==========================================================
+
+Every message charges ``t_s + nbytes * t_w`` to the *current phase* of
+both endpoints' profiles (see :mod:`repro.mpi.machine` for the convention).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import defaultdict, deque
+from typing import Any, Callable
+
+from repro.mpi.machine import LOCAL, MachineModel
+from repro.util.timer import PhaseProfile
+
+__all__ = ["SimComm", "Fabric", "SpmdAborted"]
+
+# Internal tag space: user tags must stay below this.
+_TAG_COLL = 1 << 20
+_TAG_BARRIER = _TAG_COLL + 1
+_TAG_BCAST = _TAG_COLL + 2
+_TAG_REDUCE = _TAG_COLL + 3
+_TAG_GATHER = _TAG_COLL + 4
+_TAG_ALLGATHER = _TAG_COLL + 5
+_TAG_ALLTOALL = _TAG_COLL + 6
+_TAG_SCAN = _TAG_COLL + 7
+
+
+class SpmdAborted(RuntimeError):
+    """Raised in surviving ranks when another rank died."""
+
+
+class Fabric:
+    """Shared mailboxes of one SPMD run (one per communicator)."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._cond = [threading.Condition() for _ in range(size)]
+        self._boxes: list[dict[tuple[int, int], deque]] = [
+            defaultdict(deque) for _ in range(size)
+        ]
+        self.abort = threading.Event()
+
+    def put(self, dest: int, src: int, tag: int, payload: bytes) -> None:
+        cond = self._cond[dest]
+        with cond:
+            self._boxes[dest][(src, tag)].append(payload)
+            cond.notify_all()
+
+    def get(self, rank: int, src: int, tag: int) -> bytes:
+        cond = self._cond[rank]
+        with cond:
+            while True:
+                q = self._boxes[rank].get((src, tag))
+                if q:
+                    return q.popleft()
+                if self.abort.is_set():
+                    raise SpmdAborted(f"rank {rank}: peer failure during recv")
+                cond.wait(timeout=0.05)
+
+
+def _add(a, b):
+    return a + b
+
+
+class SimComm:
+    """Communicator handle of one virtual rank.
+
+    Mirrors the mpi4py surface the paper's algorithms need.  Every rank
+    owns a :class:`PhaseProfile`; communication charges modelled seconds
+    into whatever phase the rank currently has open.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        rank: int,
+        machine: MachineModel | None = None,
+        profile: PhaseProfile | None = None,
+    ):
+        self.fabric = fabric
+        self.rank = int(rank)
+        self.size = fabric.size
+        self.machine = machine if machine is not None else LOCAL
+        self.profile = profile if profile is not None else PhaseProfile()
+        #: Total traffic of this rank (all phases), for quick assertions.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- point to point -----------------------------------------------------
+
+    def _charge(self, nbytes: int) -> None:
+        self.profile.add_message(nbytes, self.machine.message_seconds(nbytes))
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send (never deadlocks in the simulator)."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid dest {dest} for size {self.size}")
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        self._charge(len(payload))
+        self.fabric.put(dest, self.rank, tag, payload)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from a specific source and tag."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"invalid source {source} for size {self.size}")
+        payload = self.fabric.get(self.rank, source, tag)
+        self._charge(len(payload))
+        return pickle.loads(payload)
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Simultaneous exchange with a partner rank."""
+        self.send(obj, peer, tag)
+        return self.recv(peer, tag)
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Dissemination barrier: ceil(log2 p) rounds of tiny messages."""
+        p, r = self.size, self.rank
+        d = 1
+        while d < p:
+            self.send(None, (r + d) % p, _TAG_BARRIER)
+            self.recv((r - d) % p, _TAG_BARRIER)
+            d <<= 1
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast (MPICH pattern).
+
+        Each non-root receives from the rank differing in its lowest set
+        bit of the virtual rank, then forwards down the remaining bits.
+        """
+        p = self.size
+        vr = (self.rank - root) % p  # virtual rank with root at 0
+        got = obj
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                got = self.recv(((vr - mask) + root) % p, _TAG_BCAST)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vr + mask < p:
+                self.send(got, ((vr + mask) + root) % p, _TAG_BCAST)
+            mask >>= 1
+        return got
+
+    def reduce(self, obj: Any, op: Callable = _add, root: int = 0) -> Any:
+        """Binomial-tree reduction (``op`` must be commutative+associative)."""
+        p = self.size
+        vr = (self.rank - root) % p
+        acc = obj
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                self.send(acc, ((vr - mask) + root) % p, _TAG_REDUCE)
+                break
+            peer = vr + mask
+            if peer < p:
+                acc = op(acc, self.recv((peer + root) % p, _TAG_REDUCE))
+            mask <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(self, obj: Any, op: Callable = _add) -> Any:
+        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Binomial-tree gather; returns the rank-ordered list at root."""
+        p = self.size
+        vr = (self.rank - root) % p
+        acc = {self.rank: obj}
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                self.send(acc, ((vr - mask) + root) % p, _TAG_GATHER)
+                break
+            peer = vr + mask
+            if peer < p:
+                acc.update(self.recv((peer + root) % p, _TAG_GATHER))
+            mask <<= 1
+        if self.rank != root:
+            return None
+        return [acc[i] for i in range(p)]
+
+    def allgather(self, obj: Any) -> list:
+        """Recursive doubling (power-of-two) or ring allgather."""
+        p, r = self.size, self.rank
+        if p == 1:
+            return [obj]
+        if p & (p - 1) == 0:
+            acc = {r: obj}
+            d = 1
+            while d < p:
+                peer = r ^ d
+                acc.update(self.sendrecv(acc, peer, _TAG_ALLGATHER))
+                d <<= 1
+            return [acc[i] for i in range(p)]
+        items = {r: obj}
+        block = obj
+        for i in range(p - 1):
+            self.send(block, (r + 1) % p, _TAG_ALLGATHER)
+            block = self.recv((r - 1) % p, _TAG_ALLGATHER)
+            items[(r - 1 - i) % p] = block
+        return [items[i] for i in range(p)]
+
+    def alltoall(self, blocks: list) -> list:
+        """Personalised all-to-all via pairwise exchange.
+
+        ``blocks[k]`` goes to rank ``k``; returns the list received, indexed
+        by source.  XOR partners when ``p`` is a power of two.
+        """
+        p, r = self.size, self.rank
+        if len(blocks) != p:
+            raise ValueError(f"alltoall needs {p} blocks, got {len(blocks)}")
+        out = [None] * p
+        out[r] = blocks[r]
+        pow2 = p & (p - 1) == 0
+        for i in range(1, p):
+            peer = (r ^ i) if pow2 else (r + i) % p
+            if peer >= p:
+                continue
+            src = peer if pow2 else (r - i) % p
+            self.send(blocks[peer], peer, _TAG_ALLTOALL + i)
+            out[src] = self.recv(src, _TAG_ALLTOALL + i)
+        return out
+
+    def exscan(self, obj: Any, op: Callable = _add) -> Any:
+        """Exclusive prefix scan; rank 0 receives ``None``.
+
+        Recursive doubling for power-of-two sizes, linear chain otherwise.
+        ``op`` must be commutative and associative.
+        """
+        p, r = self.size, self.rank
+        if p == 1:
+            return None
+        if p & (p - 1) == 0:
+            acc = None  # exclusive prefix so far
+            run = obj  # segment aggregate
+            d = 1
+            while d < p:
+                peer = r ^ d
+                other = self.sendrecv(run, peer, _TAG_SCAN)
+                if peer < r:
+                    acc = other if acc is None else op(other, acc)
+                run = op(run, other) if peer > r else op(other, run)
+                d <<= 1
+            return acc
+        if r > 0:
+            acc = self.recv(r - 1, _TAG_SCAN)
+        else:
+            acc = None
+        if r < p - 1:
+            self.send(obj if acc is None else op(acc, obj), r + 1, _TAG_SCAN)
+        return acc

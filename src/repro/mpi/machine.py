@@ -1,0 +1,73 @@
+"""Machine models: the constants that turn counted work into modelled time.
+
+The paper's two platforms are represented by calibrated constants:
+
+* **Kraken** — Cray XT5, 2.3 GHz quad-core Opterons, SeaStar2+ 3-D torus.
+  The paper reports ~500 MFlop/s sustained per core on the evaluation
+  phase and ~260 MFlop/s at 64K cores.
+* **Lincoln** — Dell cluster, 2.33 GHz Harpertown + Tesla S1070 (4 GPUs
+  per unit), SDR InfiniBand.
+
+Communication is charged with the alpha-beta (latency + inverse-bandwidth)
+model the paper's complexity section uses:
+``T(msg) = t_s + nbytes * t_w``.  Both endpoints of a message are charged
+(a deliberately conservative convention, documented here once; it affects
+constants, never shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "KRAKEN", "LINCOLN", "LOCAL"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-rank performance constants of a distributed platform.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    cpu_flops:
+        Sustained floating-point rate of one core (flop/s) on FMM-like
+        kernels (dense small matvecs + streaming particle loops).
+    latency:
+        Point-to-point message latency ``t_s`` (seconds).
+    bandwidth:
+        Per-link bandwidth (bytes/second); ``t_w = 1 / bandwidth``.
+    """
+
+    name: str
+    cpu_flops: float
+    latency: float
+    bandwidth: float
+    #: Structured-kernel (FFT) rate of one core: FFTs run far closer to
+    #: peak than the FMM's irregular particle kernels, and the paper's
+    #: GPU configuration keeps the per-octant FFTs on the CPU.
+    cpu_fft_flops: float = 2e9
+
+    def message_seconds(self, nbytes: float) -> float:
+        """Alpha-beta cost of one message."""
+        return self.latency + float(nbytes) / self.bandwidth
+
+    def compute_seconds(self, flops: float) -> float:
+        """Modelled time of a counted-flop compute section."""
+        return float(flops) / self.cpu_flops
+
+    def fft_seconds(self, flops: float) -> float:
+        """Modelled time of a counted-flop FFT section."""
+        return float(flops) / self.cpu_fft_flops
+
+
+#: Cray XT5 (paper's Kraken): ~500 MFlop/s/core sustained on the FMM
+#: evaluation, SeaStar2+ torus (~6 us latency, ~1.6 GB/s effective/link).
+KRAKEN = MachineModel("kraken-xt5", cpu_flops=500e6, latency=6e-6, bandwidth=1.6e9)
+
+#: Dell/Harpertown + SDR InfiniBand (paper's Lincoln): similar per-core
+#: rate, SDR IB ~4 us latency, ~1.0 GB/s.
+LINCOLN = MachineModel("lincoln-ib", cpu_flops=500e6, latency=4e-6, bandwidth=1.0e9)
+
+#: A neutral model for unit tests (round numbers).
+LOCAL = MachineModel("local-sim", cpu_flops=1e9, latency=1e-6, bandwidth=1e9)

@@ -1,0 +1,103 @@
+"""SPMD launcher: run one function on ``p`` virtual ranks.
+
+Each rank runs the *same* function in its own thread with its own
+:class:`SimComm` — the programming model is exactly MPI's.  If any rank
+raises, the fabric aborts so peers blocked in ``recv`` fail fast instead
+of deadlocking, and the first exception is re-raised in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.mpi.comm import Fabric, SimComm, SpmdAborted
+from repro.mpi.machine import LOCAL, MachineModel
+from repro.util.timer import PhaseProfile
+
+__all__ = ["run_spmd", "SpmdResult"]
+
+
+@dataclass
+class SpmdResult:
+    """Return values and per-rank profiles of one SPMD run."""
+
+    values: list[Any]
+    profiles: list[PhaseProfile]
+    comms: list[SimComm]
+
+    def max_phase_seconds(self, machine: MachineModel, phase: str) -> float:
+        """Modelled wall-clock of a phase: max over ranks of comp + comm."""
+        out = 0.0
+        for prof in self.profiles:
+            ev = prof.events.get(phase)
+            if ev is None:
+                continue
+            out = max(out, machine.compute_seconds(ev.flops) + ev.comm_seconds)
+        return out
+
+    def avg_phase_seconds(self, machine: MachineModel, phase: str) -> float:
+        """Modelled per-rank average time of a phase."""
+        total = 0.0
+        for prof in self.profiles:
+            ev = prof.events.get(phase)
+            if ev is not None:
+                total += machine.compute_seconds(ev.flops) + ev.comm_seconds
+        return total / len(self.profiles)
+
+    def phase_flops(self, phase: str) -> list[float]:
+        return [p.events.get(phase).flops if phase in p.events else 0.0 for p in self.profiles]
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineModel | None = None,
+    timeout: float = 600.0,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` virtual ranks.
+
+    Returns an :class:`SpmdResult` with per-rank return values, phase
+    profiles and communicators (for ledger inspection).  The first rank
+    exception is re-raised with its original traceback.
+    """
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    machine = machine if machine is not None else LOCAL
+    fabric = Fabric(nranks)
+    profiles = [PhaseProfile() for _ in range(nranks)]
+    comms = [SimComm(fabric, r, machine=machine, profile=profiles[r]) for r in range(nranks)]
+    values: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        try:
+            values[rank] = fn(comms[rank], *args, **kwargs)
+        except SpmdAborted:
+            pass  # secondary failure: the primary error is reported
+        except BaseException as exc:  # noqa: BLE001 - must surface any rank failure
+            with lock:
+                errors.append((rank, exc))
+            fabric.abort.set()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            fabric.abort.set()
+            for t2 in threads:
+                t2.join(timeout=5.0)
+            raise TimeoutError(f"SPMD run exceeded {timeout}s (possible deadlock)")
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return SpmdResult(values=values, profiles=profiles, comms=comms)

@@ -1,0 +1,63 @@
+"""Weighted partitioning of Morton-sorted arrays across ranks.
+
+This is the sequential arithmetic behind the paper's two partitioning
+passes: the initial equal-chunk split of the sorted leaf array, and the
+work-weighted repartition of §III-B ("we repartition the leaves to ensure
+that the total weight of the leaves owned by each process is approximately
+equal", Algorithm 1 of Sundar et al.).  The distributed wrappers in
+:mod:`repro.dist.loadbalance` reduce to these functions applied to global
+prefix sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["partition_bounds", "split_by_weights", "rank_of_index"]
+
+
+def partition_bounds(total: int, parts: int) -> np.ndarray:
+    """Equal-chunk boundaries: ``parts + 1`` monotone indices over ``total``.
+
+    Chunk sizes differ by at most one element (the leading chunks get the
+    remainder), matching a block distribution of a sorted array.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, rem = divmod(int(total), parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:rem] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def split_by_weights(weights: np.ndarray, parts: int) -> np.ndarray:
+    """Contiguous split of a weighted sequence into ``parts`` even pieces.
+
+    Returns ``parts + 1`` boundaries such that each piece's weight is as
+    close as possible to ``total_weight / parts`` under the constraint that
+    pieces are contiguous (the Morton-order constraint of the paper).  Uses
+    the ideal prefix-sum cut points, which is exactly what the distributed
+    algorithm computes from a global scan.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    n = w.size
+    if n == 0:
+        return np.zeros(parts + 1, dtype=np.int64)
+    prefix = np.cumsum(w)
+    total = prefix[-1]
+    if total == 0:
+        return partition_bounds(n, parts)
+    targets = total * np.arange(1, parts) / parts
+    cuts = np.searchsorted(prefix, targets, side="left") + 1
+    bounds = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    return np.maximum.accumulate(bounds)
+
+
+def rank_of_index(bounds: np.ndarray, idx) -> np.ndarray:
+    """Owning rank of each global index under the given boundaries."""
+    idx = np.asarray(idx, dtype=np.int64)
+    return np.clip(np.searchsorted(bounds, idx, side="right") - 1, 0, len(bounds) - 2)

@@ -1,0 +1,17 @@
+"""Performance modelling and reporting.
+
+Converts the per-rank phase ledgers (counted flops, counted bytes/messages)
+into modelled per-phase times under a :class:`MachineModel`, and renders
+the paper's tables (Table II per-phase breakdown, Table III GPU sweep).
+"""
+
+from repro.perf.model import PhaseTimes, evaluation_phase_times, EVAL_PHASES
+from repro.perf.report import format_table, phase_breakdown_table
+
+__all__ = [
+    "PhaseTimes",
+    "evaluation_phase_times",
+    "EVAL_PHASES",
+    "format_table",
+    "phase_breakdown_table",
+]

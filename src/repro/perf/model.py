@@ -1,0 +1,153 @@
+"""From ledgers to modelled seconds.
+
+The paper's Table II reports, per evaluation phase, the maximum and the
+average (over ranks) of wall-clock time and flops.  Here the per-rank time
+of a phase is modelled as
+
+    t_rank(phase) = flops_rank(phase) / cpu_flops + comm_seconds_rank(phase)
+
+with ``comm_seconds`` already accumulated message-by-message by the
+simulated communicator under the alpha-beta model.  ``Max`` over ranks
+approximates the critical path (barrier-synchronised phases), ``Avg`` the
+load; their gap is the paper's load-imbalance signal (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.machine import MachineModel
+from repro.util.timer import PhaseProfile
+
+__all__ = ["PhaseTimes", "evaluation_phase_times", "EVAL_PHASES", "aggregate"]
+
+#: Fine-grained evaluation phases, in execution order.  The two
+#: communication steps of §III-C are tracked separately: the ghost
+#: density exchange and the shared-density reduce-scatter.
+EVAL_PHASES = [
+    "S2U",
+    "U2U",
+    "COMM_exchange",
+    "COMM_reduce",
+    "VLI",
+    "XLI",
+    "D2D",
+    "WLI",
+    "D2T",
+    "ULI",
+]
+
+#: Paper Table II rows -> our fine-grained phases.
+TABLE2_ROWS = {
+    "Upward": ["S2U", "U2U"],
+    "Comm.": ["COMM_exchange", "COMM_reduce"],
+    "U-list": ["ULI"],
+    "V-list": ["VLI"],
+    "W-list": ["WLI"],
+    "X-list": ["XLI"],
+    "Downward": ["D2D", "D2T"],
+}
+
+
+@dataclass
+class PhaseTimes:
+    """Max/avg modelled seconds and flops of one phase across ranks."""
+
+    name: str
+    max_seconds: float
+    avg_seconds: float
+    max_flops: float
+    avg_flops: float
+
+
+def _phase_values(profiles: list[PhaseProfile], machine: MachineModel, phases):
+    secs = np.zeros(len(profiles))
+    flops = np.zeros(len(profiles))
+    for i, prof in enumerate(profiles):
+        for ph in phases:
+            ev = prof.events.get(ph)
+            if ev is None:
+                continue
+            secs[i] += machine.compute_seconds(ev.flops) + ev.comm_seconds
+            flops[i] += ev.flops
+    return secs, flops
+
+
+def aggregate(
+    profiles: list[PhaseProfile],
+    machine: MachineModel,
+    name: str,
+    phases: list[str],
+) -> PhaseTimes:
+    """Max/avg across ranks of the combined listed phases."""
+    secs, flops = _phase_values(profiles, machine, phases)
+    return PhaseTimes(
+        name=name,
+        max_seconds=float(secs.max()),
+        avg_seconds=float(secs.mean()),
+        max_flops=float(flops.max()),
+        avg_flops=float(flops.mean()),
+    )
+
+
+def evaluation_phase_times(
+    profiles: list[PhaseProfile], machine: MachineModel
+) -> list[PhaseTimes]:
+    """The paper's Table II rows (Total eval + breakdown + Comp)."""
+    rows = [aggregate(profiles, machine, "Total eval", EVAL_PHASES)]
+    for row_name, phases in TABLE2_ROWS.items():
+        rows.append(aggregate(profiles, machine, row_name, phases))
+    comp = [ph for ph in EVAL_PHASES if not ph.startswith("COMM")]
+    rows.append(aggregate(profiles, machine, "Comp", comp))
+    return rows
+
+
+def overlapped_eval_seconds(
+    profiles: list[PhaseProfile], machine: MachineModel
+) -> tuple[float, float]:
+    """Evaluation time with communication/computation overlap (future work).
+
+    The paper lists overlap as an unexploited opportunity ("we do not
+    thoroughly overlap computation and communication").  Two overlaps are
+    legal by the dependency structure of Algorithm 1:
+
+    * the ghost density exchange only feeds the *direct* phases, so it can
+      hide behind S2U + U2U;
+    * the reduce-scatter only feeds V/W, so it can hide behind the X-list
+      (which needs ghost points but not reduced densities).
+
+    Returns ``(overlapped, sequential)`` max-over-ranks modelled seconds.
+    """
+    seq = np.zeros(len(profiles))
+    ovl = np.zeros(len(profiles))
+    for i, prof in enumerate(profiles):
+        t = {}
+        for ph in EVAL_PHASES:
+            ev = prof.events.get(ph)
+            t[ph] = (
+                machine.compute_seconds(ev.flops) + ev.comm_seconds
+                if ev is not None
+                else 0.0
+            )
+        seq[i] = sum(t.values())
+        upward = t["S2U"] + t["U2U"]
+        rest = t["VLI"] + t["D2D"] + t["WLI"] + t["D2T"] + t["ULI"]
+        ovl[i] = (
+            max(t["COMM_exchange"], upward)
+            + max(t["COMM_reduce"], t["XLI"])
+            + rest
+        )
+    return float(ovl.max()), float(seq.max())
+
+
+def setup_seconds(
+    profiles: list[PhaseProfile], machine: MachineModel
+) -> dict[str, float]:
+    """Modelled max-over-ranks time of the setup phases."""
+    out = {}
+    for ph in ("tree", "let", "lists", "balance"):
+        secs, _ = _phase_values(profiles, machine, [ph])
+        out[ph] = float(secs.max())
+    return out

@@ -1,0 +1,42 @@
+"""Plain-text rendering of the experiment tables."""
+
+from __future__ import annotations
+
+from repro.perf.model import PhaseTimes
+
+__all__ = ["format_table", "phase_breakdown_table"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width table (benchmarks print these next to the paper's)."""
+    cells = [[str(h) for h in headers]] + [
+        [c if isinstance(c, str) else f"{c:.3g}" for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def phase_breakdown_table(rows: list[PhaseTimes], title: str = "") -> str:
+    """Table II format: Event | Max Time | Avg Time | Max Flops | Avg Flops."""
+    return format_table(
+        ["Event", "Max. Time", "Avg. Time", "Max. Flops", "Avg. Flops"],
+        [
+            [
+                r.name,
+                f"{r.max_seconds:.2e}",
+                f"{r.avg_seconds:.2e}",
+                f"{r.max_flops:.2e}",
+                f"{r.avg_flops:.2e}",
+            ]
+            for r in rows
+        ],
+        title=title,
+    )

@@ -1,0 +1,13 @@
+"""Distributed sorting: parallel sample sort (with bitonic splitter sort).
+
+The paper's setup phase is dominated by the parallel sort of the input
+points ("the major cost being the parallel sort, which ... exhibits
+textbook scalability"), with complexity
+``O(n/p log n/p + p log p)`` — "combination of sample sort and bitonic
+sort" (its §III-D, citing Grama et al.).
+"""
+
+from repro.sort.samplesort import parallel_sample_sort
+from repro.sort.bitonic import bitonic_sort
+
+__all__ = ["parallel_sample_sort", "bitonic_sort"]

@@ -1,0 +1,48 @@
+"""Distributed bitonic sort of one element block per rank.
+
+Used to sort the splitter samples in the sample-sort (the paper's
+"combination of sample sort and bitonic sort").  Each rank contributes a
+local block; after ``O(log^2 p)`` compare-exchange rounds rank ``r`` holds
+the ``r``-th block of the global sorted order.  Works for any
+power-of-two communicator size and any per-rank block length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.comm import SimComm
+
+__all__ = ["bitonic_sort"]
+
+_TAG = 7000
+
+
+def _compare_exchange(comm: SimComm, local: np.ndarray, partner: int, keep_low: bool):
+    """Exchange blocks with the partner and keep the low or high half."""
+    other = comm.sendrecv(local, partner, _TAG)
+    merged = np.sort(np.concatenate([local, other]), kind="stable")
+    return merged[: len(local)] if keep_low else merged[len(merged) - len(local) :]
+
+
+def bitonic_sort(comm: SimComm, local: np.ndarray) -> np.ndarray:
+    """Globally sort equal-ish blocks across a power-of-two communicator.
+
+    Returns this rank's block of the global ascending order.  Blocks keep
+    their input length per rank.
+    """
+    p, r = comm.size, comm.rank
+    if p & (p - 1) != 0:
+        raise ValueError("bitonic_sort requires a power-of-two communicator")
+    local = np.sort(np.asarray(local), kind="stable")
+    k = 2
+    while k <= p:
+        j = k >> 1
+        while j >= 1:
+            partner = r ^ j
+            ascending = (r & k) == 0
+            keep_low = (r < partner) == ascending
+            local = _compare_exchange(comm, local, partner, keep_low)
+            j >>= 1
+        k <<= 1
+    return local

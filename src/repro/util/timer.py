@@ -1,0 +1,93 @@
+"""Per-phase accounting of modelled time, flops and bytes.
+
+Wall-clock on a single laptop core says nothing about a 65K-core run, so —
+exactly like the paper's own complexity analysis — every phase accumulates
+*counted* work (flops) and *counted* traffic (messages, bytes) into a
+:class:`PhaseProfile`.  Machine models (see :mod:`repro.mpi.machine`)
+convert those ledgers into modelled seconds.  Wall-clock is also recorded so
+real measurements remain available for the sequential benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseEvent", "PhaseProfile"]
+
+
+@dataclass
+class PhaseEvent:
+    """Accumulated counters for one named phase on one rank."""
+
+    name: str
+    wall_seconds: float = 0.0
+    flops: float = 0.0
+    comm_messages: int = 0
+    comm_bytes: float = 0.0
+    #: Modelled communication seconds (latency + bandwidth terms), filled in
+    #: by the communication layer as messages are logged.
+    comm_seconds: float = 0.0
+
+    def merge(self, other: "PhaseEvent") -> None:
+        self.wall_seconds += other.wall_seconds
+        self.flops += other.flops
+        self.comm_messages += other.comm_messages
+        self.comm_bytes += other.comm_bytes
+        self.comm_seconds += other.comm_seconds
+
+
+@dataclass
+class PhaseProfile:
+    """Ordered collection of :class:`PhaseEvent` counters."""
+
+    events: dict[str, PhaseEvent] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=list)
+
+    def event(self, name: str) -> PhaseEvent:
+        ev = self.events.get(name)
+        if ev is None:
+            ev = self.events[name] = PhaseEvent(name)
+        return ev
+
+    @property
+    def current(self) -> PhaseEvent:
+        """Event of the innermost active phase (``"untimed"`` outside any)."""
+        return self.event(self._stack[-1] if self._stack else "untimed")
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; nested phases attribute counters to the innermost."""
+        self._stack.append(name)
+        t0 = time.perf_counter()
+        try:
+            yield self.event(name)
+        finally:
+            self.event(name).wall_seconds += time.perf_counter() - t0
+            self._stack.pop()
+
+    def add_flops(self, flops: float, phase: str | None = None) -> None:
+        (self.event(phase) if phase else self.current).flops += flops
+
+    def add_message(
+        self, nbytes: float, seconds: float, phase: str | None = None
+    ) -> None:
+        ev = self.event(phase) if phase else self.current
+        ev.comm_messages += 1
+        ev.comm_bytes += nbytes
+        ev.comm_seconds += seconds
+
+    def merge(self, other: "PhaseProfile") -> None:
+        for name, ev in other.events.items():
+            self.event(name).merge(ev)
+
+    def total_flops(self) -> float:
+        return sum(ev.flops for ev in self.events.values())
+
+    def as_table(self) -> list[tuple[str, float, float, float, float]]:
+        """Rows of (phase, wall s, flops, messages, bytes) in insert order."""
+        return [
+            (ev.name, ev.wall_seconds, ev.flops, ev.comm_messages, ev.comm_bytes)
+            for ev in self.events.values()
+        ]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ellipsoid_surface, plummer_cluster, uniform_cube
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260708)
+
+
+@pytest.fixture
+def uniform_points():
+    return uniform_cube(2000, seed=1)
+
+
+@pytest.fixture
+def ellipsoid_points():
+    return ellipsoid_surface(2000, seed=2)
+
+
+@pytest.fixture
+def plummer_points():
+    return plummer_cluster(2000, seed=3)
+
+
+@pytest.fixture(params=["uniform", "ellipsoid", "plummer"])
+def any_points(request):
+    maker = {
+        "uniform": uniform_cube,
+        "ellipsoid": ellipsoid_surface,
+        "plummer": plummer_cluster,
+    }[request.param]
+    return maker(1500, seed=7)

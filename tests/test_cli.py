@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "laplace" in out and "stokes" in out
+        assert "kraken" in out and "tesla" in out
+
+    def test_evaluate_with_check(self, capsys):
+        rc = main([
+            "evaluate", "--n", "1200", "--order", "4", "--q", "50",
+            "--check", "60",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spot check" in out
+        assert "rel err" in out
+        # extract and bound the reported error
+        err = float(out.rsplit("rel err", 1)[1])
+        assert err < 1e-2
+
+    def test_evaluate_distribution_choice(self, capsys):
+        rc = main(["evaluate", "--n", "800", "--order", "4",
+                   "--distribution", "ellipsoid"])
+        assert rc == 0
+        assert "ellipsoid" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "--n", "2500", "--order", "4", "--sample", "2500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best q" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,92 @@
+"""Tests for the synthetic particle distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ellipsoid_surface,
+    make_distribution,
+    plummer_cluster,
+    uniform_cube,
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", ["uniform", "ellipsoid", "plummer"])
+    def test_inside_unit_cube(self, name):
+        pts = make_distribution(name, 5000, seed=3)
+        assert pts.shape == (5000, 3)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_reproducible(self):
+        a = uniform_cube(100, seed=9)
+        b = uniform_cube(100, seed=9)
+        np.testing.assert_array_equal(a, b)
+        c = uniform_cube(100, seed=10)
+        assert not np.array_equal(a, c)
+
+    def test_ellipsoid_on_surface(self):
+        pts = ellipsoid_surface(2000, seed=1) - 0.5
+        val = (pts[:, 0] / 0.1) ** 2 + (pts[:, 1] / 0.1) ** 2 + (
+            pts[:, 2] / 0.4
+        ) ** 2
+        np.testing.assert_allclose(val, 1.0, atol=1e-9)
+
+    def test_ellipsoid_aspect_ratio(self):
+        pts = ellipsoid_surface(5000, seed=2) - 0.5
+        assert pts[:, 2].max() / pts[:, 0].max() > 3.0
+
+    def test_ellipsoid_pole_concentration(self):
+        """Uniform angle spacing concentrates points at the poles."""
+        pts = ellipsoid_surface(20000, seed=4)
+        near_pole = np.abs(pts[:, 2] - 0.5) > 0.35
+        assert near_pole.mean() > 0.3  # far denser than area-uniform
+
+    def test_plummer_core_density(self):
+        pts = plummer_cluster(20000, seed=5)
+        r = np.linalg.norm(pts - 0.5, axis=1)
+        assert (r < 0.06).mean() > 0.3  # dense core
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_distribution("spiral", 10)
+
+
+class TestExtraDistributions:
+    @pytest.mark.parametrize("name", ["two_spheres", "filament"])
+    def test_inside_unit_cube(self, name):
+        pts = make_distribution(name, 3000, seed=7)
+        assert pts.shape == (3000, 3)
+        assert np.all(pts > 0.0) and np.all(pts < 1.0)
+
+    def test_two_spheres_are_separated(self):
+        from repro.datasets import two_spheres
+
+        pts = two_spheres(4000, seed=8) - 0.5
+        # each point is near one of the two shell centres
+        d1 = np.linalg.norm(pts - (np.array([0.27, 0.27, 0.27]) - 0.5), axis=1)
+        d2 = np.linalg.norm(pts - (np.array([0.73, 0.73, 0.73]) - 0.5), axis=1)
+        assert np.all(np.minimum(d1, d2) < 0.13)
+        assert (d1 < d2).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_filament_is_deep(self):
+        from repro.datasets import filament
+        from repro.octree import points_to_octree
+        from repro.util import morton
+
+        uni = points_to_octree(make_distribution("uniform", 3000, 9), 25)
+        fil = points_to_octree(filament(3000, seed=9), 25)
+        assert morton.level(fil.leaves).max() > morton.level(uni.leaves).max() + 2
+
+    def test_fmm_accurate_on_extras(self):
+        from repro.core import Fmm
+        from repro.kernels import direct_sum, get_kernel
+
+        kern = get_kernel("laplace")
+        for name in ("two_spheres", "filament"):
+            pts = make_distribution(name, 1500, seed=10)
+            dens = np.random.default_rng(3).standard_normal(1500)
+            f = Fmm(kern, order=6, max_points_per_box=30).evaluate(pts, dens)
+            ref = direct_sum(kern, pts, pts, dens)
+            err = np.linalg.norm(f - ref) / np.linalg.norm(ref)
+            assert err < 5e-5, name

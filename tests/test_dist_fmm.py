@@ -1,0 +1,239 @@
+"""End-to-end distributed FMM accuracy and equivalence tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ellipsoid_surface, uniform_cube
+from repro.dist.driver import distributed_fmm_rank
+from repro.kernels import direct_sum, get_kernel
+from repro.mpi import run_spmd
+
+
+def _match(ref_pts, pts):
+    """Row indices of ``pts`` inside ``ref_pts`` by exact coordinates."""
+    dt = np.dtype([("x", "f8"), ("y", "f8"), ("z", "f8")])
+    g = np.ascontiguousarray(ref_pts).view(dt).ravel()
+    o = np.ascontiguousarray(pts).view(dt).ravel()
+    order = np.argsort(g)
+    pos = order[np.searchsorted(g[order], o)]
+    assert np.array_equal(ref_pts[pos], pts)
+    return pos
+
+
+def _run_and_collect(pts, dens, p, **kwargs):
+    res = run_spmd(p, distributed_fmm_rank, pts, dens, timeout=560, **kwargs)
+    opts = np.concatenate([v[0] for v in res.values])
+    opot = np.concatenate([v[1] for v in res.values])
+    return opts, opot, res
+
+
+def densfn(p):
+    return np.sin(40 * p[:, 0]) + p[:, 2] * np.cos(23 * p[:, 1])
+
+
+class TestDistributedAccuracy:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_uniform_laplace(self, p):
+        pts = uniform_cube(1800, seed=31)
+        kern = get_kernel("laplace")
+        ref = direct_sum(kern, pts, pts, densfn(pts))
+        opts, opot, _ = _run_and_collect(
+            pts, densfn, p, kernel="laplace", order=6, max_points_per_box=30
+        )
+        assert len(opts) == len(pts)
+        pos = _match(pts, opts)
+        assert np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref) < 5e-5
+
+    def test_ellipsoid_laplace(self):
+        pts = ellipsoid_surface(1800, seed=32)
+        kern = get_kernel("laplace")
+        ref = direct_sum(kern, pts, pts, densfn(pts))
+        opts, opot, _ = _run_and_collect(
+            pts, densfn, 4, kernel="laplace", order=6, max_points_per_box=25
+        )
+        pos = _match(pts, opts)
+        assert np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref) < 5e-5
+
+    def test_stokes_distributed(self):
+        pts = uniform_cube(900, seed=33)
+        kern = get_kernel("stokes")
+
+        def sdens(p):
+            return np.stack(
+                [np.sin(9 * p[:, 0]), p[:, 1], np.cos(7 * p[:, 2])], axis=1
+            ).reshape(-1)
+
+        ref = direct_sum(kern, pts, pts, sdens(pts))
+        opts, opot, _ = _run_and_collect(
+            pts, sdens, 4, kernel="stokes", order=6, max_points_per_box=40
+        )
+        pos = _match(pts, opts)
+        ref_rows = ref.reshape(-1, 3)[pos].reshape(-1)
+        assert np.linalg.norm(opot - ref_rows) / np.linalg.norm(ref) < 1e-3
+
+    def test_density_array_input(self):
+        pts = uniform_cube(1200, seed=34)
+        kern = get_kernel("laplace")
+        dens = densfn(pts)
+        ref = direct_sum(kern, pts, pts, dens)
+        opts, opot, _ = _run_and_collect(
+            pts, dens, 4, kernel="laplace", order=6, max_points_per_box=30
+        )
+        pos = _match(pts, opts)
+        assert np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref) < 5e-5
+
+
+class TestSchemeEquivalence:
+    def test_hypercube_equals_owner_exactly(self):
+        pts = uniform_cube(1500, seed=35)
+        out = {}
+        for scheme in ("hypercube", "owner"):
+            opts, opot, _ = _run_and_collect(
+                pts,
+                densfn,
+                4,
+                kernel="laplace",
+                order=4,
+                max_points_per_box=30,
+                comm_scheme=scheme,
+            )
+            order = _match(pts, opts)
+            full = np.empty(len(pts))
+            full[order] = opot
+            out[scheme] = full
+        np.testing.assert_allclose(
+            out["hypercube"], out["owner"], rtol=1e-10, atol=1e-14
+        )
+
+    def test_load_balance_preserves_result(self):
+        pts = ellipsoid_surface(1500, seed=36)
+        out = {}
+        for lb in (False, True):
+            opts, opot, _ = _run_and_collect(
+                pts,
+                densfn,
+                4,
+                kernel="laplace",
+                order=4,
+                max_points_per_box=25,
+                load_balance=lb,
+            )
+            order = _match(pts, opts)
+            full = np.empty(len(pts))
+            full[order] = opot
+            out[lb] = full
+        np.testing.assert_allclose(out[False], out[True], rtol=1e-9, atol=1e-13)
+
+    def test_load_balance_reduces_imbalance(self):
+        pts = ellipsoid_surface(2500, seed=37)
+
+        def imbalance(lb):
+            _, _, res = _run_and_collect(
+                pts,
+                densfn,
+                4,
+                kernel="laplace",
+                order=4,
+                max_points_per_box=25,
+                load_balance=lb,
+            )
+            flops = [
+                sum(
+                    prof.events[ph].flops
+                    for ph in ("ULI", "VLI", "WLI", "XLI", "S2U", "U2U", "D2D", "D2T")
+                    if ph in prof.events
+                )
+                for prof in res.profiles
+            ]
+            return max(flops) / (sum(flops) / len(flops))
+
+        assert imbalance(True) <= imbalance(False) * 1.05
+
+
+class TestDriverContract:
+    def test_evaluate_before_setup_raises(self):
+        from repro.dist.driver import DistributedFmm
+
+        fmm = DistributedFmm()
+        with pytest.raises(RuntimeError, match="setup"):
+            fmm.evaluate(np.zeros(4))
+
+    def test_bad_scheme_rejected(self):
+        from repro.dist.driver import DistributedFmm
+
+        with pytest.raises(ValueError, match="comm_scheme"):
+            DistributedFmm(comm_scheme="telepathy")
+
+    def test_wrong_density_size(self):
+        pts = uniform_cube(600, seed=38)
+
+        def fn(comm):
+            from repro.dist.driver import DistributedFmm
+
+            fmm = DistributedFmm(order=4, max_points_per_box=40)
+            fmm.setup(comm, pts[comm.rank :: comm.size])
+            fmm.evaluate(np.zeros(3))
+
+        with pytest.raises(RuntimeError, match="densities size"):
+            run_spmd(2, fn, timeout=120)
+
+    def test_points_conserved_and_owned_once(self):
+        pts = uniform_cube(1000, seed=39)
+        opts, _, _ = _run_and_collect(
+            pts, densfn, 4, kernel="laplace", order=4, max_points_per_box=40
+        )
+        assert len(opts) == len(pts)
+        assert len(np.unique(opts, axis=0)) == len(np.unique(pts, axis=0))
+
+
+class TestOddRankCounts:
+    """Algorithm 3 needs 2^d ranks (as in the paper); other sizes must
+    still produce correct results via the owner-based fallback."""
+
+    @pytest.mark.parametrize("p", [3, 5, 6])
+    def test_non_power_of_two(self, p):
+        pts = uniform_cube(1200, seed=71)
+        kern = get_kernel("laplace")
+        ref = direct_sum(kern, pts, pts, densfn(pts))
+        opts, opot, _ = _run_and_collect(
+            pts, densfn, p, kernel="laplace", order=4, max_points_per_box=40
+        )
+        pos = _match(pts, opts)
+        assert np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref) < 5e-3
+
+
+class TestCoarsePartitioning:
+    """The paper's suggested (untried) coarser-level repartitioning."""
+
+    def test_result_unchanged(self):
+        pts = ellipsoid_surface(1500, seed=72)
+        kern = get_kernel("laplace")
+        ref = direct_sum(kern, pts, pts, densfn(pts))
+        opts, opot, _ = _run_and_collect(
+            pts, densfn, 4,
+            kernel="laplace", order=4, max_points_per_box=25,
+            load_balance=True, partition_level=3,
+        )
+        pos = _match(pts, opts)
+        assert np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref) < 2e-3
+
+    def test_blocks_stay_whole(self):
+        """All leaves sharing a level-L ancestor land on one rank."""
+        from repro.util import morton
+
+        pts = ellipsoid_surface(2000, seed=73)
+        L = 3
+        _, _, res = _run_and_collect(
+            pts, densfn, 4,
+            kernel="laplace", order=4, max_points_per_box=25,
+            load_balance=True, partition_level=L,
+        )
+        owner_of_block = {}
+        for rk, (_, _, fmm) in enumerate(res.values):
+            tree = fmm.let.tree
+            keys = tree.keys[fmm.let.owned_leaf]
+            lev = np.minimum(morton.level(keys), L)
+            for b in np.unique(morton.ancestor_at(keys, lev)):
+                assert owner_of_block.setdefault(int(b), rk) == rk, (
+                    f"block {b} split across ranks"
+                )

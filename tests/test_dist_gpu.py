@@ -1,0 +1,76 @@
+"""Integration: distributed FMM with per-rank virtual GPUs (paper Fig 6)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_cube
+from repro.dist.driver import distributed_fmm_rank
+from repro.kernels import direct_sum, get_kernel
+from repro.mpi import run_spmd
+
+
+def densfn(p):
+    return np.sin(21 * p[:, 0]) * p[:, 1] + np.cos(13 * p[:, 2])
+
+
+class TestDistributedGpu:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        pts = uniform_cube(2000, seed=55)
+        kern = get_kernel("laplace")
+        return pts, direct_sum(kern, pts, pts, densfn(pts))
+
+    def _run(self, pts, **kwargs):
+        res = run_spmd(
+            4,
+            distributed_fmm_rank,
+            pts,
+            densfn,
+            kernel="laplace",
+            order=6,
+            max_points_per_box=60,
+            timeout=560,
+            **kwargs,
+        )
+        opts = np.concatenate([v[0] for v in res.values])
+        opot = np.concatenate([v[1] for v in res.values])
+        dt = np.dtype([("x", "f8"), ("y", "f8"), ("z", "f8")])
+        g = np.ascontiguousarray(pts).view(dt).ravel()
+        o = np.ascontiguousarray(opts).view(dt).ravel()
+        order = np.argsort(g)
+        pos = order[np.searchsorted(g[order], o)]
+        return opot, pos, res
+
+    def test_gpu_distributed_accuracy(self, reference):
+        pts, ref = reference
+        opot, pos, res = self._run(pts, use_gpu=True)
+        err = np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref)
+        assert err < 5e-4  # single-precision device floor
+
+    def test_gpu_wx_extension_accuracy(self, reference):
+        pts, ref = reference
+        opot, pos, _ = self._run(pts, use_gpu=True, gpu_wx=True)
+        err = np.linalg.norm(opot - ref[pos]) / np.linalg.norm(ref)
+        assert err < 5e-4
+
+    def test_each_rank_has_own_device_ledger(self, reference):
+        pts, _ = reference
+        _, _, res = self._run(pts, use_gpu=True)
+        for _, _, fmm in res.values:
+            led = fmm.evaluator.gpu.ledger
+            assert led.total_seconds() > 0
+            assert led.kernel_flops.get("ULI", 0) > 0
+
+    def test_wx_extension_moves_flops_to_device(self, reference):
+        pts, _ = reference
+        _, _, plain = self._run(pts, use_gpu=True)
+        _, _, wx = self._run(pts, use_gpu=True, gpu_wx=True)
+        led_plain = plain.values[0][2].evaluator.gpu.ledger
+        led_wx = wx.values[0][2].evaluator.gpu.ledger
+        assert led_plain.kernel_flops.get("WLI", 0) == 0
+        assert led_wx.kernel_flops.get("WLI", 0) > 0
+        # CPU-side W-list flops disappear accordingly
+        cpu_plain = plain.profiles[0].events.get("WLI")
+        cpu_wx = wx.profiles[0].events.get("WLI")
+        assert cpu_plain is not None and cpu_plain.flops > 0
+        assert cpu_wx is None or cpu_wx.flops == 0

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must import cleanly.
+
+``main()`` bodies are exercised manually / in CI-style full runs; here we
+guard against import rot (renamed APIs, moved modules) cheaply.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert hasattr(mod, "main"), f"{path.name} must expose main()"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    for required in (
+        "quickstart",
+        "gravitational_cluster",
+        "stokes_sedimentation",
+        "distributed_scaling",
+        "gpu_acceleration",
+        "nbody_dynamics",
+        "field_visualization",
+    ):
+        assert required in names, required

@@ -1,0 +1,91 @@
+"""Failure injection: the SPMD runtime must fail fast, never deadlock.
+
+A rank dying mid-algorithm leaves peers blocked in ``recv``; the fabric's
+abort flag must wake them with :class:`SpmdAborted` and the launcher must
+surface the original error.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dist.geometry import RankGeometry
+from repro.dist.reduce_scatter import hypercube_reduce_scatter
+from repro.mpi import run_spmd
+from repro.mpi.comm import Fabric, SimComm, SpmdAborted
+from repro.util import morton
+
+
+class TestRankDeath:
+    def test_death_during_collective(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise OSError("node failure")
+            comm.allreduce(1.0)
+
+        with pytest.raises(RuntimeError, match="node failure"):
+            run_spmd(4, fn, timeout=60)
+
+    def test_death_mid_reduce_scatter(self):
+        n_cells = 1 << (3 * morton.MAX_DEPTH)
+        geometry = RankGeometry(np.linspace(0, n_cells, 5).astype(np.int64))
+
+        def fn(comm):
+            root = np.array([morton.ROOT], dtype=np.uint64)
+            keys = morton.children(root)[0]
+            dens = np.ones((8, 4))
+            if comm.rank == 1:
+                raise MemoryError("oom mid-round")
+            hypercube_reduce_scatter(comm, geometry, keys, dens)
+
+        with pytest.raises(RuntimeError, match="oom mid-round"):
+            run_spmd(4, fn, timeout=60)
+
+    def test_primary_error_reported_not_secondary(self):
+        """Peers killed by the abort must not mask the root cause."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise ValueError("root cause")
+            comm.recv(0, tag=5)  # will abort
+
+        with pytest.raises(RuntimeError, match="root cause"):
+            run_spmd(3, fn, timeout=60)
+
+    def test_deadlock_detected_by_timeout(self):
+        """A genuine deadlock (mismatched recv) hits the timeout guard."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=99)  # rank 1 never sends
+
+        with pytest.raises(TimeoutError, match="deadlock"):
+            run_spmd(2, fn, timeout=3.0)
+
+
+class TestFabricAbort:
+    def test_blocked_get_raises_on_abort(self):
+        fabric = Fabric(2)
+        result = {}
+
+        def blocked():
+            try:
+                fabric.get(0, src=1, tag=1)
+            except SpmdAborted:
+                result["aborted"] = True
+
+        t = threading.Thread(target=blocked, daemon=True)
+        t.start()
+        fabric.abort.set()
+        t.join(timeout=5.0)
+        assert result.get("aborted"), "recv did not observe the abort flag"
+
+    def test_message_delivered_before_abort_wins(self):
+        fabric = Fabric(2)
+        comm0 = SimComm(fabric, 0)
+        comm1 = SimComm(fabric, 1)
+        comm0.send("payload", 1, tag=2)
+        fabric.abort.set()
+        # already-delivered data is still readable
+        assert comm1.recv(0, tag=2) == "payload"

@@ -1,0 +1,239 @@
+"""End-to-end accuracy tests of the sequential FMM against direct sums."""
+
+import numpy as np
+import pytest
+
+from repro.core import Fmm
+from repro.core.fft_m2l import FftM2L
+from repro.core.operators import OperatorCache
+from repro.datasets import ellipsoid_surface, plummer_cluster, uniform_cube
+from repro.kernels import direct_sum, get_kernel
+from repro.util.timer import PhaseProfile
+
+
+def rel_err(a, b):
+    return np.linalg.norm(a - b) / np.linalg.norm(b)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize(
+        "order,tol", [(4, 2e-3), (6, 2e-5), (8, 5e-7)]
+    )
+    def test_laplace_uniform_converges(self, order, tol):
+        pts = uniform_cube(1500, seed=21)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(3).standard_normal(1500)
+        f = Fmm(kern, order=order, max_points_per_box=35).evaluate(pts, dens)
+        assert rel_err(f, direct_sum(kern, pts, pts, dens)) < tol
+
+    @pytest.mark.parametrize("dist", ["uniform", "ellipsoid", "plummer"])
+    def test_laplace_all_distributions(self, dist):
+        maker = {
+            "uniform": uniform_cube,
+            "ellipsoid": ellipsoid_surface,
+            "plummer": plummer_cluster,
+        }[dist]
+        pts = maker(1800, seed=4)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(8).standard_normal(1800)
+        f = Fmm(kern, order=6, max_points_per_box=30).evaluate(pts, dens)
+        assert rel_err(f, direct_sum(kern, pts, pts, dens)) < 5e-5
+
+    def test_stokes(self):
+        pts = uniform_cube(1000, seed=9)
+        kern = get_kernel("stokes")
+        dens = np.random.default_rng(1).standard_normal(3000)
+        f = Fmm(kern, order=6, max_points_per_box=40).evaluate(pts, dens)
+        assert rel_err(f, direct_sum(kern, pts, pts, dens)) < 1e-3
+        assert f.shape == (3000,)
+
+    def test_yukawa(self):
+        pts = uniform_cube(1000, seed=9)
+        kern = get_kernel("yukawa", lam=2.0)
+        dens = np.random.default_rng(1).standard_normal(1000)
+        f = Fmm(kern, order=6, max_points_per_box=40).evaluate(pts, dens)
+        assert rel_err(f, direct_sum(kern, pts, pts, dens)) < 5e-5
+
+    def test_kernel_by_name(self):
+        pts = uniform_cube(400, seed=2)
+        dens = np.ones(400)
+        f = Fmm("laplace", order=4, max_points_per_box=20).evaluate(pts, dens)
+        assert np.all(f > 0)  # positive charges: positive potential
+
+    def test_q_parameter_insensitive_accuracy(self):
+        """Accuracy must not depend on the points-per-box tuning knob."""
+        pts = uniform_cube(1200, seed=6)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(2).standard_normal(1200)
+        ref = direct_sum(kern, pts, pts, dens)
+        for q in (15, 60, 300):
+            f = Fmm(kern, order=6, max_points_per_box=q).evaluate(pts, dens)
+            assert rel_err(f, ref) < 5e-5, f"q={q}"
+
+    def test_all_points_in_one_leaf_is_direct(self):
+        """Tiny N: tree is a single root leaf and FMM equals direct sum."""
+        pts = uniform_cube(50, seed=3)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(5).standard_normal(50)
+        f = Fmm(kern, order=4, max_points_per_box=64).evaluate(pts, dens)
+        np.testing.assert_allclose(f, direct_sum(kern, pts, pts, dens), rtol=1e-12)
+
+
+class TestM2LModes:
+    def test_fft_equals_dense(self):
+        pts = ellipsoid_surface(1200, seed=11)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(4).standard_normal(1200)
+        f1 = Fmm(kern, order=6, max_points_per_box=25, m2l_mode="fft").evaluate(pts, dens)
+        f2 = Fmm(kern, order=6, max_points_per_box=25, m2l_mode="dense").evaluate(pts, dens)
+        assert rel_err(f1, f2) < 1e-10
+
+    def test_fft_equals_dense_stokes(self):
+        pts = uniform_cube(600, seed=12)
+        kern = get_kernel("stokes")
+        dens = np.random.default_rng(4).standard_normal(1800)
+        f1 = Fmm(kern, order=4, max_points_per_box=25, m2l_mode="fft").evaluate(pts, dens)
+        f2 = Fmm(kern, order=4, max_points_per_box=25, m2l_mode="dense").evaluate(pts, dens)
+        assert rel_err(f1, f2) < 1e-10
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Fmm("laplace", m2l_mode="magic")
+
+    def test_fft_translator_matches_dense_operator(self, rng):
+        """Unit-level: FFT path reproduces the dense M2L matvec."""
+        kern = get_kernel("laplace")
+        order = 6
+        ops = OperatorCache(kern, order)
+        fft = FftM2L(kern, order)
+        u = rng.standard_normal((1, ops.n_surf))
+        for off in [(2, 0, 0), (3, -1, 2), (-2, -2, -2)]:
+            dense = ops.m2l_dense(3, off) @ u[0]
+            uhat = fft.forward(u)
+            acc = fft.translate(fft.kernel_hat(3, off), uhat)
+            out = fft.inverse(acc)[0]
+            np.testing.assert_allclose(out, dense, rtol=1e-10, atol=1e-12)
+
+
+class TestApiContract:
+    def test_wrong_density_size(self):
+        pts = uniform_cube(100, seed=1)
+        with pytest.raises(ValueError, match="densities size"):
+            Fmm("stokes", order=4).evaluate(pts, np.zeros(100))
+
+    def test_plan_reuse(self):
+        pts = uniform_cube(800, seed=13)
+        kern = get_kernel("laplace")
+        fmm = Fmm(kern, order=4, max_points_per_box=30)
+        plan = fmm.plan(pts)
+        d1 = np.random.default_rng(0).standard_normal(800)
+        d2 = np.random.default_rng(1).standard_normal(800)
+        f1 = fmm.evaluate(pts, d1, plan=plan)
+        f2 = fmm.evaluate(pts, d2, plan=plan)
+        # linearity through a shared plan
+        f12 = fmm.evaluate(pts, d1 + d2, plan=plan)
+        np.testing.assert_allclose(f1 + f2, f12, rtol=1e-8, atol=1e-12)
+
+    def test_profile_records_phases(self):
+        pts = uniform_cube(600, seed=14)
+        prof = PhaseProfile()
+        Fmm("laplace", order=4, max_points_per_box=30).evaluate(
+            pts, np.ones(600), profile=prof
+        )
+        for phase in ("tree", "lists", "S2U", "U2U", "VLI", "D2D", "D2T", "ULI"):
+            assert phase in prof.events, phase
+        assert prof.events["ULI"].flops > 0
+        assert prof.events["VLI"].flops > 0
+
+    def test_output_order_matches_input(self):
+        """Permuting inputs permutes outputs identically."""
+        pts = uniform_cube(500, seed=15)
+        dens = np.random.default_rng(6).standard_normal(500)
+        fmm = Fmm("laplace", order=4, max_points_per_box=25)
+        f = fmm.evaluate(pts, dens)
+        perm = np.random.default_rng(7).permutation(500)
+        f_perm = fmm.evaluate(pts[perm], dens[perm])
+        np.testing.assert_allclose(f_perm, f[perm], rtol=1e-9, atol=1e-12)
+
+
+class TestSeparateTargets:
+    """The evaluate_targets extension (beyond the paper's coincident sets)."""
+
+    def test_matches_direct(self):
+        src = uniform_cube(1500, seed=61)
+        tgt = uniform_cube(400, seed=62)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(3).standard_normal(1500)
+        fmm = Fmm(kern, order=6, max_points_per_box=30)
+        out = fmm.evaluate_targets(src, dens, tgt)
+        ref = direct_sum(kern, tgt, src, dens)
+        assert rel_err(out, ref) < 5e-5
+
+    def test_stokes_targets(self):
+        src = uniform_cube(800, seed=63)
+        tgt = ellipsoid_surface(200, seed=64)
+        kern = get_kernel("stokes")
+        dens = np.random.default_rng(4).standard_normal(2400)
+        fmm = Fmm(kern, order=6, max_points_per_box=40)
+        out = fmm.evaluate_targets(src, dens, tgt)
+        ref = direct_sum(kern, tgt, src, dens)
+        assert rel_err(out, ref) < 1e-3
+        assert out.shape == (600,)
+
+    def test_targets_in_empty_leaves(self):
+        """Targets far from all sources still get the correct far field."""
+        src = plummer_cluster(1200, seed=65)  # tight cluster
+        rng = np.random.default_rng(66)
+        tgt = rng.random((100, 3)) * 0.05 + np.array([0.9, 0.9, 0.05])
+        kern = get_kernel("laplace")
+        dens = rng.standard_normal(1200)
+        fmm = Fmm(kern, order=6, max_points_per_box=25)
+        out = fmm.evaluate_targets(src, dens, tgt)
+        ref = direct_sum(kern, tgt, src, dens)
+        assert rel_err(out, ref) < 5e-5
+
+    def test_coincident_targets_match_evaluate(self):
+        pts = uniform_cube(900, seed=67)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(5).standard_normal(900)
+        fmm = Fmm(kern, order=4, max_points_per_box=30)
+        a = fmm.evaluate(pts, dens)
+        b = fmm.evaluate_targets(pts, dens, pts)
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+
+    def test_plan_reuse_with_targets(self):
+        src = uniform_cube(700, seed=68)
+        kern = get_kernel("laplace")
+        fmm = Fmm(kern, order=4, max_points_per_box=40)
+        plan = fmm.plan(src)
+        d = np.random.default_rng(6).standard_normal(700)
+        t1 = uniform_cube(50, seed=69)
+        out1 = fmm.evaluate_targets(src, d, t1, plan=plan)
+        out2 = fmm.evaluate_targets(src, 2 * d, t1, plan=plan)
+        np.testing.assert_allclose(out2, 2 * out1, rtol=1e-10)
+
+
+class TestBalancedTree:
+    def test_accuracy_preserved_and_balanced(self):
+        from repro.octree import is_2to1_balanced
+
+        pts = ellipsoid_surface(1500, seed=91)
+        kern = get_kernel("laplace")
+        dens = np.random.default_rng(7).standard_normal(1500)
+        ref = direct_sum(kern, pts, pts, dens)
+        fmm = Fmm(kern, order=6, max_points_per_box=25, balance_tree=True)
+        plan = fmm.plan(pts)
+        leaves = plan.tree.keys[plan.tree.is_leaf]
+        assert is_2to1_balanced(leaves)
+        f = fmm.evaluate(pts, dens, plan=plan)
+        assert rel_err(f, ref) < 5e-5
+
+    def test_balanced_tree_bounds_u_list_span(self):
+        """With 2:1 balance, U-list members differ by at most one level."""
+        pts = ellipsoid_surface(1500, seed=92)
+        fmm = Fmm("laplace", order=4, max_points_per_box=20, balance_tree=True)
+        plan = fmm.plan(pts)
+        tree, lists = plan.tree, plan.lists
+        for i in tree.leaf_indices:
+            for j in lists.u.of(i):
+                assert abs(int(tree.levels[i]) - int(tree.levels[j])) <= 1

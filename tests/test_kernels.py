@@ -1,0 +1,250 @@
+"""Tests for interaction kernels and the direct-summation baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    LaplaceKernel,
+    StokesKernel,
+    YukawaKernel,
+    direct_flops,
+    direct_sum,
+    get_kernel,
+)
+from repro.util.timer import PhaseProfile
+
+finite_pts = st.lists(
+    st.tuples(*[st.floats(0.01, 0.99) for _ in range(3)]), min_size=2, max_size=6
+).map(lambda rows: np.asarray(rows, dtype=float))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_kernel("laplace"), LaplaceKernel)
+        assert isinstance(get_kernel("Stokes"), StokesKernel)
+        assert isinstance(get_kernel("yukawa", lam=3.0), YukawaKernel)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("helmholtz")
+
+
+class TestLaplace:
+    def test_pointwise_value(self):
+        k = LaplaceKernel()
+        t = np.array([[0.0, 0.0, 0.0]])
+        s = np.array([[0.0, 0.0, 2.0]])
+        np.testing.assert_allclose(k.matrix(t, s), 1.0 / (8.0 * np.pi))
+
+    def test_self_interaction_zero(self, rng):
+        pts = rng.random((10, 3))
+        m = LaplaceKernel().matrix(pts, pts)
+        np.testing.assert_array_equal(np.diag(m), 0.0)
+        assert np.all(np.isfinite(m))
+
+    @given(finite_pts)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, pts):
+        m = LaplaceKernel().matrix(pts, pts)
+        np.testing.assert_allclose(m, m.T)
+
+    def test_homogeneity_declared_correctly(self, rng):
+        k = LaplaceKernel()
+        t, s = rng.random((4, 3)), rng.random((5, 3))
+        lam = 3.7
+        np.testing.assert_allclose(
+            k.matrix(lam * t, lam * s), lam**k.homogeneity * k.matrix(t, s)
+        )
+
+
+class TestStokes:
+    def test_shape_and_interleaving(self, rng):
+        k = StokesKernel()
+        m = k.matrix(rng.random((4, 3)), rng.random((6, 3)))
+        assert m.shape == (12, 18)
+
+    def test_against_formula(self, rng):
+        k = StokesKernel(viscosity=2.0)
+        t, s = rng.random((3, 3)), rng.random((3, 3))
+        m = k.matrix(t, s)
+        for i in range(3):
+            for j in range(3):
+                r = t[i] - s[j]
+                rn = np.linalg.norm(r)
+                ref = (np.eye(3) / rn + np.outer(r, r) / rn**3) / (16 * np.pi)
+                np.testing.assert_allclose(
+                    m[3 * i : 3 * i + 3, 3 * j : 3 * j + 3], ref
+                )
+
+    def test_block_symmetry(self, rng):
+        """G(x, y) = G(y, x)^T for the Stokeslet."""
+        k = StokesKernel()
+        t, s = rng.random((4, 3)), rng.random((4, 3))
+        a = k.matrix(t, s)
+        b = k.matrix(s, t)
+        for i in range(4):
+            for j in range(4):
+                np.testing.assert_allclose(
+                    a[3 * i : 3 * i + 3, 3 * j : 3 * j + 3],
+                    b[3 * j : 3 * j + 3, 3 * i : 3 * i + 3].T,
+                )
+
+    def test_self_interaction_zero(self, rng):
+        pts = rng.random((5, 3))
+        m = StokesKernel().matrix(pts, pts)
+        for i in range(5):
+            np.testing.assert_array_equal(m[3 * i : 3 * i + 3, 3 * i : 3 * i + 3], 0)
+
+    def test_homogeneity(self, rng):
+        k = StokesKernel()
+        t, s = rng.random((4, 3)), rng.random((5, 3))
+        np.testing.assert_allclose(k.matrix(2 * t, 2 * s), 0.5 * k.matrix(t, s))
+
+    def test_invalid_viscosity(self):
+        with pytest.raises(ValueError):
+            StokesKernel(viscosity=0.0)
+
+
+class TestYukawa:
+    def test_reduces_to_laplace_at_zero_screening(self, rng):
+        t, s = rng.random((5, 3)), rng.random((5, 3))
+        np.testing.assert_allclose(
+            YukawaKernel(lam=0.0).matrix(t, s), LaplaceKernel().matrix(t, s)
+        )
+
+    def test_screening_decays(self):
+        t = np.array([[0.0, 0.0, 0.0]])
+        s = np.array([[0.0, 0.0, 0.5]])
+        v1 = YukawaKernel(lam=1.0).matrix(t, s)[0, 0]
+        v5 = YukawaKernel(lam=5.0).matrix(t, s)[0, 0]
+        assert v5 < v1
+
+    def test_not_homogeneous(self):
+        assert YukawaKernel().homogeneity is None
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(ValueError):
+            YukawaKernel(lam=-1.0)
+
+
+class TestApplyAndDirect:
+    @pytest.mark.parametrize("name", ["laplace", "stokes", "yukawa"])
+    def test_apply_matches_matrix(self, name, rng):
+        k = get_kernel(name)
+        t, s = rng.random((40, 3)), rng.random((30, 3))
+        dens = rng.standard_normal(30 * k.source_dim)
+        np.testing.assert_allclose(
+            k.apply(t, s, dens, block=7), k.matrix(t, s) @ dens
+        )
+
+    def test_apply_rejects_bad_density(self, rng):
+        k = get_kernel("stokes")
+        with pytest.raises(ValueError, match="density size"):
+            k.apply(rng.random((4, 3)), rng.random((5, 3)), np.zeros(5))
+
+    def test_direct_sum_charges_flops(self, rng):
+        k = get_kernel("laplace")
+        pts = rng.random((50, 3))
+        prof = PhaseProfile()
+        with prof.phase("direct"):
+            direct_sum(k, pts, pts, rng.standard_normal(50), profile=prof)
+        assert prof.events["direct"].flops == direct_flops(k, 50, 50)
+        assert direct_flops(k, 50, 50) == 50 * 50 * k.flops_per_pair
+
+
+class TestMatrixBatch:
+    @pytest.mark.parametrize("name", ["laplace", "stokes", "yukawa"])
+    def test_batch_matches_loop(self, name, rng):
+        k = get_kernel(name)
+        t = rng.random((5, 7, 3))
+        s = rng.random((5, 4, 3))
+        batched = k.matrix_batch(t, s)
+        for i in range(5):
+            np.testing.assert_allclose(batched[i], k.matrix(t[i], s[i]))
+
+    @pytest.mark.parametrize("name", ["laplace", "stokes", "yukawa"])
+    def test_batch_self_interaction_zero(self, name, rng):
+        k = get_kernel(name)
+        pts = rng.random((3, 6, 3))
+        m = k.matrix_batch(pts, pts)
+        for i in range(3):
+            for j in range(6):
+                td, sd = k.target_dim, k.source_dim
+                block = m[i, j * td : (j + 1) * td, j * sd : (j + 1) * sd]
+                np.testing.assert_array_equal(block, 0.0)
+
+    def test_generic_fallback_used_by_base(self, rng):
+        """The ABC fallback loops over matrix(); check via a subclass."""
+        from repro.kernels.base import Kernel
+
+        class Weird(Kernel):
+            name = "weird"
+
+            def matrix(self, targets, sources):
+                d = targets[:, None, :] - sources[None, :, :]
+                return np.abs(d).sum(axis=-1)
+
+        k = Weird()
+        t = rng.random((2, 3, 3))
+        s = rng.random((2, 5, 3))
+        out = k.matrix_batch(t, s)
+        np.testing.assert_allclose(out[1], k.matrix(t[1], s[1]))
+
+
+class TestNavier:
+    def test_against_formula(self, rng):
+        from repro.kernels import NavierKernel
+
+        mu, nu = 2.0, 0.25
+        k = NavierKernel(shear_modulus=mu, poisson=nu)
+        t, s = rng.random((3, 3)), rng.random((3, 3))
+        m = k.matrix(t, s)
+        for i in range(3):
+            for j in range(3):
+                r = t[i] - s[j]
+                rn = np.linalg.norm(r)
+                ref = ((3 - 4 * nu) * np.eye(3) / rn + np.outer(r, r) / rn**3) / (
+                    16 * np.pi * mu * (1 - nu)
+                )
+                np.testing.assert_allclose(
+                    m[3 * i : 3 * i + 3, 3 * j : 3 * j + 3], ref
+                )
+
+    def test_homogeneity(self, rng):
+        from repro.kernels import NavierKernel
+
+        k = NavierKernel()
+        t, s = rng.random((4, 3)), rng.random((5, 3))
+        np.testing.assert_allclose(k.matrix(2 * t, 2 * s), 0.5 * k.matrix(t, s))
+
+    def test_incompressible_limit_matches_stokeslet_structure(self):
+        """At nu = 0.5 the Kelvin tensor is proportional to the Stokeslet."""
+        from repro.kernels import NavierKernel, StokesKernel
+
+        nu = 0.4999999
+        k = NavierKernel(shear_modulus=1.0, poisson=nu)
+        s = StokesKernel(viscosity=1.0)
+        t = np.array([[0.1, 0.2, 0.3]])
+        y = np.array([[0.7, 0.5, 0.9]])
+        np.testing.assert_allclose(k.matrix(t, y), s.matrix(t, y), rtol=1e-5)
+
+    def test_parameter_validation(self):
+        from repro.kernels import NavierKernel
+
+        with pytest.raises(ValueError):
+            NavierKernel(shear_modulus=0.0)
+        with pytest.raises(ValueError):
+            NavierKernel(poisson=0.5)
+
+    def test_fmm_accuracy(self):
+        from repro.core import Fmm
+        from repro.datasets import uniform_cube
+
+        k = get_kernel("navier", poisson=0.3)
+        pts = uniform_cube(800, seed=9)
+        dens = np.random.default_rng(1).standard_normal(2400)
+        f = Fmm(k, order=6, max_points_per_box=40).evaluate(pts, dens)
+        ref = direct_sum(k, pts, pts, dens)
+        assert np.linalg.norm(f - ref) / np.linalg.norm(ref) < 1e-3

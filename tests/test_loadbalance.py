@@ -1,0 +1,124 @@
+"""Unit tests for work weights and leaf repartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.lists import build_lists
+from repro.core.tree import build_tree
+from repro.datasets import ellipsoid_surface
+from repro.dist.loadbalance import leaf_work_weights, repartition_leaves
+from repro.kernels import get_kernel
+from repro.mpi import run_spmd
+from repro.octree.build import leaf_point_counts, points_to_octree
+from repro.util import morton
+
+
+class TestLeafWorkWeights:
+    @pytest.fixture(scope="class")
+    def built(self):
+        tree = build_tree(ellipsoid_surface(1500, seed=81), 25)
+        lists = build_lists(tree)
+        return tree, lists
+
+    def test_nonnegative_and_finite(self, built):
+        tree, lists = built
+        leaf_nodes = tree.leaf_indices
+        w = leaf_work_weights(tree, lists, get_kernel("laplace"), 152, leaf_nodes)
+        assert np.all(w >= 0) and np.all(np.isfinite(w))
+        assert w.shape == (leaf_nodes.size,)
+
+    def test_list_sizes_drive_weights(self, built):
+        """Weights must track the interaction-list work, not just points
+        (V-list translations dominate at high surface order)."""
+        tree, lists = built
+        leaf_nodes = tree.leaf_indices
+        w = leaf_work_weights(tree, lists, get_kernel("laplace"), 152, leaf_nodes)
+        v_counts = lists.v.counts[leaf_nodes]
+        order = np.argsort(w)
+        k = max(leaf_nodes.size // 10, 1)
+        assert v_counts[order[-k:]].mean() > v_counts[order[:k]].mean()
+
+    def test_kernel_scales_weights(self, built):
+        tree, lists = built
+        leaf_nodes = tree.leaf_indices
+        w_lap = leaf_work_weights(tree, lists, get_kernel("laplace"), 152, leaf_nodes)
+        w_stk = leaf_work_weights(tree, lists, get_kernel("stokes"), 152, leaf_nodes)
+        assert w_stk.sum() > 2.0 * w_lap.sum()
+
+
+class TestRepartition:
+    def _setup(self, comm, pts, q=25):
+        from repro.dist.build import distributed_points_to_octree
+
+        d = distributed_points_to_octree(comm, pts[comm.rank :: comm.size], q)
+        begin, end = leaf_point_counts(d.point_keys, d.leaves)
+        # synthetic weights: proportional to point counts squared
+        w = (end - begin).astype(float) ** 2 + 1.0
+        return d, w, begin, end
+
+    def test_conservation(self):
+        pts = ellipsoid_surface(2000, seed=82)
+
+        def fn(comm):
+            d, w, b, e = self._setup(comm, pts)
+            leaves, points, keys = repartition_leaves(
+                comm, d.leaves, w, d.points, d.point_keys, b, e
+            )
+            assert np.all(np.diff(keys.astype(np.int64)) >= 0)
+            return leaves, len(points)
+
+        res = run_spmd(4, fn, timeout=300)
+        total_leaves = np.sort(np.concatenate([v[0] for v in res.values]))
+        seq = points_to_octree(pts, 25)
+        # leaves conserved as a set (they only moved)
+        assert sum(v[1] for v in res.values) == 2000
+        assert len(np.unique(total_leaves)) == total_leaves.size
+
+    def test_weights_balance_improves(self):
+        pts = ellipsoid_surface(3000, seed=83)
+
+        def fn(comm):
+            d, w, b, e = self._setup(comm, pts)
+            before = float(w.sum())
+            leaves, points, keys = repartition_leaves(
+                comm, d.leaves, w, d.points, d.point_keys, b, e
+            )
+            nb, ne = leaf_point_counts(keys, leaves)
+            after = float(((ne - nb).astype(float) ** 2 + 1.0).sum())
+            return before, after
+
+        res = run_spmd(4, fn, timeout=300)
+        befores = np.array([v[0] for v in res.values])
+        afters = np.array([v[1] for v in res.values])
+        assert afters.max() / afters.mean() <= befores.max() / befores.mean()
+
+    def test_zero_weights_noop(self):
+        pts = ellipsoid_surface(800, seed=84)
+
+        def fn(comm):
+            d, w, b, e = self._setup(comm, pts)
+            leaves, points, keys = repartition_leaves(
+                comm, d.leaves, np.zeros_like(w), d.points, d.point_keys, b, e
+            )
+            return np.array_equal(leaves, d.leaves)
+
+        assert all(run_spmd(2, fn, timeout=300).values)
+
+    def test_block_partitioning_respects_blocks(self):
+        pts = ellipsoid_surface(2000, seed=85)
+        L = 2
+
+        def fn(comm):
+            d, w, b, e = self._setup(comm, pts)
+            leaves, _, _ = repartition_leaves(
+                comm, d.leaves, w, d.points, d.point_keys, b, e,
+                partition_level=L,
+            )
+            lev = np.minimum(morton.level(leaves), L)
+            return np.unique(morton.ancestor_at(leaves, lev))
+
+        res = run_spmd(4, fn, timeout=300)
+        seen = {}
+        for rk, blocks in enumerate(res.values):
+            for blk in blocks:
+                assert seen.setdefault(int(blk), rk) == rk

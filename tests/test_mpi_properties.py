@@ -1,0 +1,89 @@
+"""Property-based tests of the simulated MPI collectives.
+
+Collectives implemented over point-to-point must agree with their serial
+definitions for arbitrary payloads and communicator sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_spmd
+
+sizes = st.integers(min_value=1, max_value=9)
+values = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=9
+)
+
+
+class TestCollectiveProperties:
+    @given(sizes, st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_equals_serial_sum(self, p, base):
+        def fn(comm):
+            return comm.allreduce(base + comm.rank * 3)
+
+        res = run_spmd(p, fn, timeout=120)
+        expect = sum(base + r * 3 for r in range(p))
+        assert all(v == expect for v in res.values)
+
+    @given(sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_allgather_orders_by_rank(self, p):
+        def fn(comm):
+            return comm.allgather((comm.rank, comm.rank**2))
+
+        res = run_spmd(p, fn, timeout=120)
+        expect = [(r, r**2) for r in range(p)]
+        assert all(v == expect for v in res.values)
+
+    @given(sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_exscan_matches_cumsum(self, p):
+        def fn(comm):
+            return comm.exscan(float(2 * comm.rank + 1))
+
+        res = run_spmd(p, fn, timeout=120)
+        prefix = np.concatenate([[0.0], np.cumsum([2 * r + 1 for r in range(p)])])
+        assert res.values[0] is None
+        for r in range(1, p):
+            assert res.values[r] == prefix[r]
+
+    @given(sizes, st.integers(0, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_bcast_any_root(self, p, root_seed):
+        root = root_seed % p
+
+        def fn(comm):
+            payload = {"data": [1, 2, 3]} if comm.rank == root else None
+            return comm.bcast(payload, root=root)
+
+        res = run_spmd(p, fn, timeout=120)
+        assert all(v == {"data": [1, 2, 3]} for v in res.values)
+
+    @given(sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_alltoall_is_transpose(self, p):
+        def fn(comm):
+            blocks = [(comm.rank, k) for k in range(comm.size)]
+            return comm.alltoall(blocks)
+
+        res = run_spmd(p, fn, timeout=120)
+        for r, got in enumerate(res.values):
+            assert got == [(k, r) for k in range(p)]
+
+    @given(sizes, st.integers(0, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_reduce_numpy_arrays(self, p, root_seed):
+        root = root_seed % p
+
+        def fn(comm):
+            return comm.reduce(np.full(3, comm.rank + 1.0), root=root)
+
+        res = run_spmd(p, fn, timeout=120)
+        expect = np.full(3, p * (p + 1) / 2)
+        np.testing.assert_allclose(res.values[root], expect)
+        for r in range(p):
+            if r != root:
+                assert res.values[r] is None

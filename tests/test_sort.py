@@ -1,0 +1,107 @@
+"""Tests for the distributed sample sort and bitonic sort."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.sort import bitonic_sort, parallel_sample_sort
+
+
+def _global_sorted(values_per_rank):
+    return np.sort(np.concatenate(values_per_rank))
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_sorts_equal_blocks(self, p):
+        def fn(comm):
+            rng = np.random.default_rng(comm.rank)
+            return bitonic_sort(comm, rng.integers(0, 10_000, 32))
+
+        res = run_spmd(p, fn, timeout=120)
+        merged = np.concatenate(res.values)
+        np.testing.assert_array_equal(merged, np.sort(merged))
+        for block in res.values:
+            np.testing.assert_array_equal(block, np.sort(block))
+
+    def test_rejects_non_power_of_two(self):
+        def fn(comm):
+            return bitonic_sort(comm, np.arange(4))
+
+        with pytest.raises(RuntimeError, match="power-of-two"):
+            run_spmd(3, fn, timeout=60)
+
+    def test_unequal_blocks_keep_sizes(self):
+        def fn(comm):
+            rng = np.random.default_rng(comm.rank + 5)
+            local = rng.integers(0, 100, 8 + 4 * comm.rank)
+            out = bitonic_sort(comm, local)
+            return len(out), out
+
+        res = run_spmd(4, fn, timeout=120)
+        sizes = [v[0] for v in res.values]
+        assert sizes == [8, 12, 16, 20]
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 6])
+    def test_global_order_and_conservation(self, p):
+        def fn(comm):
+            rng = np.random.default_rng(100 + comm.rank)
+            keys = rng.integers(0, 1 << 50, int(rng.integers(40, 200))).astype(
+                np.uint64
+            )
+            payload = keys.astype(np.float64) * 3.0
+            sk, sp = parallel_sample_sort(comm, keys, payload)
+            assert np.all(np.diff(sk.astype(np.int64)) >= 0)
+            np.testing.assert_allclose(sp, sk.astype(np.float64) * 3.0)
+            return keys, sk
+
+        res = run_spmd(p, fn, timeout=240)
+        inputs = np.concatenate([v[0] for v in res.values])
+        outputs = [v[1] for v in res.values]
+        merged = np.concatenate(outputs)
+        np.testing.assert_array_equal(np.sort(inputs), np.sort(merged))
+        # chunks are globally ordered
+        for a, b in zip(outputs, outputs[1:]):
+            if a.size and b.size:
+                assert a[-1] <= b[0]
+
+    def test_multiple_payloads(self):
+        def fn(comm):
+            rng = np.random.default_rng(comm.rank)
+            keys = rng.integers(0, 1000, 50).astype(np.uint64)
+            p1 = keys.astype(np.float64)
+            p2 = np.stack([keys, keys * 2], axis=1).astype(np.float64)
+            sk, s1, s2 = parallel_sample_sort(comm, keys, p1, p2)
+            assert np.allclose(s1, sk)
+            assert np.allclose(s2[:, 1], 2.0 * sk.astype(np.float64))
+            return True
+
+        assert all(run_spmd(4, fn, timeout=120).values)
+
+    def test_skewed_input_stays_balanced_enough(self):
+        """All data on one rank must still spread across ranks."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                keys = np.arange(1000, dtype=np.uint64)
+            else:
+                keys = np.empty(0, dtype=np.uint64)
+            (sk,) = parallel_sample_sort(comm, keys)
+            return sk.size
+
+        res = run_spmd(4, fn, timeout=120)
+        assert sum(res.values) == 1000
+        # splitters come from rank 0's regular sample, so every rank
+        # gets a nontrivial share
+        assert min(res.values) > 0
+
+    def test_payload_length_mismatch(self):
+        def fn(comm):
+            parallel_sample_sort(
+                comm, np.arange(4, dtype=np.uint64), np.zeros(3)
+            )
+
+        with pytest.raises(RuntimeError, match="payload length"):
+            run_spmd(2, fn, timeout=60)

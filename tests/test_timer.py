@@ -1,0 +1,50 @@
+"""Tests for the phase-profile accounting."""
+
+import numpy as np
+import pytest
+
+from repro.util.timer import PhaseEvent, PhaseProfile
+
+
+class TestPhaseProfile:
+    def test_phase_times_and_nesting(self):
+        prof = PhaseProfile()
+        with prof.phase("outer"):
+            prof.add_flops(10)
+            with prof.phase("inner"):
+                prof.add_flops(5)
+        assert prof.events["outer"].flops == 10
+        assert prof.events["inner"].flops == 5
+        assert prof.events["outer"].wall_seconds >= prof.events["inner"].wall_seconds
+
+    def test_add_outside_phase_goes_to_untimed(self):
+        prof = PhaseProfile()
+        prof.add_flops(3)
+        assert prof.events["untimed"].flops == 3
+
+    def test_explicit_phase_attribution(self):
+        prof = PhaseProfile()
+        prof.add_flops(7, phase="custom")
+        prof.add_message(100, 1e-6, phase="custom")
+        ev = prof.events["custom"]
+        assert ev.flops == 7
+        assert ev.comm_messages == 1
+        assert ev.comm_bytes == 100
+        assert ev.comm_seconds == pytest.approx(1e-6)
+
+    def test_merge(self):
+        a, b = PhaseProfile(), PhaseProfile()
+        a.add_flops(1, phase="x")
+        b.add_flops(2, phase="x")
+        b.add_flops(4, phase="y")
+        a.merge(b)
+        assert a.events["x"].flops == 3
+        assert a.events["y"].flops == 4
+        assert a.total_flops() == 7
+
+    def test_as_table(self):
+        prof = PhaseProfile()
+        prof.add_flops(2, phase="p1")
+        rows = prof.as_table()
+        assert rows[0][0] == "p1"
+        assert rows[0][2] == 2

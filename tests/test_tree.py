@@ -1,0 +1,68 @@
+"""Tests for the FMM tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import build_tree
+from repro.util import morton
+
+
+class TestTreeStructure:
+    def test_validate_passes(self, any_points):
+        tree = build_tree(any_points, 25)
+        tree.validate()
+
+    def test_point_partition_by_leaves(self, uniform_points):
+        tree = build_tree(uniform_points, 30)
+        leaves = tree.leaf_indices
+        counts = tree.point_counts()
+        assert counts[leaves].sum() == tree.n_points
+        assert counts[0] == tree.n_points  # root covers everything
+
+    def test_points_sorted_by_key(self, uniform_points):
+        tree = build_tree(uniform_points, 30)
+        keys = morton.encode_points(tree.points)
+        assert np.all(keys[1:] >= keys[:-1])
+        np.testing.assert_allclose(tree.points, uniform_points[tree.order])
+
+    def test_find(self, uniform_points):
+        tree = build_tree(uniform_points, 30)
+        idx = tree.find(tree.keys[::3])
+        np.testing.assert_array_equal(idx, np.arange(tree.n_nodes)[::3])
+        ghost = morton.make_oct(0, 0, 0, morton.MAX_DEPTH)
+        if ghost not in tree.keys:
+            assert tree.find(np.array([ghost]))[0] == -1
+
+    def test_nodes_at_level(self, uniform_points):
+        tree = build_tree(uniform_points, 30)
+        total = sum(
+            tree.nodes_at_level(l).size for l in range(tree.max_level + 1)
+        )
+        assert total == tree.n_nodes
+        assert tree.nodes_at_level(0).size == 1
+
+    def test_levels_consistent_with_parents(self, ellipsoid_points):
+        tree = build_tree(ellipsoid_points, 20)
+        nz = np.arange(1, tree.n_nodes)
+        np.testing.assert_array_equal(
+            tree.levels[tree.parent[nz]], tree.levels[nz] - 1
+        )
+
+    def test_geometry_matches_keys(self, uniform_points):
+        tree = build_tree(uniform_points, 50)
+        np.testing.assert_allclose(
+            tree.half_widths, 0.5 * 2.0 ** -tree.levels.astype(float)
+        )
+        # each leaf's points lie inside its box
+        for i in tree.leaf_indices[:40]:
+            pts = tree.leaf_points(i)
+            if len(pts) == 0:
+                continue
+            c, r = tree.centers[i], tree.half_widths[i]
+            assert np.all(np.abs(pts - c) <= r + 1e-12)
+
+    def test_leaf_points_view(self, uniform_points):
+        tree = build_tree(uniform_points, 30)
+        i = tree.leaf_indices[np.argmax(tree.point_counts()[tree.leaf_indices])]
+        pts = tree.leaf_points(i)
+        assert pts.base is tree.points  # a view, not a copy
