@@ -7,18 +7,22 @@ hypercube scheme bounds every rank at log2(p) messages per round with
 total volume O(m (3 sqrt(p) - 2)).
 
 Here: both schemes reduce the same shared-octant densities from a real
-ellipsoid setup, sweeping the rank count.  Reported: the maximum
-per-rank message count and modelled communication seconds of the COMM
-phase.  Reproduced shape: owner-based max-messages grows linearly in p,
-hypercube stays logarithmic.
+ellipsoid setup, sweeping the rank count, with per-message tracing on.
+Reported: the maximum per-rank message count and modelled communication
+seconds of the COMM phase, plus — from the trace — the per-scheme p x p
+communication matrices of the reduction step.  Reproduced shape:
+owner-based max-messages grows linearly in p, hypercube stays
+logarithmic; the hypercube's *total* message count never exceeds the
+owner scheme's (the §III-C argument, checked structurally).
 """
 
-import numpy as np
-
 from common import make_points, print_series, run_distributed
+from repro.perf.commviz import communication_matrix, render_matrix
 
 RANKS = [4, 8, 16, 32]
+MATRIX_RANKS = (4, 8, 16)  # print/check the full matrices at these sizes
 PER_RANK = 500
+PHASE = "COMM_reduce"
 
 
 def comm_stats(result):
@@ -26,22 +30,28 @@ def comm_stats(result):
     step alone (the density exchange is identical in both schemes)."""
     msgs, secs = [], []
     for prof in result.profiles:
-        ev = prof.events.get("COMM_reduce")
+        ev = prof.events.get(PHASE)
         msgs.append(ev.comm_messages if ev else 0)
         secs.append(ev.comm_seconds if ev else 0.0)
     return max(msgs), max(secs)
 
 
 def test_ablation_reduce_scatter(benchmark):
+    matrices = {}  # (p, scheme) -> CommMatrix of the reduction phase
+
     def sweep():
         rows = []
         for p in RANKS:
             points = make_points("ellipsoid", PER_RANK * p)
-            m_h, s_h = comm_stats(
-                run_distributed(points, p, comm_scheme="hypercube")
+            res_h = run_distributed(points, p, comm_scheme="hypercube", trace=True)
+            res_o = run_distributed(points, p, comm_scheme="owner", trace=True)
+            m_h, s_h = comm_stats(res_h)
+            m_o, s_o = comm_stats(res_o)
+            matrices[(p, "hypercube")] = communication_matrix(
+                res_h.trace, p, phase=PHASE
             )
-            m_o, s_o = comm_stats(
-                run_distributed(points, p, comm_scheme="owner")
+            matrices[(p, "owner")] = communication_matrix(
+                res_o.trace, p, phase=PHASE
             )
             rows.append(
                 [p, m_h, m_o, f"{s_h * 1e3:.2f}", f"{s_o * 1e3:.2f}"]
@@ -54,6 +64,19 @@ def test_ablation_reduce_scatter(benchmark):
         ["p", "hcube msgs", "owner msgs", "hcube ms", "owner ms"],
         rows,
     )
+    for p in MATRIX_RANKS:
+        for scheme in ("hypercube", "owner"):
+            print()
+            print(f"[{scheme}, p={p}]")
+            print(render_matrix(matrices[(p, scheme)]))
+    # structural check (paper §III-C): the hypercube scheme never sends
+    # more messages in total than the owner-based scheme
+    for p in MATRIX_RANKS:
+        hc = matrices[(p, "hypercube")].total_messages()
+        ow = matrices[(p, "owner")].total_messages()
+        assert hc <= ow, (
+            f"p={p}: hypercube sent {hc} msgs > owner scheme's {ow}"
+        )
     # message growth: owner-based grows ~linearly with p, hypercube ~log p
     h_growth = rows[-1][1] / rows[0][1]
     o_growth = rows[-1][2] / rows[0][2]

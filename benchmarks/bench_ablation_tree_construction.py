@@ -13,8 +13,6 @@ rank, as p grows.  Reproduced shape: replicated volume grows ~O(n), the
 distributed scheme's stays ~O(n/p).
 """
 
-import numpy as np
-
 from common import (
     make_points,
     modeled_eval_seconds,

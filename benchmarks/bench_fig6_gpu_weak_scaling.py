@@ -14,8 +14,6 @@ Reproduced shape: roughly flat weak scaling and a >10x modelled speedup
 the V-list's CPU-side FFT share is proportionally larger).
 """
 
-import numpy as np
-
 from common import density, make_points, print_series
 from repro.dist.driver import distributed_fmm_rank
 from repro.mpi import LINCOLN, run_spmd

@@ -25,6 +25,11 @@ __all__ = [
     "print_series",
 ]
 
+#: Set by ``benchmarks/conftest.py`` when pytest is invoked with
+#: ``--trace-jsonl out.jsonl``: every ``run_distributed`` call then records
+#: a full per-message trace and appends it to this file.
+TRACE_PATH: str | None = None
+
 
 def density(pts: np.ndarray) -> np.ndarray:
     """Deterministic synthetic density (function of position)."""
@@ -44,15 +49,26 @@ def vector_density(pts: np.ndarray) -> np.ndarray:
     ).reshape(-1)
 
 
-def run_distributed(points: np.ndarray, p: int, density_fn=None, **kwargs):
-    """One full distributed FMM run; returns the SpmdResult."""
+def run_distributed(points: np.ndarray, p: int, density_fn=None, trace=None, **kwargs):
+    """One full distributed FMM run; returns the SpmdResult.
+
+    ``trace`` is forwarded to :func:`run_spmd` (``True`` or a
+    ``TraceRecorder``); when pytest was started with ``--trace-jsonl``,
+    runs are traced automatically and appended to that JSONL file.
+    """
     defaults = dict(kernel="laplace", order=4, max_points_per_box=50)
     defaults.update(kwargs)
     if density_fn is None:
         density_fn = vector_density if defaults["kernel"] == "stokes" else density
-    return run_spmd(
-        p, distributed_fmm_rank, points, density_fn, timeout=560, **defaults
+    if trace is None and TRACE_PATH is not None:
+        trace = True
+    result = run_spmd(
+        p, distributed_fmm_rank, points, density_fn, timeout=560, trace=trace,
+        **defaults,
     )
+    if TRACE_PATH is not None and result.trace is not None:
+        result.trace.write_jsonl(TRACE_PATH, append=True)
+    return result
 
 
 def modeled_eval_seconds(result, machine=KRAKEN) -> tuple[float, float]:

@@ -14,3 +14,24 @@ from pathlib import Path
 
 # allow `import common` from benchmark modules
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    # (`--trace` itself is taken by pytest's own pdb option)
+    parser.addoption(
+        "--trace-jsonl",
+        default=None,
+        metavar="OUT_JSONL",
+        help="record a per-message trace of every distributed benchmark "
+        "run (appended to this JSONL file)",
+    )
+
+
+def pytest_configure(config):
+    path = config.getoption("--trace-jsonl", default=None)
+    if path:
+        import common
+
+        # truncate once per session; runs append
+        open(path, "w").close()
+        common.TRACE_PATH = path

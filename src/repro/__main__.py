@@ -4,6 +4,8 @@ Commands
 --------
 ``evaluate``  run a single-process FMM on a synthetic distribution and
               (optionally) verify against direct summation
+``trace``     run a distributed FMM with per-message tracing and print
+              the communication matrices and critical-path estimates
 ``tune``      autotune the points-per-box parameter for CPU or GPU
 ``info``      print version, kernels, machine/device models
 """
@@ -29,9 +31,18 @@ def _cmd_evaluate(args) -> int:
 
     fmm = Fmm(kernel, order=args.order, max_points_per_box=args.q)
     profile = PhaseProfile()
+    recorder = None
+    if args.trace:
+        from repro.perf.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        profile.bind_trace(recorder, 0)
     t0 = time.perf_counter()
     pot = fmm.evaluate(points, dens, profile=profile)
     dt = time.perf_counter() - t0
+    if recorder is not None:
+        n = recorder.write_jsonl(args.trace)
+        print(f"trace: {n} events -> {args.trace}")
     print(
         f"N={args.n} {args.distribution} {args.kernel} order={args.order} "
         f"q={args.q}: {dt:.2f}s, {profile.total_flops():.3g} flops"
@@ -45,6 +56,56 @@ def _cmd_evaluate(args) -> int:
         got = pot.reshape(-1, kt)[sample].reshape(-1)
         err = np.linalg.norm(got - ref) / np.linalg.norm(ref)
         print(f"spot check ({len(sample)} targets): rel err {err:.2e}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.datasets import make_distribution
+    from repro.dist.driver import distributed_fmm_rank
+    from repro.mpi import KRAKEN, LINCOLN, LOCAL, run_spmd
+    from repro.perf.commviz import render_matrix, render_phase_summary, phase_matrices
+    from repro.perf.trace import TraceRecorder
+
+    machine = {"kraken": KRAKEN, "lincoln": LINCOLN, "local": LOCAL}[args.machine]
+    points = make_distribution(args.distribution, args.n, seed=args.seed)
+
+    from repro import get_kernel
+
+    ks = get_kernel(args.kernel).source_dim
+
+    def density(pts):
+        base = np.sin(17.0 * pts[:, 0]) + pts[:, 2] * np.cos(11.0 * pts[:, 1])
+        return np.tile(base[:, None], (1, ks)).reshape(-1)
+
+    recorder = TraceRecorder()
+    result = run_spmd(
+        args.p,
+        distributed_fmm_rank,
+        points,
+        density,
+        machine=machine,
+        trace=recorder,
+        kernel=args.kernel,
+        order=args.order,
+        max_points_per_box=args.q,
+        comm_scheme=args.scheme,
+    )
+    # ledger/trace consistency is an invariant worth asserting on every run
+    ledger = {c.rank: c.messages_sent for c in result.comms}
+    traced = recorder.per_rank_send_counts()
+    for r in range(args.p):
+        if ledger.get(r, 0) != traced.get(r, 0):
+            print(f"WARNING: rank {r} ledger={ledger.get(r)} trace={traced.get(r)}")
+    print(render_phase_summary(recorder, machine, args.p))
+    if args.matrices:
+        for ph, cm in phase_matrices(recorder, args.p).items():
+            if args.phase and ph != args.phase:
+                continue
+            print()
+            print(render_matrix(cm))
+    if args.out:
+        n = recorder.write_jsonl(args.out)
+        print(f"\ntrace: {n} events -> {args.out}")
     return 0
 
 
@@ -108,7 +169,35 @@ def main(argv=None) -> int:
     pe.add_argument("--check", type=int, nargs="?", const=200, default=0,
                     metavar="N_SAMPLES",
                     help="verify against direct summation on a sample")
+    pe.add_argument("--trace", default=None, metavar="OUT_JSONL",
+                    help="record phase span events to a JSONL trace file")
     pe.set_defaults(fn=_cmd_evaluate)
+
+    pr = sub.add_parser(
+        "trace",
+        help="trace a distributed run: comm matrices + critical path",
+    )
+    pr.add_argument("--kernel", default="laplace")
+    pr.add_argument("--distribution", default="ellipsoid",
+                    choices=["uniform", "ellipsoid", "plummer",
+                             "two_spheres", "filament"])
+    pr.add_argument("--n", type=int, default=4_000)
+    pr.add_argument("--p", type=int, default=4, help="virtual rank count")
+    pr.add_argument("--order", type=int, default=4)
+    pr.add_argument("--q", type=int, default=50, help="max points per box")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--machine", default="kraken",
+                    choices=["kraken", "lincoln", "local"])
+    pr.add_argument("--scheme", default="hypercube",
+                    choices=["hypercube", "owner"],
+                    help="shared-density reduction scheme")
+    pr.add_argument("--phase", default=None,
+                    help="only print the matrix of this phase")
+    pr.add_argument("--no-matrices", dest="matrices", action="store_false",
+                    help="skip the per-phase matrix dump")
+    pr.add_argument("--out", default=None, metavar="OUT_JSONL",
+                    help="write the full event trace to a JSONL file")
+    pr.set_defaults(fn=_cmd_trace)
 
     pt = sub.add_parser("tune", help="autotune points-per-box")
     pt.add_argument("--kernel", default="laplace")

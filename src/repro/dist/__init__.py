@@ -1,0 +1,40 @@
+"""Distributed-memory FMM (paper §III) on the simulated MPI runtime.
+
+Components:
+
+* :mod:`repro.dist.geometry` — rank domains Ω_k as Morton cell ranges and
+  contributor/user rank resolution.
+* :mod:`repro.dist.build` — distributed ``Points2Octree`` (parallel sample
+  sort + per-rank refinement of seed octants).
+* :mod:`repro.dist.let` — Local Essential Tree construction (Algorithm 2).
+* :mod:`repro.dist.reduce_scatter` — the hypercube REDUCE-AND-SCATTER of
+  shared upward densities (Algorithm 3), plus the owner-based baseline the
+  paper retired.
+* :mod:`repro.dist.loadbalance` — work-weighted Morton repartitioning
+  (§III-B).
+* :mod:`repro.dist.driver` — the end-to-end :class:`DistributedFmm`.
+"""
+
+from repro.dist.geometry import RankGeometry
+from repro.dist.build import distributed_points_to_octree
+
+__all__ = [
+    "DistributedFmm",
+    "distributed_fmm_rank",
+    "RankGeometry",
+    "distributed_points_to_octree",
+    "hypercube_reduce_scatter",
+    "owner_reduce_scatter",
+]
+
+
+def __getattr__(name):  # lazy: submodules appear as they are implemented
+    if name in ("DistributedFmm", "distributed_fmm_rank"):
+        from repro.dist import driver
+
+        return getattr(driver, name)
+    if name in ("hypercube_reduce_scatter", "owner_reduce_scatter"):
+        from repro.dist import reduce_scatter
+
+        return getattr(reduce_scatter, name)
+    raise AttributeError(name)

@@ -1,0 +1,151 @@
+"""Work-based load balancing (paper §III-B).
+
+After a first LET + interaction-list build, every leaf is assigned a
+weight estimating the evaluation flops implied by its U/V/W/X lists; the
+Morton-sorted leaf array is then repartitioned so per-rank total weights
+are approximately equal (Algorithm 1 of Sundar et al., reduced here to a
+global prefix scan + alltoall of whole leaves with their points).  As in
+the paper, communication costs are ignored by the partitioner — "such an
+approach is suboptimal, but is not expensive to compute and works
+reasonably well in practice".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lists import InteractionLists
+from repro.core.tree import FmmTree
+from repro.kernels.base import Kernel
+from repro.mpi.comm import SimComm
+
+__all__ = ["leaf_work_weights", "repartition_leaves"]
+
+
+def _block_targets(
+    comm: SimComm,
+    leaves: np.ndarray,
+    weights: np.ndarray,
+    total: float,
+    partition_level: int,
+) -> np.ndarray:
+    """Per-leaf target ranks constrained to whole level-``L`` blocks.
+
+    Block ids (the leaves' ancestors at the partition level, or the leaf
+    itself where coarser) and their weights are aggregated globally via a
+    small allgather; all leaves of a block get one target rank computed
+    from the block's global prefix weight.
+    """
+    from repro.util import morton
+
+    p = comm.size
+    lev = np.minimum(morton.level(leaves), partition_level)
+    blocks = morton.ancestor_at(leaves, lev)
+    uniq, inv = np.unique(blocks, return_inverse=True)
+    local_sums = np.zeros(uniq.size)
+    np.add.at(local_sums, inv, weights)
+    merged: dict[int, float] = {}
+    for part in comm.allgather(
+        {int(k): float(v) for k, v in zip(uniq, local_sums)}
+    ):
+        for k, v in part.items():
+            merged[k] = merged.get(k, 0.0) + v
+    order = np.array(sorted(merged), dtype=np.uint64)
+    w = np.array([merged[int(k)] for k in order])
+    prefix = np.cumsum(w) - w
+    block_target = np.minimum((prefix * p / total).astype(np.int64), p - 1)
+    pos = np.searchsorted(order, blocks)
+    return block_target[pos]
+
+
+def leaf_work_weights(
+    tree: FmmTree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    n_surf: int,
+    leaf_nodes: np.ndarray,
+) -> np.ndarray:
+    """Estimated evaluation flops attributable to each given leaf.
+
+    U-list work counts point-pair interactions; V/W/X and the up/down
+    passes are charged per list entry at surface-point granularity.  The
+    estimate only needs to *rank* leaves consistently, so the per-pair
+    constants reuse the kernel flop model.
+    """
+    counts = tree.point_counts()
+    fpp = float(kernel.flops_per_pair)
+    # surface degrees of freedom: vector kernels carry source_dim/target_dim
+    # values per surface point, scaling the V-list matvecs accordingly
+    ns_src = float(n_surf) * kernel.source_dim
+    ns_tgt = float(n_surf) * kernel.target_dim
+    w = np.zeros(leaf_nodes.size, dtype=np.float64)
+    for j, i in enumerate(leaf_nodes):
+        npts = counts[i]
+        u_src = lists.u.of(i)
+        w[j] = fpp * npts * counts[u_src].sum()  # ULI
+        w[j] += 2.0 * ns_src * ns_tgt * lists.v.counts[i]  # VLI
+        w[j] += fpp * npts * n_surf * lists.w.counts[i]  # WLI
+        w[j] += fpp * n_surf * counts[lists.x.of(i)].sum()  # XLI
+        w[j] += fpp * npts * n_surf * 2 + 4.0 * ns_src * ns_tgt  # S2U/D2T/up/down
+    return w
+
+
+def repartition_leaves(
+    comm: SimComm,
+    leaves: np.ndarray,
+    weights: np.ndarray,
+    points: np.ndarray,
+    point_keys: np.ndarray,
+    leaf_begin: np.ndarray,
+    leaf_end: np.ndarray,
+    partition_level: int | None = None,
+):
+    """Redistribute whole leaves so per-rank weights balance.
+
+    Every leaf (with its points) moves to rank
+    ``floor(global_prefix_weight / (total/p))``; prefixes are monotone so
+    each rank receives a contiguous Morton chunk.
+
+    ``partition_level`` enables the paper's suggested-but-untried coarser
+    partitioning (§III-B): leaves sharing an ancestor at that level move
+    as one block (one target rank per block).  Coarser blocks mean less
+    precise balance but cheaper repartitioning and coarser rank
+    boundaries (fewer boundary octants in the rebuilt LET).
+
+    Returns ``(leaves, points, point_keys)`` after the exchange.
+    """
+    p = comm.size
+    local_total = float(weights.sum())
+    before = comm.exscan(local_total)
+    before = 0.0 if before is None else before
+    total = comm.allreduce(local_total)
+    if total <= 0.0:
+        return leaves, points, point_keys
+    if partition_level is None:
+        prefix = before + np.cumsum(weights) - weights  # exclusive per leaf
+        target = np.minimum((prefix * p / total).astype(np.int64), p - 1)
+    else:
+        target = _block_targets(
+            comm, leaves, weights, total, int(partition_level)
+        )
+    target = np.maximum.accumulate(target)  # monotone guard
+
+    blocks = []
+    for dest in range(p):
+        sel = np.flatnonzero(target == dest)
+        if sel.size:
+            pt_sel = np.concatenate(
+                [np.arange(leaf_begin[i], leaf_end[i]) for i in sel]
+            )
+        else:
+            pt_sel = np.empty(0, dtype=np.int64)
+        blocks.append(
+            (leaves[sel], points[pt_sel], point_keys[pt_sel])
+        )
+    received = comm.alltoall(blocks)
+    new_leaves = np.concatenate([b[0] for b in received])
+    new_points = np.concatenate([b[1] for b in received])
+    new_keys = np.concatenate([b[2] for b in received])
+    order = np.argsort(new_keys, kind="stable")
+    leaf_order = np.argsort(new_leaves, kind="stable")
+    return new_leaves[leaf_order], new_points[order], new_keys[order]

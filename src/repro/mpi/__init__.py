@@ -14,6 +14,19 @@ profiles, and compute phases are converted from counted flops by
 :mod:`repro.perf.model` using a :class:`MachineModel`.  This reproduces the
 paper's own analysis framework (its Section III-C/III-D complexity model)
 at laptop scale.
+
+Failure semantics: when a rank raises (or the run times out) the fabric
+aborts via ``Fabric.abort_all``, which sets the abort flag *and* notifies
+every rank's condition variable — surviving ranks blocked in ``recv``
+unblock immediately with ``SpmdAborted`` instead of waiting on a poll
+tick.  ``run_spmd``'s ``timeout`` is one shared deadline for the whole
+run: all thread joins draw from a single time budget, so a wedged run
+fails after ``timeout`` seconds total rather than ``nranks * timeout``.
+
+Per-message observability is opt-in: ``run_spmd(..., trace=True)``
+threads a :class:`repro.perf.trace.TraceRecorder` through every rank's
+communicator; see :mod:`repro.perf.commviz` for communication matrices
+and critical-path estimates built from the trace.
 """
 
 from repro.mpi.machine import KRAKEN, LINCOLN, LOCAL, MachineModel

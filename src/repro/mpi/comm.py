@@ -19,6 +19,16 @@ per-rank message/byte ledgers match what a real MPI run would produce:
 
 Every message charges ``t_s + nbytes * t_w`` to the *current phase* of
 both endpoints' profiles (see :mod:`repro.mpi.machine` for the convention).
+With a :class:`repro.perf.trace.TraceRecorder` attached, every send/recv
+endpoint additionally logs one trace event (src, dst, tag, bytes, phase,
+modelled seconds, logical order); tracing is opt-in and costs one ``is
+None`` check per message when disabled.
+
+Abort semantics: :meth:`Fabric.abort_all` sets the abort flag **and**
+notifies every rank's condition variable, so ranks blocked in ``recv``
+observe the abort immediately (``Fabric.get`` waits on the condition with
+no poll timeout — a plain ``set()`` of the event alone will not wake
+blocked receivers).
 """
 
 from __future__ import annotations
@@ -26,10 +36,13 @@ from __future__ import annotations
 import pickle
 import threading
 from collections import defaultdict, deque
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.mpi.machine import LOCAL, MachineModel
 from repro.util.timer import PhaseProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.trace import TraceRecorder
 
 __all__ = ["SimComm", "Fabric", "SpmdAborted"]
 
@@ -65,6 +78,17 @@ class Fabric:
             self._boxes[dest][(src, tag)].append(payload)
             cond.notify_all()
 
+    def abort_all(self) -> None:
+        """Abort the run and wake every rank blocked in :meth:`get`.
+
+        Setting the event alone is not enough: receivers wait on their
+        per-rank condition with no timeout, so they must be notified.
+        """
+        self.abort.set()
+        for cond in self._cond:
+            with cond:
+                cond.notify_all()
+
     def get(self, rank: int, src: int, tag: int) -> bytes:
         cond = self._cond[rank]
         with cond:
@@ -74,7 +98,7 @@ class Fabric:
                     return q.popleft()
                 if self.abort.is_set():
                     raise SpmdAborted(f"rank {rank}: peer failure during recv")
-                cond.wait(timeout=0.05)
+                cond.wait()
 
 
 def _add(a, b):
@@ -95,6 +119,7 @@ class SimComm:
         rank: int,
         machine: MachineModel | None = None,
         profile: PhaseProfile | None = None,
+        trace: "TraceRecorder | None" = None,
     ):
         self.fabric = fabric
         self.rank = int(rank)
@@ -104,11 +129,20 @@ class SimComm:
         #: Total traffic of this rank (all phases), for quick assertions.
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional per-message event recorder (shared across ranks).
+        self.trace = trace
+        self._seq = 0  # logical event order on this rank
+        if trace is not None:
+            self.profile.bind_trace(trace, self.rank)
 
     # -- point to point -----------------------------------------------------
 
     def _charge(self, nbytes: int) -> None:
         self.profile.add_message(nbytes, self.machine.message_seconds(nbytes))
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking-buffered send (never deadlocks in the simulator)."""
@@ -118,6 +152,17 @@ class SimComm:
         self.messages_sent += 1
         self.bytes_sent += len(payload)
         self._charge(len(payload))
+        if self.trace is not None:
+            self.trace.record_send(
+                self.rank,
+                dest,
+                tag,
+                len(payload),
+                self.profile.current_name,
+                self.machine.latency,
+                len(payload) / self.machine.bandwidth,
+                self._next_seq(),
+            )
         self.fabric.put(dest, self.rank, tag, payload)
 
     def recv(self, source: int, tag: int = 0) -> Any:
@@ -126,6 +171,17 @@ class SimComm:
             raise ValueError(f"invalid source {source} for size {self.size}")
         payload = self.fabric.get(self.rank, source, tag)
         self._charge(len(payload))
+        if self.trace is not None:
+            self.trace.record_recv(
+                self.rank,
+                source,
+                tag,
+                len(payload),
+                self.profile.current_name,
+                self.machine.latency,
+                len(payload) / self.machine.bandwidth,
+                self._next_seq(),
+            )
         return pickle.loads(payload)
 
     def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
@@ -237,9 +293,10 @@ class SimComm:
         out[r] = blocks[r]
         pow2 = p & (p - 1) == 0
         for i in range(1, p):
+            # Both partner formulas stay in range for every p: ``r ^ i < p``
+            # when p is a power of two (i < p), and ``(r + i) % p < p``
+            # otherwise — no skip needed.
             peer = (r ^ i) if pow2 else (r + i) % p
-            if peer >= p:
-                continue
             src = peer if pow2 else (r - i) % p
             self.send(blocks[peer], peer, _TAG_ALLTOALL + i)
             out[src] = self.recv(src, _TAG_ALLTOALL + i)

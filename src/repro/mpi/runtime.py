@@ -2,19 +2,28 @@
 
 Each rank runs the *same* function in its own thread with its own
 :class:`SimComm` — the programming model is exactly MPI's.  If any rank
-raises, the fabric aborts so peers blocked in ``recv`` fail fast instead
-of deadlocking, and the first exception is re-raised in the caller.
+raises, the fabric aborts (``Fabric.abort_all`` — flag *and* condition
+notification, so blocked receivers wake immediately rather than on a
+poll tick) and the first exception is re-raised in the caller.
+
+The ``timeout`` is one shared deadline for the *whole run*: the joins
+across all rank threads consume a single time budget, so a wedged run
+fails after ``timeout`` seconds total, not ``nranks * timeout``.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Any, Callable
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.mpi.comm import Fabric, SimComm, SpmdAborted
 from repro.mpi.machine import LOCAL, MachineModel
 from repro.util.timer import PhaseProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.trace import TraceRecorder
 
 __all__ = ["run_spmd", "SpmdResult"]
 
@@ -26,6 +35,8 @@ class SpmdResult:
     values: list[Any]
     profiles: list[PhaseProfile]
     comms: list[SimComm]
+    #: The shared trace recorder, if tracing was requested (else ``None``).
+    trace: "TraceRecorder | None" = field(default=None)
 
     def max_phase_seconds(self, machine: MachineModel, phase: str) -> float:
         """Modelled wall-clock of a phase: max over ranks of comp + comm."""
@@ -56,6 +67,7 @@ def run_spmd(
     *args: Any,
     machine: MachineModel | None = None,
     timeout: float = 600.0,
+    trace: "TraceRecorder | bool | None" = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` virtual ranks.
@@ -63,13 +75,29 @@ def run_spmd(
     Returns an :class:`SpmdResult` with per-rank return values, phase
     profiles and communicators (for ledger inspection).  The first rank
     exception is re-raised with its original traceback.
+
+    ``timeout`` is a single shared deadline across all ranks (total run
+    budget, not per-thread).  ``trace`` attaches a
+    :class:`~repro.perf.trace.TraceRecorder` to every rank's communicator
+    and profile; pass ``True`` to have one created, or an existing
+    recorder to accumulate several runs into one trace.  The recorder is
+    returned on ``SpmdResult.trace``.
     """
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
     machine = machine if machine is not None else LOCAL
+    if trace is True:
+        from repro.perf.trace import TraceRecorder
+
+        trace = TraceRecorder()
+    elif trace is False:
+        trace = None
     fabric = Fabric(nranks)
     profiles = [PhaseProfile() for _ in range(nranks)]
-    comms = [SimComm(fabric, r, machine=machine, profile=profiles[r]) for r in range(nranks)]
+    comms = [
+        SimComm(fabric, r, machine=machine, profile=profiles[r], trace=trace)
+        for r in range(nranks)
+    ]
     values: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -82,7 +110,7 @@ def run_spmd(
         except BaseException as exc:  # noqa: BLE001 - must surface any rank failure
             with lock:
                 errors.append((rank, exc))
-            fabric.abort.set()
+            fabric.abort_all()
 
     threads = [
         threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
@@ -90,14 +118,15 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
+    deadline = time.monotonic() + timeout
     for t in threads:
-        t.join(timeout=timeout)
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
         if t.is_alive():
-            fabric.abort.set()
+            fabric.abort_all()
             for t2 in threads:
                 t2.join(timeout=5.0)
             raise TimeoutError(f"SPMD run exceeded {timeout}s (possible deadlock)")
     if errors:
         rank, exc = min(errors, key=lambda e: e[0])
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-    return SpmdResult(values=values, profiles=profiles, comms=comms)
+    return SpmdResult(values=values, profiles=profiles, comms=comms, trace=trace)

@@ -1,12 +1,26 @@
-"""Performance modelling and reporting.
+"""Performance modelling, reporting and tracing.
 
 Converts the per-rank phase ledgers (counted flops, counted bytes/messages)
-into modelled per-phase times under a :class:`MachineModel`, and renders
-the paper's tables (Table II per-phase breakdown, Table III GPU sweep).
+into modelled per-phase times under a :class:`MachineModel`, renders the
+paper's tables (Table II per-phase breakdown, Table III GPU sweep), and —
+via :mod:`repro.perf.trace` / :mod:`repro.perf.commviz` — records per-message
+traces from which per-phase communication matrices and modelled
+critical-path estimates are reconstructed.
 """
 
-from repro.perf.model import PhaseTimes, evaluation_phase_times, EVAL_PHASES
+from repro.perf.commviz import (
+    CommMatrix,
+    CriticalPath,
+    communication_matrix,
+    critical_path,
+    phase_critical_paths,
+    phase_matrices,
+    render_matrix,
+    render_phase_summary,
+)
+from repro.perf.model import EVAL_PHASES, PhaseTimes, evaluation_phase_times
 from repro.perf.report import format_table, phase_breakdown_table
+from repro.perf.trace import MessageEvent, SpanEvent, TraceRecorder
 
 __all__ = [
     "PhaseTimes",
@@ -14,4 +28,15 @@ __all__ = [
     "EVAL_PHASES",
     "format_table",
     "phase_breakdown_table",
+    "TraceRecorder",
+    "MessageEvent",
+    "SpanEvent",
+    "CommMatrix",
+    "CriticalPath",
+    "communication_matrix",
+    "phase_matrices",
+    "critical_path",
+    "phase_critical_paths",
+    "render_matrix",
+    "render_phase_summary",
 ]

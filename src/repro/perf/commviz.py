@@ -1,0 +1,309 @@
+"""Communication matrices and critical-path estimates from a trace.
+
+The paper's communication arguments are structural: Algorithm 3 bounds
+every rank at ``log2 p`` partners per round, the owner-based baseline
+concentrates O(p) messages on the ranks owning near-root octants, and
+the Figure 5 load-imbalance signal is a max-vs-avg gap.  Given a
+:class:`~repro.perf.trace.TraceRecorder`, this module reconstructs:
+
+* per-phase ``p x p`` communication matrices (message counts and bytes,
+  ``[src, dst]``) with row/column marginals — the "who talked to whom"
+  picture;
+* a modelled critical-path estimate per phase: the *rank bound* (max
+  over ranks of compute + communication seconds, the barrier-synchronous
+  estimate Table II uses) and the *chain bound* (longest dependency
+  chain through matched send/recv pairs, replayed event-by-event);
+* plain-text renderers in the style of :mod:`repro.perf.report`.
+
+All byte counts are pickled payload sizes; modelled seconds use the
+alpha-beta terms recorded per event, so a trace taken under one
+:class:`~repro.mpi.machine.MachineModel` stays consistent with the
+ledgers of that run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.perf.report import format_table
+from repro.perf.trace import MessageEvent, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.machine import MachineModel
+
+__all__ = [
+    "CommMatrix",
+    "CriticalPath",
+    "communication_matrix",
+    "phase_matrices",
+    "critical_path",
+    "phase_critical_paths",
+    "render_matrix",
+    "render_phase_summary",
+]
+
+
+@dataclass
+class CommMatrix:
+    """Per-phase (or whole-run) traffic matrix, indexed ``[src, dst]``."""
+
+    phase: str | None  #: ``None`` = all phases combined
+    counts: np.ndarray  #: (p, p) int64 message counts
+    nbytes: np.ndarray  #: (p, p) float64 payload bytes
+
+    @property
+    def size(self) -> int:
+        return self.counts.shape[0]
+
+    def row_messages(self) -> np.ndarray:
+        """Messages sent per rank (row marginal)."""
+        return self.counts.sum(axis=1)
+
+    def col_messages(self) -> np.ndarray:
+        """Messages received per rank (column marginal)."""
+        return self.counts.sum(axis=0)
+
+    def row_bytes(self) -> np.ndarray:
+        return self.nbytes.sum(axis=1)
+
+    def col_bytes(self) -> np.ndarray:
+        return self.nbytes.sum(axis=0)
+
+    def total_messages(self) -> int:
+        return int(self.counts.sum())
+
+    def total_bytes(self) -> float:
+        return float(self.nbytes.sum())
+
+    def max_rank_messages(self) -> int:
+        """Max messages sent by any single rank (the Alg. 3 bound target)."""
+        return int(self.row_messages().max()) if self.size else 0
+
+
+def communication_matrix(
+    trace: TraceRecorder, size: int, phase: str | None = None
+) -> CommMatrix:
+    """Build the ``p x p`` matrix from the trace's *send* events.
+
+    Each message is counted once (at its sender); the ledger convention
+    of charging both endpoints applies to modelled seconds, not to the
+    matrix.  ``phase`` filters on the *sender's* open phase.
+    """
+    counts = np.zeros((size, size), dtype=np.int64)
+    nbytes = np.zeros((size, size), dtype=np.float64)
+    for ev in trace.message_events(kind="send", phase=phase):
+        counts[ev.src, ev.dst] += 1
+        nbytes[ev.src, ev.dst] += ev.nbytes
+    return CommMatrix(phase=phase, counts=counts, nbytes=nbytes)
+
+
+def phase_matrices(trace: TraceRecorder, size: int) -> dict[str, CommMatrix]:
+    """One matrix per phase that carried any traffic, in first-seen order."""
+    return {
+        ph: communication_matrix(trace, size, phase=ph) for ph in trace.phases()
+    }
+
+
+# -- critical path ----------------------------------------------------------
+
+
+@dataclass
+class CriticalPath:
+    """Two modelled lower-bound estimates of a phase's wall-clock."""
+
+    phase: str | None
+    #: max over ranks of (compute + comm) seconds — the synchronous bound.
+    rank_bound: float
+    #: longest dependency chain through matched send/recv pairs, with each
+    #: rank's compute placed before its first message.
+    chain_bound: float
+
+    @property
+    def seconds(self) -> float:
+        """The critical-path estimate: the tighter (larger) of the bounds."""
+        return max(self.rank_bound, self.chain_bound)
+
+
+def _match_sends(events: list[MessageEvent]) -> dict[int, MessageEvent | None]:
+    """Map each recv event (by index) to its matching send event.
+
+    The fabric delivers per-(src, dst, tag) channels FIFO, so the k-th
+    recv on a channel matches the k-th send.  Sends from outside the
+    filtered event set (cross-phase messages) leave the recv unmatched
+    (mapped to ``None``).
+    """
+    sends: dict[tuple[int, int, int], list[MessageEvent]] = {}
+    for ev in events:
+        if ev.kind == "send":
+            sends.setdefault((ev.src, ev.dst, ev.tag), []).append(ev)
+    for chan in sends.values():
+        chan.sort(key=lambda e: e.seq)
+    match: dict[int, MessageEvent | None] = {}
+    recvs: dict[tuple[int, int, int], list[tuple[int, MessageEvent]]] = {}
+    for i, ev in enumerate(events):
+        if ev.kind == "recv":
+            recvs.setdefault((ev.src, ev.dst, ev.tag), []).append((i, ev))
+    for chan, pairs in recvs.items():
+        pairs.sort(key=lambda it: it[1].seq)
+        avail = sends.get(chan, [])
+        for k, (i, _ev) in enumerate(pairs):
+            match[i] = avail[k] if k < len(avail) else None
+    return match
+
+
+def critical_path(
+    trace: TraceRecorder,
+    machine: "MachineModel",
+    size: int,
+    phase: str | None = None,
+) -> CriticalPath:
+    """Modelled critical path of one phase (or of the whole run).
+
+    The chain bound replays the phase's message events as a discrete
+    schedule: each rank starts after its modelled compute time (counted
+    flops of its spans), events on one rank execute in logical order,
+    and a recv additionally waits for its matching send to complete.
+    Both endpoints pay the event's alpha-beta cost, mirroring the ledger
+    convention.
+    """
+    events = trace.message_events(phase=phase)
+    spans = trace.span_events(phase=phase)
+
+    comp = np.zeros(size)
+    comm = np.zeros(size)
+    for sp in spans:
+        comp[sp.rank] += machine.compute_seconds(sp.flops)
+        comm[sp.rank] += sp.comm_s
+    rank_bound = float((comp + comm).max()) if size else 0.0
+
+    # chain replay
+    by_rank: dict[int, list[tuple[int, MessageEvent]]] = {}
+    for i, ev in enumerate(events):
+        by_rank.setdefault(ev.rank, []).append((i, ev))
+    for lst in by_rank.values():
+        lst.sort(key=lambda it: it[1].seq)
+    match = _match_sends(events)
+    send_index = {id(ev): i for i, ev in enumerate(events) if ev.kind == "send"}
+
+    done = np.full(len(events), -1.0)  # completion time per event index
+    clock = {r: float(comp[r]) for r in by_rank}
+    cursor = {r: 0 for r in by_rank}
+    remaining = len(events)
+    while remaining:
+        progressed = False
+        for r, lst in by_rank.items():
+            while cursor[r] < len(lst):
+                i, ev = lst[cursor[r]]
+                if ev.kind == "recv":
+                    dep = match.get(i)
+                    if dep is not None:
+                        j = send_index[id(dep)]
+                        if done[j] < 0.0:
+                            break  # matching send not yet scheduled
+                        start = max(clock[r], done[j])
+                    else:
+                        start = clock[r]
+                else:
+                    start = clock[r]
+                t = start + ev.seconds
+                clock[r] = t
+                done[i] = t
+                cursor[r] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            # Unmatchable ordering (can only arise from a truncated or
+            # cross-phase-filtered trace): release the earliest blocked
+            # recv without its dependency rather than spinning forever.
+            for r, lst in by_rank.items():
+                if cursor[r] < len(lst):
+                    i, ev = lst[cursor[r]]
+                    t = clock[r] + ev.seconds
+                    clock[r] = t
+                    done[i] = t
+                    cursor[r] += 1
+                    remaining -= 1
+                    break
+    chain = max(clock.values(), default=0.0)
+    chain = max(chain, float(comp.max()) if size else 0.0)
+    return CriticalPath(phase=phase, rank_bound=rank_bound, chain_bound=chain)
+
+
+def phase_critical_paths(
+    trace: TraceRecorder, machine: "MachineModel", size: int
+) -> dict[str, CriticalPath]:
+    """Critical-path estimates for every phase with any span or traffic."""
+    names: dict[str, None] = {}
+    for ev in trace.events:
+        names.setdefault(ev.phase)
+    return {
+        ph: critical_path(trace, machine, size, phase=ph) for ph in names
+    }
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def render_matrix(cm: CommMatrix, what: str = "counts") -> str:
+    """Fixed-width matrix with row/column marginals.
+
+    ``what`` selects ``"counts"`` (messages) or ``"bytes"``.
+    """
+    if what not in ("counts", "bytes"):
+        raise ValueError("what must be 'counts' or 'bytes'")
+    m = cm.counts if what == "counts" else cm.nbytes
+    p = cm.size
+    unit = "msgs" if what == "counts" else "bytes"
+    title = (
+        f"Communication matrix [{unit}] — phase "
+        f"{cm.phase if cm.phase is not None else '<all>'} "
+        f"(total {cm.total_messages()} msgs, {cm.total_bytes():.0f} bytes)"
+    )
+    headers = ["src\\dst"] + [str(c) for c in range(p)] + ["sent"]
+    rows = []
+    col_tot = m.sum(axis=0)
+    for r in range(p):
+        rows.append(
+            [str(r)] + [_fmt_cell(m[r, c]) for c in range(p)] + [_fmt_cell(m[r].sum())]
+        )
+    rows.append(["recvd"] + [_fmt_cell(col_tot[c]) for c in range(p)] + [_fmt_cell(m.sum())])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt_cell(v) -> str:
+    f = float(v)
+    if f == 0:
+        return "."
+    if f == int(f) and abs(f) < 1e6:
+        return str(int(f))
+    return f"{f:.3g}"
+
+
+def render_phase_summary(
+    trace: TraceRecorder, machine: "MachineModel", size: int
+) -> str:
+    """Per-phase traffic totals and critical-path estimates (one table)."""
+    mats = phase_matrices(trace, size)
+    paths = phase_critical_paths(trace, machine, size)
+    rows = []
+    for ph, cp in paths.items():
+        cm = mats.get(ph)
+        rows.append(
+            [
+                ph,
+                cm.total_messages() if cm else 0,
+                f"{cm.total_bytes():.3g}" if cm else "0",
+                cm.max_rank_messages() if cm else 0,
+                f"{cp.rank_bound:.3e}",
+                f"{cp.chain_bound:.3e}",
+                f"{cp.seconds:.3e}",
+            ]
+        )
+    return format_table(
+        ["Phase", "Msgs", "Bytes", "Max/rank", "Rank-bound s", "Chain s", "Crit. path s"],
+        rows,
+        title=f"Trace summary — {size} ranks, machine {machine.name}",
+    )

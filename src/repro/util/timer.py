@@ -40,10 +40,25 @@ class PhaseEvent:
 
 @dataclass
 class PhaseProfile:
-    """Ordered collection of :class:`PhaseEvent` counters."""
+    """Ordered collection of :class:`PhaseEvent` counters.
+
+    A profile may optionally be bound to a trace recorder (see
+    :meth:`bind_trace`): every ``phase()`` activation then emits one span
+    event carrying the wall seconds and the counter *deltas* accumulated
+    while the phase was open.
+    """
 
     events: dict[str, PhaseEvent] = field(default_factory=dict)
     _stack: list[str] = field(default_factory=list)
+    #: Optional :class:`repro.perf.trace.TraceRecorder` (duck-typed so the
+    #: util layer stays independent of :mod:`repro.perf`).
+    _trace: object | None = field(default=None, repr=False, compare=False)
+    _trace_rank: int = field(default=0, repr=False, compare=False)
+
+    def bind_trace(self, trace, rank: int = 0) -> None:
+        """Emit one span event per ``phase()`` activation into ``trace``."""
+        self._trace = trace
+        self._trace_rank = int(rank)
 
     def event(self, name: str) -> PhaseEvent:
         ev = self.events.get(name)
@@ -54,18 +69,37 @@ class PhaseProfile:
     @property
     def current(self) -> PhaseEvent:
         """Event of the innermost active phase (``"untimed"`` outside any)."""
-        return self.event(self._stack[-1] if self._stack else "untimed")
+        return self.event(self.current_name)
+
+    @property
+    def current_name(self) -> str:
+        """Name of the innermost active phase (``"untimed"`` outside any)."""
+        return self._stack[-1] if self._stack else "untimed"
 
     @contextmanager
     def phase(self, name: str):
         """Time a phase; nested phases attribute counters to the innermost."""
         self._stack.append(name)
+        ev = self.event(name)
+        if self._trace is not None:
+            snap = (ev.flops, ev.comm_messages, ev.comm_bytes, ev.comm_seconds)
         t0 = time.perf_counter()
         try:
-            yield self.event(name)
+            yield ev
         finally:
-            self.event(name).wall_seconds += time.perf_counter() - t0
+            wall = time.perf_counter() - t0
+            ev.wall_seconds += wall
             self._stack.pop()
+            if self._trace is not None:
+                self._trace.record_span(
+                    self._trace_rank,
+                    name,
+                    wall,
+                    ev.flops - snap[0],
+                    ev.comm_messages - snap[1],
+                    ev.comm_bytes - snap[2],
+                    ev.comm_seconds - snap[3],
+                )
 
     def add_flops(self, flops: float, phase: str | None = None) -> None:
         (self.event(phase) if phase else self.current).flops += flops

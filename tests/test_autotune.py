@@ -1,6 +1,5 @@
 """Tests for the points-per-box autotuner (paper §V extension)."""
 
-import numpy as np
 import pytest
 
 from repro.core.autotune import TuneResult, autotune_points_per_box

@@ -32,6 +32,36 @@ class TestCli:
         assert rc == 0
         assert "ellipsoid" in capsys.readouterr().out
 
+    def test_evaluate_trace_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "eval.jsonl"
+        rc = main(["evaluate", "--n", "600", "--order", "4", "--trace", str(path)])
+        assert rc == 0
+        assert "trace:" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines, "no trace events written"
+        assert all(json.loads(ln)["kind"] == "span" for ln in lines)
+
+    def test_trace_subcommand(self, capsys, tmp_path):
+        from repro.perf.trace import TraceRecorder
+
+        path = tmp_path / "dist.jsonl"
+        rc = main([
+            "trace", "--p", "4", "--n", "1200", "--order", "4",
+            "--phase", "COMM_reduce", "--out", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "Communication matrix" in out
+        assert "Crit. path" in out
+        assert "WARNING" not in out  # ledger/trace consistency holds
+        # the JSONL round-trips and contains real message traffic
+        back = TraceRecorder.read_jsonl(str(path))
+        assert back.message_events(kind="send")
+        assert back.per_rank_send_counts()
+
     def test_tune(self, capsys):
         rc = main(["tune", "--n", "2500", "--order", "4", "--sample", "2500"])
         assert rc == 0

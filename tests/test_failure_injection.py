@@ -1,11 +1,14 @@
 """Failure injection: the SPMD runtime must fail fast, never deadlock.
 
-A rank dying mid-algorithm leaves peers blocked in ``recv``; the fabric's
-abort flag must wake them with :class:`SpmdAborted` and the launcher must
-surface the original error.
+A rank dying mid-algorithm leaves peers blocked in ``recv``;
+``Fabric.abort_all`` must wake them *immediately* (flag + condition
+notification, no poll tick) with :class:`SpmdAborted`, and the launcher
+must surface the original error.  The run timeout is one shared deadline
+across all ranks, not a per-thread budget.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -63,23 +66,88 @@ class TestRankDeath:
         with pytest.raises(TimeoutError, match="deadlock"):
             run_spmd(2, fn, timeout=3.0)
 
+    def test_timeout_is_shared_deadline_not_per_rank(self):
+        """All joins draw from one budget, so a run whose ranks *each*
+        finish within ``timeout`` but whose total exceeds it still fails.
+
+        With per-join timeouts (the old bug) this run completes quietly
+        after ``~sum_r sleep(r)`` — up to ``nranks * timeout`` seconds —
+        because every join restarts a fresh budget.
+        """
+        timeout = 0.6
+
+        def fn(comm):
+            time.sleep(0.25 * (comm.rank + 1))  # rank 5 sleeps 1.5s
+
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError, match="exceeded"):
+            run_spmd(6, fn, timeout=timeout)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 3.0, (
+            f"deadline handling took {elapsed:.2f}s for a 0.6s budget"
+        )
+
+    def test_survivors_unblock_promptly_after_rank_death(self):
+        """abort_all must wake every blocked receiver without a poll tick."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise OSError("node failure")
+            comm.recv(0, tag=11)  # blocks until the abort
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="node failure"):
+            run_spmd(8, fn, timeout=60)
+        assert time.monotonic() - t0 < 5.0
+
 
 class TestFabricAbort:
-    def test_blocked_get_raises_on_abort(self):
+    def test_blocked_get_raises_on_abort_all(self):
         fabric = Fabric(2)
         result = {}
+        started = threading.Event()
 
         def blocked():
             try:
+                started.set()
                 fabric.get(0, src=1, tag=1)
             except SpmdAborted:
                 result["aborted"] = True
 
         t = threading.Thread(target=blocked, daemon=True)
         t.start()
-        fabric.abort.set()
+        started.wait(timeout=5.0)
+        time.sleep(0.05)  # let the getter reach cond.wait()
+        t0 = time.monotonic()
+        fabric.abort_all()
         t.join(timeout=5.0)
-        assert result.get("aborted"), "recv did not observe the abort flag"
+        elapsed = time.monotonic() - t0
+        assert result.get("aborted"), "recv did not observe the abort"
+        assert elapsed < 1.0, f"abort took {elapsed:.2f}s to unblock the recv"
+
+    def test_abort_all_wakes_every_rank(self):
+        fabric = Fabric(6)
+        unblocked = []
+        lock = threading.Lock()
+
+        def blocked(rank):
+            try:
+                fabric.get(rank, src=(rank + 1) % 6, tag=1)
+            except SpmdAborted:
+                with lock:
+                    unblocked.append(rank)
+
+        threads = [
+            threading.Thread(target=blocked, args=(r,), daemon=True)
+            for r in range(6)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        fabric.abort_all()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert sorted(unblocked) == list(range(6))
 
     def test_message_delivered_before_abort_wins(self):
         fabric = Fabric(2)

@@ -6,7 +6,7 @@ import pytest
 from repro.core import build_lists, build_tree
 from repro.core.evaluator import FmmEvaluator
 from repro.datasets import ellipsoid_surface, uniform_cube
-from repro.gpu import DeviceModel, GpuFmmEvaluator, TESLA_S1070, VirtualGpu
+from repro.gpu import DeviceModel, GpuFmmEvaluator, VirtualGpu
 from repro.gpu.kernels import pairwise_f32
 from repro.gpu.translate import build_leaf_stream, build_u_stream
 from repro.kernels import get_kernel

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.mpi import KRAKEN, LOCAL, MachineModel, run_spmd
-from repro.mpi.comm import SpmdAborted
 
 
 class TestMachineModel:
@@ -129,6 +128,24 @@ class TestCollectives:
             return True
 
         assert all(run_spmd(p, fn, timeout=120).values)
+
+
+class TestAlltoallNonPowerOfTwo:
+    def test_every_block_arrives_exactly_once_p6(self):
+        """Non-power-of-two sizes take the (r + i) % p partner path; every
+        one of the p*p blocks must arrive exactly once at its destination."""
+        p = 6
+
+        def fn(comm):
+            blocks = [f"{comm.rank}->{k}" for k in range(comm.size)]
+            return comm.alltoall(blocks)
+
+        res = run_spmd(p, fn, timeout=120)
+        seen = [blk for got in res.values for blk in got]
+        assert len(seen) == p * p
+        assert len(set(seen)) == p * p, "a block arrived more than once"
+        for r, got in enumerate(res.values):
+            assert got == [f"{k}->{r}" for k in range(p)]
 
 
 class TestLedger:

@@ -5,7 +5,6 @@ definitions for arbitrary payloads and communicator sizes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,6 @@ from repro.octree import (
     balance_2to1,
     build_leaves,
     complete_region,
-    complete_to_unit_cube,
     is_2to1_balanced,
     is_complete,
     partition_bounds,

@@ -1,11 +1,9 @@
 """Tests for the performance model and report rendering."""
 
-import numpy as np
 import pytest
 
 from repro.mpi import LOCAL, MachineModel
 from repro.perf.model import (
-    EVAL_PHASES,
     aggregate,
     evaluation_phase_times,
     setup_seconds,

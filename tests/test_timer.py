@@ -1,9 +1,8 @@
 """Tests for the phase-profile accounting."""
 
-import numpy as np
 import pytest
 
-from repro.util.timer import PhaseEvent, PhaseProfile
+from repro.util.timer import PhaseProfile
 
 
 class TestPhaseProfile:

@@ -1,0 +1,267 @@
+"""Tests for the tracing subsystem: recorder, matrices, critical path.
+
+The load-bearing invariant is ledger/trace consistency: for every run,
+the per-rank send-event count and byte totals of the trace must equal the
+``SimComm.messages_sent`` / ``bytes_sent`` ledgers, and (collectives
+complete) every sent byte must be received.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import LOCAL, run_spmd
+from repro.perf.commviz import (
+    communication_matrix,
+    critical_path,
+    phase_matrices,
+    render_matrix,
+    render_phase_summary,
+)
+from repro.perf.trace import MessageEvent, SpanEvent, TraceRecorder
+
+# one exerciser per collective, each returning something rank-dependent
+COLLECTIVES = {
+    "barrier": lambda comm: comm.barrier(),
+    "bcast": lambda comm: comm.bcast(
+        list(range(10)) if comm.rank == 0 else None, root=0
+    ),
+    "reduce": lambda comm: comm.reduce(np.full(4, comm.rank + 1.0), root=0),
+    "allreduce": lambda comm: comm.allreduce(comm.rank + 1.0),
+    "gather": lambda comm: comm.gather(comm.rank**2, root=0),
+    "allgather": lambda comm: comm.allgather((comm.rank, "x" * comm.rank)),
+    "alltoall": lambda comm: comm.alltoall(
+        [(comm.rank, k) for k in range(comm.size)]
+    ),
+    "exscan": lambda comm: comm.exscan(float(comm.rank + 1)),
+    # symmetric pairing (r ^ 1); the odd rank out skips
+    "sendrecv_pair": lambda comm: comm.sendrecv(
+        np.arange(comm.rank + 1), comm.rank ^ 1
+    )
+    if (comm.rank ^ 1) < comm.size
+    else None,
+}
+
+
+def _assert_ledger_trace_consistent(res):
+    tr = res.trace
+    ledger_msgs = {c.rank: c.messages_sent for c in res.comms}
+    ledger_bytes = {c.rank: c.bytes_sent for c in res.comms}
+    traced_msgs = tr.per_rank_send_counts()
+    traced_bytes = tr.per_rank_send_bytes()
+    for r in ledger_msgs:
+        assert traced_msgs.get(r, 0) == ledger_msgs[r]
+        assert traced_bytes.get(r, 0) == ledger_bytes[r]
+    sent = sum(ev.nbytes for ev in tr.message_events(kind="send"))
+    recvd = sum(ev.nbytes for ev in tr.message_events(kind="recv"))
+    assert sent == sum(ledger_bytes.values())
+    assert sent == recvd, "collective completed but sent bytes != received bytes"
+    assert len(tr.message_events(kind="send")) == len(
+        tr.message_events(kind="recv")
+    )
+
+
+class TestLedgerTraceConsistency:
+    @pytest.mark.parametrize("name", sorted(COLLECTIVES))
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8])
+    def test_collective_bytes_and_counts_match(self, name, p):
+        res = run_spmd(p, COLLECTIVES[name], trace=True, timeout=120)
+        _assert_ledger_trace_consistent(res)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_mixed_traffic_property(self, p, rounds):
+        def fn(comm):
+            for i in range(rounds):
+                comm.allreduce(i)
+                if comm.size > 1:
+                    comm.send(np.zeros(8 * (i + 1)), (comm.rank + 1) % comm.size, tag=i)
+                    comm.recv((comm.rank - 1) % comm.size, tag=i)
+            return comm.messages_sent
+
+        res = run_spmd(p, fn, trace=True, timeout=120)
+        _assert_ledger_trace_consistent(res)
+
+    def test_trace_includes_phase_attribution(self):
+        def fn(comm):
+            with comm.profile.phase("chat"):
+                comm.allreduce(1.0)
+            return None
+
+        res = run_spmd(4, fn, trace=True, timeout=60)
+        msgs = res.trace.message_events()
+        assert msgs and all(ev.phase == "chat" for ev in msgs)
+
+    def test_span_deltas_sum_to_ledger(self):
+        """Re-entered phases emit one span each; deltas sum to the totals."""
+
+        def fn(comm):
+            for _ in range(3):
+                with comm.profile.phase("again"):
+                    comm.profile.add_flops(5.0)
+                    comm.allreduce(1)
+            return None
+
+        res = run_spmd(2, fn, trace=True, timeout=60)
+        for r, prof in enumerate(res.profiles):
+            spans = res.trace.span_events(rank=r, phase="again")
+            assert len(spans) == 3
+            ev = prof.events["again"]
+            assert sum(s.flops for s in spans) == pytest.approx(ev.flops)
+            assert sum(s.comm_messages for s in spans) == ev.comm_messages
+            assert sum(s.comm_bytes for s in spans) == pytest.approx(ev.comm_bytes)
+            assert sum(s.comm_s for s in spans) == pytest.approx(ev.comm_seconds)
+
+
+class TestTraceRecorder:
+    def test_disabled_by_default(self):
+        res = run_spmd(2, lambda comm: comm.allreduce(1), timeout=60)
+        assert res.trace is None
+        assert all(c.trace is None for c in res.comms)
+
+    def test_seq_is_monotonic_per_rank(self):
+        res = run_spmd(
+            4, lambda comm: [comm.allreduce(i) for i in range(3)],
+            trace=True, timeout=60,
+        )
+        for r in range(4):
+            seqs = [
+                ev.seq for ev in res.trace.message_events() if ev.rank == r
+            ]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        res = run_spmd(
+            3, lambda comm: comm.allgather(comm.rank), trace=True, timeout=60
+        )
+        path = tmp_path / "t.jsonl"
+        n = res.trace.write_jsonl(str(path))
+        assert n == len(res.trace.events)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n
+        for line in lines:
+            obj = json.loads(line)
+            assert obj["kind"] in ("send", "recv", "span")
+        back = TraceRecorder.read_jsonl(str(path))
+        assert back.events == res.trace.events
+
+    def test_jsonl_append(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            res = run_spmd(2, lambda comm: comm.barrier(), trace=True, timeout=60)
+            res.trace.write_jsonl(str(path), append=True)
+        back = TraceRecorder.read_jsonl(str(path))
+        assert len(back.events) == 2 * len(res.trace.events)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            TraceRecorder.from_records([{"kind": "mystery"}])
+
+
+class TestCommMatrix:
+    def test_single_message_matrix(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 100, 1, tag=7)
+            elif comm.rank == 1:
+                comm.recv(0, tag=7)
+
+        res = run_spmd(3, fn, trace=True, timeout=60)
+        cm = communication_matrix(res.trace, 3)
+        assert cm.counts[0, 1] == 1
+        assert cm.total_messages() == 1
+        assert cm.counts.sum() == cm.row_messages().sum() == cm.col_messages().sum()
+        assert cm.nbytes[0, 1] == res.comms[0].bytes_sent
+        assert cm.max_rank_messages() == 1
+
+    def test_matrix_matches_ledger_totals(self):
+        res = run_spmd(
+            4, lambda comm: comm.alltoall(list(range(comm.size))),
+            trace=True, timeout=60,
+        )
+        cm = communication_matrix(res.trace, 4)
+        assert cm.total_messages() == sum(c.messages_sent for c in res.comms)
+        assert cm.total_bytes() == sum(c.bytes_sent for c in res.comms)
+        np.testing.assert_array_equal(
+            cm.row_messages(), [c.messages_sent for c in res.comms]
+        )
+
+    def test_phase_matrices_split_traffic(self):
+        def fn(comm):
+            with comm.profile.phase("a"):
+                comm.barrier()
+            with comm.profile.phase("b"):
+                comm.allreduce(1)
+
+        res = run_spmd(4, fn, trace=True, timeout=60)
+        mats = phase_matrices(res.trace, 4)
+        assert set(mats) == {"a", "b"}
+        total = communication_matrix(res.trace, 4)
+        assert (
+            mats["a"].total_messages() + mats["b"].total_messages()
+            == total.total_messages()
+        )
+
+    def test_render_matrix_smoke(self):
+        res = run_spmd(2, lambda comm: comm.barrier(), trace=True, timeout=60)
+        text = render_matrix(communication_matrix(res.trace, 2))
+        assert "src\\dst" in text and "recvd" in text
+        with pytest.raises(ValueError):
+            render_matrix(communication_matrix(res.trace, 2), what="volume")
+
+
+class TestCriticalPath:
+    def test_chain_exceeds_rank_bound_for_relay(self):
+        """A 3-hop relay's critical path is ~3 message times, while each
+        rank only pays for ~1-2 endpoints — the chain bound must see it."""
+
+        def fn(comm):
+            with comm.profile.phase("relay"):
+                payload = np.zeros(1000)
+                if comm.rank == 0:
+                    comm.send(payload, 1)
+                elif comm.rank < comm.size - 1:
+                    comm.send(comm.recv(comm.rank - 1), comm.rank + 1)
+                else:
+                    comm.recv(comm.rank - 1)
+
+        res = run_spmd(4, fn, trace=True, machine=LOCAL, timeout=60)
+        cp = critical_path(res.trace, LOCAL, 4, phase="relay")
+        assert cp.chain_bound > cp.rank_bound
+        assert cp.seconds == cp.chain_bound
+        # 3 hops, both endpoints charged: at least 4 message costs deep
+        one_msg = res.trace.message_events(kind="send")[0].seconds
+        assert cp.chain_bound >= 4 * one_msg
+
+    def test_compute_only_phase(self):
+        def fn(comm):
+            with comm.profile.phase("crunch"):
+                comm.profile.add_flops(3e9)
+
+        res = run_spmd(2, fn, trace=True, machine=LOCAL, timeout=60)
+        cp = critical_path(res.trace, LOCAL, 2, phase="crunch")
+        assert cp.rank_bound == pytest.approx(3.0)
+        assert cp.chain_bound == pytest.approx(3.0)
+
+    def test_render_phase_summary_smoke(self):
+        def fn(comm):
+            with comm.profile.phase("p1"):
+                comm.allreduce(1)
+
+        res = run_spmd(4, fn, trace=True, machine=LOCAL, timeout=60)
+        text = render_phase_summary(res.trace, LOCAL, 4)
+        assert "p1" in text and "Crit. path" in text
+
+
+class TestEventTypes:
+    def test_message_event_seconds(self):
+        ev = MessageEvent("send", 0, 0, 1, 5, 100, "x", 1e-6, 1e-7, 1)
+        assert ev.seconds == pytest.approx(1.1e-6)
+
+    def test_span_event_fields(self):
+        sp = SpanEvent("span", 2, "tree", 0.5, 10.0, 3, 99.0, 1e-3)
+        assert sp.rank == 2 and sp.phase == "tree"

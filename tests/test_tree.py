@@ -1,7 +1,6 @@
 """Tests for the FMM tree structure."""
 
 import numpy as np
-import pytest
 
 from repro.core.tree import build_tree
 from repro.util import morton
