@@ -105,6 +105,7 @@ class DistributedFmm:
         self.lists = None
         self._own_point_keys: np.ndarray | None = None
         self._own_counts: np.ndarray | None = None
+        self._ckpt: dict | None = None
 
     # -- setup ---------------------------------------------------------------
 
@@ -121,6 +122,50 @@ class DistributedFmm:
     def owned_points(self) -> np.ndarray:
         """This rank's points after redistribution (Morton sorted)."""
         return self.let.tree.points[self.let.own_positions]
+
+    @property
+    def checkpoint_phase(self) -> str | None:
+        """Deepest completed checkpoint: ``None``, ``"setup"``, ``"upward"``.
+
+        ``"setup"`` means the LET and lists exist (a crashed evaluation can
+        restart without rebuilding the tree); ``"upward"`` additionally
+        means the ghost exchange, S2U/U2U sweeps, and the shared-density
+        reduction completed for the last density vector, so
+        ``evaluate(dens, resume=True)`` restarts from the local downward
+        phases.
+        """
+        if self._ckpt is not None:
+            return "upward"
+        if self.let is not None:
+            return "setup"
+        return None
+
+    def rebind(self, comm: SimComm) -> None:
+        """Attach a fresh communicator to already-built setup state.
+
+        Retried SPMD attempts get new communicators (new fabric, new
+        ledgers); a :class:`DistributedFmm` checkpointed in a per-rank
+        state dict (``run_spmd_resilient(..., rank_state=True)``) calls
+        this before ``evaluate(..., resume=True)`` on the new attempt.
+        The rank must be unchanged — the LET encodes the rank geometry.
+        """
+        if self.comm is not None and comm.rank != self.comm.rank:
+            raise ValueError(
+                f"rebind across ranks ({self.comm.rank} -> {comm.rank}): "
+                "the LET is rank-specific"
+            )
+        self.comm = comm
+        self._arm_chaos_gpu()
+
+    def _arm_chaos_gpu(self) -> None:
+        """Hand this rank's virtual GPU to the chaos fabric, if both exist."""
+        gpu = getattr(self.evaluator, "gpu", None)
+        if gpu is None or self.comm is None:
+            return
+        from repro.mpi.faults import ChaosFabric
+
+        if isinstance(self.comm.fabric, ChaosFabric):
+            self.comm.fabric.arm_gpu(gpu, self.comm.rank)
 
     def setup(self, comm: SimComm, local_points: np.ndarray) -> None:
         """Sort, build the tree, (re)balance, build LET and lists."""
@@ -179,11 +224,28 @@ class DistributedFmm:
         b = np.searchsorted(point_keys, lo, side="left")
         e = np.searchsorted(point_keys, hi, side="right")
         self._own_counts = (e - b).astype(np.int64)
+        self._ckpt = None  # densities from an old tree are meaningless
+        self._arm_chaos_gpu()
 
     # -- evaluation --------------------------------------------------------------
 
-    def evaluate(self, densities_owned: np.ndarray) -> np.ndarray:
-        """Potentials at this rank's owned points (same layout as input)."""
+    def evaluate(
+        self, densities_owned: np.ndarray, resume: bool = False
+    ) -> np.ndarray:
+        """Potentials at this rank's owned points (same layout as input).
+
+        After the upward sweep completes (ghost exchange, S2U, U2U, and
+        the shared-density reduction), a checkpoint of the merged
+        densities and upward state is kept on the instance.  Passing
+        ``resume=True`` with the *same* density vector restarts from that
+        checkpoint, skipping the communication-bearing upward phases —
+        all ranks of a run must resume together, since skipping
+        ``COMM_exchange``/``COMM_reduce`` on one rank would deadlock the
+        others.  A ``RECOVERY:resume`` span marks the restart in the
+        trace.  ``resume=True`` without a matching checkpoint silently
+        runs the full pipeline (so a retry loop can pass it
+        unconditionally).
+        """
         if self.let is None:
             raise RuntimeError("call setup() before evaluate()")
         comm, let, lists = self.comm, self.let, self.lists
@@ -198,20 +260,40 @@ class DistributedFmm:
                 f"densities size {dens_owned.size} != owned_points*source_dim "
                 f"{let.n_owned_points * ks}"
             )
-        dens = let.scatter_own_densities(dens_owned, ks)
-        with profile.phase("COMM_exchange"):
-            let.exchange_densities(comm, dens, ks)
-
+        resumable = (
+            resume
+            and self._ckpt is not None
+            and np.array_equal(dens_owned, self._ckpt["dens_owned"])
+        )
+        if resume and comm.size > 1:
+            # the resume decision must be collective: a rank aborted before
+            # its checkpoint was cut would otherwise run COMM_exchange /
+            # COMM_reduce alone against ranks that skip them — a deadlock
+            resumable = all(comm.allgather(bool(resumable)))
         state = ev.allocate(tree)
         own_leaf = let.owned_leaf
         contrib = let.owned_contrib & (self._own_counts > 0)
 
-        with profile.phase("S2U"):
-            ev.s2u(tree, dens, state, profile, scope=own_leaf)
-        with profile.phase("U2U"):
-            ev.u2u(tree, state, profile, scope=contrib)
-        with profile.phase("COMM_reduce"):
-            self._reduce_shared(state)
+        if resumable:
+            dens = self._ckpt["dens"].copy()
+            state["up"] = self._ckpt["up"].copy()
+            with profile.phase("RECOVERY:resume"):
+                pass  # span marks the phases skipped via the checkpoint
+        else:
+            dens = let.scatter_own_densities(dens_owned, ks)
+            with profile.phase("COMM_exchange"):
+                let.exchange_densities(comm, dens, ks)
+            with profile.phase("S2U"):
+                ev.s2u(tree, dens, state, profile, scope=own_leaf)
+            with profile.phase("U2U"):
+                ev.u2u(tree, state, profile, scope=contrib)
+            with profile.phase("COMM_reduce"):
+                self._reduce_shared(state)
+            self._ckpt = {
+                "dens_owned": dens_owned.copy(),
+                "dens": dens.copy(),
+                "up": state["up"].copy(),
+            }
         with profile.phase("VLI"):
             ev.vli(tree, lists, state, profile, scope=let.owned_contrib)
         with profile.phase("XLI"):

@@ -13,15 +13,19 @@ paper's analysis.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.core.evaluator import FmmEvaluator
-from repro.gpu.device import VirtualGpu
+from repro.gpu.device import GpuDeviceFault, VirtualGpu
 from repro.gpu.kernels import gpu_d2t, gpu_s2u, gpu_uli
 from repro.gpu.translate import build_leaf_stream, build_u_stream
 from repro.kernels.base import Kernel
 
 __all__ = ["GpuFmmEvaluator"]
+
+_log = logging.getLogger("repro.gpu")
 
 
 class GpuFmmEvaluator(FmmEvaluator):
@@ -50,6 +54,30 @@ class GpuFmmEvaluator(FmmEvaluator):
 
     # -- helpers -----------------------------------------------------------
 
+    def _device_ok(self, phase: str, profile) -> bool:
+        """Probe the device at phase entry; degrade to the CPU on a fault.
+
+        The check happens *before* any device work or accumulator
+        mutation, so the CPU path re-runs the whole phase and results
+        stay bit-identical to a pure-CPU evaluator (all overrides call
+        ``super()``).  The fallback is logged and marked with a
+        zero-delta ``RECOVERY:gpu_fallback:<phase>`` span — a marker, not
+        a wrapper, so the phase's flops stay attributed to the phase
+        itself and ledgers remain comparable to the CPU baseline.
+        """
+        try:
+            self.gpu.check_phase(phase)
+        except GpuDeviceFault as exc:
+            _log.warning(
+                "virtual GPU unavailable for %s (%s): falling back to CPU",
+                phase,
+                exc.kind,
+            )
+            with profile.phase(f"RECOVERY:gpu_fallback:{phase}"):
+                pass
+            return False
+        return True
+
     def _leaf_density_block(self, tree, dens, boxes):
         """Flat density slice per streamed leaf + offsets (device copy)."""
         ks = self.kernel.source_dim
@@ -65,6 +93,9 @@ class GpuFmmEvaluator(FmmEvaluator):
     # -- accelerated phases -------------------------------------------------
 
     def s2u(self, tree, dens, state, profile, scope=None) -> None:
+        if not self._device_ok("S2U", profile):
+            super().s2u(tree, dens, state, profile, scope)
+            return
         counts = tree.point_counts()
         sel = tree.is_leaf & (counts > 0)
         if scope is not None:
@@ -87,7 +118,7 @@ class GpuFmmEvaluator(FmmEvaluator):
         frequency-space translation is offloaded.  Dense mode has no GPU
         path and falls back to the CPU implementation.
         """
-        if self.m2l_mode != "fft":
+        if self.m2l_mode != "fft" or not self._device_ok("VLI", profile):
             super().vli(tree, lists, state, profile, scope)
             return
         up, dcheck = state["up"], state["dcheck"]
@@ -137,6 +168,9 @@ class GpuFmmEvaluator(FmmEvaluator):
                 profile.add_flops(utgt.size * kt * fft.fft_flops_per_box())
 
     def d2t(self, tree, state, profile, scope=None) -> None:
+        if not self._device_ok("D2T", profile):
+            super().d2t(tree, state, profile, scope)
+            return
         counts = tree.point_counts()
         sel = tree.is_leaf & (counts > 0)
         if scope is not None:
@@ -162,7 +196,7 @@ class GpuFmmEvaluator(FmmEvaluator):
         Source UE surface points are generated on the fly (as in S2U);
         only the target particles and up densities cross global memory.
         """
-        if not self.accelerate_wx:
+        if not self.accelerate_wx or not self._device_ok("WLI", profile):
             super().wli(tree, lists, state, profile, scope)
             return
         from repro.gpu.kernels import pairwise_f32
@@ -202,7 +236,7 @@ class GpuFmmEvaluator(FmmEvaluator):
         Target DC surface points are generated on the fly; ghost-leaf
         source particles stream from global memory.
         """
-        if not self.accelerate_wx:
+        if not self.accelerate_wx or not self._device_ok("XLI", profile):
             super().xli(tree, lists, dens, state, profile, scope)
             return
         from repro.gpu.kernels import pairwise_f32
@@ -241,6 +275,9 @@ class GpuFmmEvaluator(FmmEvaluator):
         self.gpu.charge_launch("XLI", flops, gbytes)
 
     def uli(self, tree, lists, dens, state, profile, scope=None) -> None:
+        if not self._device_ok("ULI", profile):
+            super().uli(tree, lists, dens, state, profile, scope)
+            return
         counts = tree.point_counts()
         sel = tree.is_leaf & (counts > 0)
         if scope is not None:

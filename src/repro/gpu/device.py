@@ -20,7 +20,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["DeviceModel", "GpuLedger", "VirtualGpu", "TESLA_S1070"]
+__all__ = [
+    "DeviceModel",
+    "GpuDeviceFault",
+    "GpuLedger",
+    "VirtualGpu",
+    "TESLA_S1070",
+]
+
+
+class GpuDeviceFault(RuntimeError):
+    """The virtual device failed (injected ECC error or OOM).
+
+    Raised by :meth:`VirtualGpu.check_phase` at the *entry* of an
+    accelerated phase — before any state mutation — so the caller can
+    fall back to the CPU path for that phase cleanly.  Once a fault
+    fires, :attr:`VirtualGpu.failed` stays set: the device is gone for
+    the rest of the run and every subsequent phase degrades to the CPU.
+    """
+
+    def __init__(self, kind: str, phase: str):
+        super().__init__(f"virtual GPU fault ({kind}) at phase {phase}")
+        self.kind = kind
+        self.phase = phase
 
 
 @dataclass(frozen=True)
@@ -94,6 +116,40 @@ class VirtualGpu:
         self.model = model
         self.block_size = int(block_size)
         self.ledger = GpuLedger()
+        #: Set once an armed fault fires; the accelerated evaluator then
+        #: routes every remaining phase to the CPU (graceful degradation).
+        self.failed = False
+        self._armed: list[dict] = []
+
+    # -- fault injection ---------------------------------------------------
+
+    def arm_fault(
+        self, phase: str = "*", kind: str = "ecc", on_fire=None
+    ) -> None:
+        """Arm a one-shot device fault for ``phase`` (``"*"`` = any phase).
+
+        The fault fires on the next :meth:`check_phase` whose name
+        matches; ``on_fire(phase)`` (if given) is invoked first so chaos
+        plans can log the injection deterministically.
+        """
+        self._armed.append({"phase": phase, "kind": kind, "on_fire": on_fire})
+
+    def check_phase(self, phase: str) -> None:
+        """Raise :class:`GpuDeviceFault` if a fault is armed for ``phase``.
+
+        Called by the accelerated evaluator at phase entry, before any
+        device work or state mutation, so a fallback re-runs the whole
+        phase on the CPU without double-counting partial results.
+        """
+        if self.failed:
+            raise GpuDeviceFault("dead", phase)
+        for i, arm in enumerate(self._armed):
+            if arm["phase"] in ("*", phase):
+                del self._armed[i]
+                self.failed = True
+                if arm["on_fire"] is not None:
+                    arm["on_fire"](phase)
+                raise GpuDeviceFault(arm["kind"], phase)
 
     # -- memory ----------------------------------------------------------
 

@@ -27,10 +27,31 @@ Per-message observability is opt-in: ``run_spmd(..., trace=True)``
 threads a :class:`repro.perf.trace.TraceRecorder` through every rank's
 communicator; see :mod:`repro.perf.commviz` for communication matrices
 and critical-path estimates built from the trace.
+
+Chaos and recovery (see :mod:`repro.mpi.faults`): a seeded
+:class:`~repro.mpi.faults.FaultPlan` passed as ``run_spmd(...,
+faults=...)`` injects rank crashes, stragglers, dropped/duplicated
+deliveries and payload bit-flips deterministically;
+``integrity=True`` adds a CRC32 + sequence frame to every message so
+corruption surfaces as a typed :class:`~repro.mpi.comm.CorruptMessage`
+instead of an unpickling crash or a silent hang.
+:func:`~repro.mpi.runtime.run_spmd_resilient` retries whole runs on
+typed transient faults under a bounded
+:class:`~repro.mpi.faults.RetryPolicy`.
 """
 
 from repro.mpi.machine import KRAKEN, LINCOLN, LOCAL, MachineModel
-from repro.mpi.comm import SimComm
-from repro.mpi.runtime import run_spmd
+from repro.mpi.comm import CorruptMessage, SimComm
+from repro.mpi.runtime import SpmdError, run_spmd, run_spmd_resilient
 
-__all__ = ["MachineModel", "KRAKEN", "LINCOLN", "LOCAL", "SimComm", "run_spmd"]
+__all__ = [
+    "MachineModel",
+    "KRAKEN",
+    "LINCOLN",
+    "LOCAL",
+    "SimComm",
+    "CorruptMessage",
+    "SpmdError",
+    "run_spmd",
+    "run_spmd_resilient",
+]

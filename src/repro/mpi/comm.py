@@ -29,12 +29,25 @@ notifies every rank's condition variable, so ranks blocked in ``recv``
 observe the abort immediately (``Fabric.get`` waits on the condition with
 no poll timeout — a plain ``set()`` of the event alone will not wake
 blocked receivers).
+
+End-to-end integrity is opt-in (``SimComm(..., integrity=True)``, wired
+through ``run_spmd(..., integrity=True)``): every pickled payload is
+framed with a CRC32 checksum and a per-channel (src, dst, tag) sequence
+number.  ``recv`` verifies the frame *after* charging the ledger and
+recording the trace event, then raises a typed :class:`CorruptMessage`
+instead of an unpickling crash — so injected bit-flips are *detected*
+while the byte ledgers and traces still account for the corrupt bytes
+that actually moved.  The sequence number turns dropped and duplicated
+deliveries into typed errors too (a gap or a stale repeat on the
+channel), instead of hangs or silent collective desyncs.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 import threading
+import zlib
 from collections import defaultdict, deque
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -44,7 +57,7 @@ from repro.util.timer import PhaseProfile
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.trace import TraceRecorder
 
-__all__ = ["SimComm", "Fabric", "SpmdAborted"]
+__all__ = ["SimComm", "Fabric", "SpmdAborted", "CorruptMessage"]
 
 # Internal tag space: user tags must stay below this.
 _TAG_COLL = 1 << 20
@@ -56,9 +69,32 @@ _TAG_ALLGATHER = _TAG_COLL + 5
 _TAG_ALLTOALL = _TAG_COLL + 6
 _TAG_SCAN = _TAG_COLL + 7
 
+#: Integrity frame prepended to every payload when ``integrity=True``:
+#: CRC32 of the pickled payload + per-(src, dst, tag) sequence number.
+_INTEGRITY_HDR = struct.Struct("<II")
+
 
 class SpmdAborted(RuntimeError):
     """Raised in surviving ranks when another rank died."""
+
+
+class CorruptMessage(RuntimeError):
+    """An integrity-framed message failed verification at ``recv``.
+
+    Raised instead of letting a flipped bit crash (or silently corrupt)
+    unpickling, and instead of letting a dropped/duplicated delivery hang
+    or desync a collective.  The ledger and trace are charged *before*
+    verification, so the bytes that moved are still accounted for.
+    """
+
+    def __init__(self, rank: int, src: int, tag: int, reason: str):
+        super().__init__(
+            f"rank {rank}: corrupt message from rank {src} (tag {tag}): {reason}"
+        )
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.reason = reason
 
 
 class Fabric:
@@ -120,6 +156,7 @@ class SimComm:
         machine: MachineModel | None = None,
         profile: PhaseProfile | None = None,
         trace: "TraceRecorder | None" = None,
+        integrity: bool = False,
     ):
         self.fabric = fabric
         self.rank = int(rank)
@@ -131,7 +168,12 @@ class SimComm:
         self.bytes_sent = 0
         #: Optional per-message event recorder (shared across ranks).
         self.trace = trace
+        #: CRC32 + sequence framing of every payload (both endpoints of a
+        #: run must agree; ``run_spmd`` wires it uniformly).
+        self.integrity = bool(integrity)
         self._seq = 0  # logical event order on this rank
+        self._tx_seq: dict[tuple[int, int], int] = {}  # (dest, tag) -> next
+        self._rx_seq: dict[tuple[int, int], int] = {}  # (src, tag) -> next
         if trace is not None:
             self.profile.bind_trace(trace, self.rank)
 
@@ -144,11 +186,27 @@ class SimComm:
         self._seq += 1
         return self._seq
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking-buffered send (never deadlocks in the simulator)."""
+    def _check_user_tag(self, tag: int) -> None:
+        if not (0 <= tag < _TAG_COLL):
+            raise ValueError(
+                f"user tag {tag} outside the allowed range [0, {_TAG_COLL}): "
+                f"tags >= {_TAG_COLL} are reserved for the internal "
+                "collective tag space"
+            )
+
+    def _send(self, obj: Any, dest: int, tag: int) -> None:
+        """Untagged-validated send used by collectives (internal tags)."""
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid dest {dest} for size {self.size}")
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.integrity:
+            key = (dest, tag)
+            chan_seq = self._tx_seq.get(key, 0)
+            self._tx_seq[key] = chan_seq + 1
+            payload = (
+                _INTEGRITY_HDR.pack(zlib.crc32(payload), chan_seq & 0xFFFFFFFF)
+                + payload
+            )
         self.messages_sent += 1
         self.bytes_sent += len(payload)
         self._charge(len(payload))
@@ -165,11 +223,12 @@ class SimComm:
             )
         self.fabric.put(dest, self.rank, tag, payload)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive from a specific source and tag."""
+    def _recv(self, source: int, tag: int) -> Any:
         if not (0 <= source < self.size):
             raise ValueError(f"invalid source {source} for size {self.size}")
         payload = self.fabric.get(self.rank, source, tag)
+        # ledger and trace first: the corrupt bytes really did move, and
+        # the trace must balance even when verification fails below.
         self._charge(len(payload))
         if self.trace is not None:
             self.trace.record_recv(
@@ -182,12 +241,44 @@ class SimComm:
                 len(payload) / self.machine.bandwidth,
                 self._next_seq(),
             )
+        if self.integrity:
+            if len(payload) < _INTEGRITY_HDR.size:
+                raise CorruptMessage(self.rank, source, tag, "truncated frame")
+            crc, chan_seq = _INTEGRITY_HDR.unpack_from(payload)
+            payload = payload[_INTEGRITY_HDR.size :]
+            key = (source, tag)
+            want = self._rx_seq.get(key, 0)
+            self._rx_seq[key] = want + 1
+            if chan_seq != want & 0xFFFFFFFF:
+                raise CorruptMessage(
+                    self.rank,
+                    source,
+                    tag,
+                    f"frame sequence {chan_seq} != expected {want} "
+                    "(dropped or duplicated delivery)",
+                )
+            if zlib.crc32(payload) != crc:
+                raise CorruptMessage(self.rank, source, tag, "payload CRC mismatch")
         return pickle.loads(payload)
+
+    def _sendrecv(self, obj: Any, peer: int, tag: int) -> Any:
+        self._send(obj, peer, tag)
+        return self._recv(peer, tag)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send (never deadlocks in the simulator)."""
+        self._check_user_tag(tag)
+        self._send(obj, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from a specific source and tag."""
+        self._check_user_tag(tag)
+        return self._recv(source, tag)
 
     def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
         """Simultaneous exchange with a partner rank."""
-        self.send(obj, peer, tag)
-        return self.recv(peer, tag)
+        self._check_user_tag(tag)
+        return self._sendrecv(obj, peer, tag)
 
     # -- collectives ----------------------------------------------------------
 
@@ -196,8 +287,8 @@ class SimComm:
         p, r = self.size, self.rank
         d = 1
         while d < p:
-            self.send(None, (r + d) % p, _TAG_BARRIER)
-            self.recv((r - d) % p, _TAG_BARRIER)
+            self._send(None, (r + d) % p, _TAG_BARRIER)
+            self._recv((r - d) % p, _TAG_BARRIER)
             d <<= 1
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
@@ -212,13 +303,13 @@ class SimComm:
         mask = 1
         while mask < p:
             if vr & mask:
-                got = self.recv(((vr - mask) + root) % p, _TAG_BCAST)
+                got = self._recv(((vr - mask) + root) % p, _TAG_BCAST)
                 break
             mask <<= 1
         mask >>= 1
         while mask > 0:
             if vr + mask < p:
-                self.send(got, ((vr + mask) + root) % p, _TAG_BCAST)
+                self._send(got, ((vr + mask) + root) % p, _TAG_BCAST)
             mask >>= 1
         return got
 
@@ -230,11 +321,11 @@ class SimComm:
         mask = 1
         while mask < p:
             if vr & mask:
-                self.send(acc, ((vr - mask) + root) % p, _TAG_REDUCE)
+                self._send(acc, ((vr - mask) + root) % p, _TAG_REDUCE)
                 break
             peer = vr + mask
             if peer < p:
-                acc = op(acc, self.recv((peer + root) % p, _TAG_REDUCE))
+                acc = op(acc, self._recv((peer + root) % p, _TAG_REDUCE))
             mask <<= 1
         return acc if self.rank == root else None
 
@@ -249,11 +340,11 @@ class SimComm:
         mask = 1
         while mask < p:
             if vr & mask:
-                self.send(acc, ((vr - mask) + root) % p, _TAG_GATHER)
+                self._send(acc, ((vr - mask) + root) % p, _TAG_GATHER)
                 break
             peer = vr + mask
             if peer < p:
-                acc.update(self.recv((peer + root) % p, _TAG_GATHER))
+                acc.update(self._recv((peer + root) % p, _TAG_GATHER))
             mask <<= 1
         if self.rank != root:
             return None
@@ -269,14 +360,14 @@ class SimComm:
             d = 1
             while d < p:
                 peer = r ^ d
-                acc.update(self.sendrecv(acc, peer, _TAG_ALLGATHER))
+                acc.update(self._sendrecv(acc, peer, _TAG_ALLGATHER))
                 d <<= 1
             return [acc[i] for i in range(p)]
         items = {r: obj}
         block = obj
         for i in range(p - 1):
-            self.send(block, (r + 1) % p, _TAG_ALLGATHER)
-            block = self.recv((r - 1) % p, _TAG_ALLGATHER)
+            self._send(block, (r + 1) % p, _TAG_ALLGATHER)
+            block = self._recv((r - 1) % p, _TAG_ALLGATHER)
             items[(r - 1 - i) % p] = block
         return [items[i] for i in range(p)]
 
@@ -298,8 +389,8 @@ class SimComm:
             # otherwise — no skip needed.
             peer = (r ^ i) if pow2 else (r + i) % p
             src = peer if pow2 else (r - i) % p
-            self.send(blocks[peer], peer, _TAG_ALLTOALL + i)
-            out[src] = self.recv(src, _TAG_ALLTOALL + i)
+            self._send(blocks[peer], peer, _TAG_ALLTOALL + i)
+            out[src] = self._recv(src, _TAG_ALLTOALL + i)
         return out
 
     def exscan(self, obj: Any, op: Callable = _add) -> Any:
@@ -317,16 +408,16 @@ class SimComm:
             d = 1
             while d < p:
                 peer = r ^ d
-                other = self.sendrecv(run, peer, _TAG_SCAN)
+                other = self._sendrecv(run, peer, _TAG_SCAN)
                 if peer < r:
                     acc = other if acc is None else op(other, acc)
                 run = op(run, other) if peer > r else op(other, run)
                 d <<= 1
             return acc
         if r > 0:
-            acc = self.recv(r - 1, _TAG_SCAN)
+            acc = self._recv(r - 1, _TAG_SCAN)
         else:
             acc = None
         if r < p - 1:
-            self.send(obj if acc is None else op(acc, obj), r + 1, _TAG_SCAN)
+            self._send(obj if acc is None else op(acc, obj), r + 1, _TAG_SCAN)
         return acc

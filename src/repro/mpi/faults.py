@@ -1,0 +1,408 @@
+"""Deterministic fault injection for the SPMD runtime (the chaos fabric).
+
+The paper's target regime — 65K cores, 196K virtual ranks — is one where
+rank failures, stragglers and corrupted transfers are routine, yet a
+simulator that only ever runs the happy path proves nothing about them.
+This module makes faults *first-class, seeded inputs* of a run:
+
+* :class:`FaultPlan` — an explicit, fully deterministic schedule of
+  :class:`Fault` injections (or a seeded random mixture via
+  :meth:`FaultPlan.random`).  Identical plans produce identical per-rank
+  injection sequences, so failures replay.
+* :class:`ChaosFabric` — a drop-in :class:`~repro.mpi.comm.Fabric`
+  subclass (selected via ``run_spmd(..., faults=plan)``) that executes
+  the plan: rank crashes at the Nth send/recv or on phase entry,
+  straggler delays (modelled seconds charged to the rank's profile, plus
+  an optional *real* sleep for deadline tests), dropped and duplicated
+  deliveries, payload bit-flips, and virtual-GPU device faults.
+* :class:`RetryPolicy` — bounded whole-run retries on *typed transient*
+  faults, used by :func:`repro.mpi.runtime.run_spmd_resilient`.  Each
+  retry re-derives the plan (:meth:`FaultPlan.for_attempt`): a fault
+  fires on its first ``attempts`` run attempts and then stops, so
+  deterministic replays converge to a clean run.
+
+Injection always happens **in the thread of the affected rank** (the
+fabric's ``put`` runs in the sender, ``get`` in the receiver, the phase
+hook in the phase-opening rank), so crashes surface exactly like organic
+rank failures and the abort/deadline machinery of PR 1 applies unchanged.
+Every injection is appended to a per-rank event log
+(:attr:`ChaosFabric.fault_events` — deterministic order) and, when a
+trace recorder is attached, emitted as a ``CHAOS:<kind>`` span so
+``python -m repro trace`` shows what the chaos did and what recovery
+cost.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.gpu.device import GpuDeviceFault
+from repro.mpi.comm import CorruptMessage, Fabric
+
+__all__ = [
+    "ChaosFabric",
+    "Fault",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedFault",
+    "RankCrash",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "FAULT_KINDS",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Base class of errors raised *by* the chaos fabric."""
+
+
+class RankCrash(InjectedFault):
+    """A planned rank crash (models a node failure / OOM kill)."""
+
+
+#: Error classes a :class:`RetryPolicy` treats as transient by default:
+#: planned injections, integrity violations (corruption is re-rollable),
+#: device faults, and deadline expiries (dropped messages surface as
+#: timeouts when no later traffic exposes the sequence gap).
+TRANSIENT_ERRORS = (InjectedFault, CorruptMessage, GpuDeviceFault, TimeoutError)
+
+#: The supported fault classes of the matrix (``python -m repro chaos``).
+FAULT_KINDS = ("crash", "straggle", "drop", "duplicate", "bitflip", "gpu")
+
+_OPS = ("send", "recv", "phase", "launch")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned injection.
+
+    kind:
+        ``crash`` (raise :class:`RankCrash` in the rank), ``straggle``
+        (delay the rank), ``drop`` / ``duplicate`` (lose or repeat one
+        delivery), ``bitflip`` (corrupt one payload bit), ``gpu``
+        (virtual-device ECC/OOM fault).
+    op:
+        The trigger stream: ``send`` / ``recv`` fire at the ``index``-th
+        point-to-point operation of ``rank`` (0-based, counted at the
+        fabric); ``phase`` fires on the ``index``-th entry of phase
+        ``phase`` on ``rank``; ``launch`` arms a GPU fault for phase
+        ``phase`` (``None`` = first accelerated phase).
+    seconds / sleep:
+        Straggler cost: modelled seconds charged to the rank's profile,
+        and real seconds slept (for deadline tests).
+    bit:
+        Bit-flip position (modulo the payload length).
+    attempts:
+        The fault fires on run attempts ``0 .. attempts-1`` and is
+        removed by :meth:`FaultPlan.for_attempt` afterwards, so bounded
+        retries converge.  Use a large value for permanent faults.
+    """
+
+    kind: str
+    rank: int
+    op: str = "send"
+    index: int = 0
+    phase: str | None = None
+    seconds: float = 0.0
+    sleep: float = 0.0
+    bit: int = 0
+    attempts: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; one of {_OPS}")
+        if self.kind == "gpu" and self.op != "launch":
+            raise ValueError("gpu faults use op='launch'")
+        if self.kind in ("drop", "duplicate", "bitflip") and self.op != "send":
+            raise ValueError(f"{self.kind} faults trigger on op='send'")
+        if self.op == "phase" and not self.phase:
+            raise ValueError("op='phase' needs a phase name")
+        if self.rank < 0:
+            raise ValueError("fault rank must be >= 0")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injection that actually fired (deterministic replay record)."""
+
+    rank: int
+    kind: str
+    op: str
+    index: int
+    phase: str
+    attempt: int
+    detail: str = ""
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of fault injections.
+
+    The plan itself is pure data: the same plan drives the same
+    injections in every run (triggers count per-rank operations in
+    program order, so thread scheduling cannot reorder them).  ``seed``
+    names the plan (and feeds :meth:`random`); ``attempt`` is the retry
+    attempt this plan instance was derived for.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = (), seed: int = 0, attempt: int = 0):
+        self.faults: tuple[Fault, ...] = tuple(faults)
+        self.seed = int(seed)
+        self.attempt = int(attempt)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, attempt={self.attempt}, "
+            f"faults={len(self.faults)})"
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def for_attempt(self, attempt: int) -> "FaultPlan":
+        """The plan as seen by run attempt ``attempt`` (0-based).
+
+        Faults whose ``attempts`` budget is exhausted are removed, so a
+        bounded retry loop deterministically converges to a fault-free
+        replay once every transient fault has fired its quota.
+        """
+        return FaultPlan(
+            (f for f in self.faults if attempt < f.attempts),
+            seed=self.seed,
+            attempt=attempt,
+        )
+
+    def scaled_to(self, nranks: int) -> "FaultPlan":
+        """Drop faults targeting ranks outside ``[0, nranks)``."""
+        return FaultPlan(
+            (f for f in self.faults if f.rank < nranks),
+            seed=self.seed,
+            attempt=self.attempt,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        nranks: int,
+        n_faults: int = 4,
+        kinds: Sequence[str] = FAULT_KINDS,
+        phases: Sequence[str] = ("tree", "let", "S2U", "U2U", "VLI", "D2T"),
+        max_index: int = 24,
+    ) -> "FaultPlan":
+        """A seeded random mixture — same seed, same plan, always."""
+        rng = _random.Random(int(seed))
+        faults = []
+        for _ in range(int(n_faults)):
+            kind = rng.choice(list(kinds))
+            rank = rng.randrange(nranks)
+            if kind == "gpu":
+                faults.append(
+                    Fault(kind, rank, op="launch", phase=rng.choice(list(phases)))
+                )
+            elif kind == "crash":
+                if rng.random() < 0.5:
+                    faults.append(
+                        Fault(kind, rank, op="phase", phase=rng.choice(list(phases)))
+                    )
+                else:
+                    faults.append(
+                        Fault(
+                            kind,
+                            rank,
+                            op=rng.choice(("send", "recv")),
+                            index=rng.randrange(max_index),
+                        )
+                    )
+            elif kind == "straggle":
+                faults.append(
+                    Fault(
+                        kind,
+                        rank,
+                        op="phase",
+                        phase=rng.choice(list(phases)),
+                        seconds=round(rng.uniform(0.5, 30.0), 3),
+                    )
+                )
+            else:  # drop / duplicate / bitflip
+                faults.append(
+                    Fault(
+                        kind,
+                        rank,
+                        op="send",
+                        index=rng.randrange(max_index),
+                        bit=rng.randrange(1 << 12),
+                    )
+                )
+        return cls(faults, seed=seed)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded whole-run retry on typed transient faults.
+
+    ``run_spmd_resilient`` retries a failed run while the *primary* rank
+    error (or the launcher error itself) is an instance of ``retry_on``,
+    up to ``max_attempts`` total attempts, sleeping ``backoff * attempt``
+    seconds between attempts.  Anything not in ``retry_on`` — an
+    assertion, a ValueError, real logic bugs — re-raises immediately:
+    retrying can only help faults that are transient *by type*.
+    """
+
+    max_attempts: int = 3
+    retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS
+    backoff: float = 0.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+def _flip_bit(payload: bytes, bit: int) -> bytes:
+    nbits = len(payload) * 8
+    if nbits == 0:
+        return payload
+    b = bit % nbits
+    buf = bytearray(payload)
+    buf[b // 8] ^= 1 << (b % 8)
+    return bytes(buf)
+
+
+class ChaosFabric(Fabric):
+    """A :class:`Fabric` that executes a :class:`FaultPlan`.
+
+    All injection happens in the affected rank's own thread: ``put`` is
+    called by the sender, ``get`` by the receiver, and the phase hook by
+    the rank opening the phase — so crashes propagate out of ``send`` /
+    ``recv`` / ``profile.phase(...)`` into the rank function and surface
+    through the normal abort machinery.  Per-rank trigger counters are
+    only ever touched by their owning thread, which is what makes the
+    injection sequence deterministic under any thread schedule.
+    """
+
+    def __init__(self, size: int, plan: FaultPlan):
+        super().__init__(size)
+        self.plan = plan.scaled_to(size)
+        self._by_trigger: dict[tuple[str, int], list[Fault]] = {}
+        for f in self.plan.faults:
+            self._by_trigger.setdefault((f.op, f.rank), []).append(f)
+        self._send_idx = [0] * size  # touched only by the owner's thread
+        self._recv_idx = [0] * size
+        self._phase_idx: dict[tuple[int, str], int] = {}
+        self._events: list[list[FaultEvent]] = [[] for _ in range(size)]
+        self._profiles: list | None = None
+        self._trace = None
+
+    def bind(self, profiles, trace=None) -> None:
+        """Attach the per-rank profiles (straggler charging) and trace."""
+        self._profiles = list(profiles)
+        self._trace = trace
+
+    @property
+    def fault_events(self) -> list[FaultEvent]:
+        """Every injection that fired, in deterministic (rank, order)."""
+        return [ev for per_rank in self._events for ev in per_rank]
+
+    # -- internals ----------------------------------------------------------
+
+    def _fire(self, rank: int, f: Fault, index: int, phase: str, detail: str) -> None:
+        self._events[rank].append(
+            FaultEvent(rank, f.kind, f.op, index, phase, self.plan.attempt, detail)
+        )
+        if self._trace is not None:
+            self._trace.record_span(
+                rank, f"CHAOS:{f.kind}", 0.0, 0.0, 0, 0.0, f.seconds
+            )
+
+    def _matching(self, op: str, rank: int, index: int, phase: str | None = None):
+        for f in self._by_trigger.get((op, rank), ()):
+            if op == "phase":
+                if f.phase == phase and f.index == index:
+                    yield f
+            elif f.index == index:
+                yield f
+
+    def _straggle(self, rank: int, f: Fault, phase: str | None) -> None:
+        """Charge the delay to the rank's profile; optionally really sleep."""
+        if self._profiles is not None:
+            prof = self._profiles[rank]
+            ev = prof.event(phase) if phase is not None else prof.current
+            ev.comm_seconds += f.seconds
+        if f.sleep > 0.0:
+            time.sleep(f.sleep)
+
+    # -- fabric hooks -------------------------------------------------------
+
+    def put(self, dest: int, src: int, tag: int, payload: bytes) -> None:
+        idx = self._send_idx[src]
+        self._send_idx[src] = idx + 1
+        deliveries = 1
+        for f in self._matching("send", src, idx):
+            if f.kind == "crash":
+                self._fire(src, f, idx, "", f"crash at send #{idx} -> {dest}")
+                raise RankCrash(f"rank {src}: injected crash at send #{idx}")
+            if f.kind == "straggle":
+                self._fire(src, f, idx, "", f"straggle {f.seconds}s at send #{idx}")
+                self._straggle(src, f, None)
+            elif f.kind == "drop":
+                deliveries = 0
+                self._fire(src, f, idx, "", f"dropped send #{idx} -> {dest}")
+            elif f.kind == "duplicate":
+                deliveries = 2
+                self._fire(src, f, idx, "", f"duplicated send #{idx} -> {dest}")
+            elif f.kind == "bitflip":
+                payload = _flip_bit(payload, f.bit)
+                self._fire(
+                    src, f, idx, "", f"bit {f.bit} flipped in send #{idx} -> {dest}"
+                )
+        for _ in range(deliveries):
+            super().put(dest, src, tag, payload)
+
+    def get(self, rank: int, src: int, tag: int) -> bytes:
+        idx = self._recv_idx[rank]
+        self._recv_idx[rank] = idx + 1
+        for f in self._matching("recv", rank, idx):
+            if f.kind == "crash":
+                self._fire(rank, f, idx, "", f"crash at recv #{idx} <- {src}")
+                raise RankCrash(f"rank {rank}: injected crash at recv #{idx}")
+            if f.kind == "straggle":
+                self._fire(rank, f, idx, "", f"straggle {f.seconds}s at recv #{idx}")
+                self._straggle(rank, f, None)
+        return super().get(rank, src, tag)
+
+    def on_phase(self, rank: int, name: str, profile) -> None:
+        """Phase-entry hook (bound via ``PhaseProfile.bind_chaos``)."""
+        key = (rank, name)
+        idx = self._phase_idx.get(key, 0)
+        self._phase_idx[key] = idx + 1
+        for f in self._matching("phase", rank, idx, phase=name):
+            if f.kind == "crash":
+                self._fire(rank, f, idx, name, f"crash entering phase {name}")
+                raise RankCrash(
+                    f"rank {rank}: injected crash entering phase {name!r}"
+                )
+            if f.kind == "straggle":
+                self._fire(
+                    rank, f, idx, name, f"straggle {f.seconds}s entering {name}"
+                )
+                self._straggle(rank, f, name)
+
+    def arm_gpu(self, gpu, rank: int) -> None:
+        """Arm this rank's virtual device with the plan's GPU faults.
+
+        Called by :class:`~repro.dist.driver.DistributedFmm` during setup
+        when it runs on a chaos fabric; the device raises
+        :class:`~repro.gpu.device.GpuDeviceFault` at the entry of the
+        targeted phase and the accelerated evaluator degrades to the CPU.
+        """
+        for f in self._by_trigger.get(("launch", rank), ()):
+            def _on_fire(phase, f=f, rank=rank):
+                self._fire(rank, f, 0, phase, f"device fault in phase {phase}")
+
+            gpu.arm_fault(phase=f.phase or "*", kind="ecc", on_fire=_on_fire)

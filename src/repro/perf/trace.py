@@ -28,7 +28,15 @@ JSONL schema (one object per line, field order not significant)::
      "t_lat": float, "t_bw": float, "seq": int}
     {"kind": "span", "rank": int, "phase": str, "wall_s": float,
      "flops": float, "comm_messages": int, "comm_bytes": float,
-     "comm_s": float}
+     "comm_s": float, "aborted": bool}
+
+``aborted`` marks spans that were closed by an exception unwinding
+through the phase or force-flushed at abort time for a wedged rank
+(see :meth:`repro.util.timer.PhaseProfile.flush_open_spans`) — so the
+JSONL export of a *failed* run is still well-formed: every opened phase
+produces exactly one span.  Chaos-injection and recovery machinery emit
+synthetic spans under ``CHAOS:*`` / ``RECOVERY:*`` phase names (see
+:mod:`repro.mpi.faults`).
 
 ``t_lat``/``t_bw`` are the alpha-beta terms of the machine model
 (``t_s`` and ``nbytes / bandwidth``); their sum is the modelled seconds
@@ -86,6 +94,9 @@ class SpanEvent:
     comm_messages: int
     comm_bytes: float
     comm_s: float
+    #: True when the span was closed by an exception unwinding through the
+    #: phase, or force-flushed for a wedged rank at abort time.
+    aborted: bool = False
 
 
 class TraceRecorder:
@@ -143,9 +154,18 @@ class TraceRecorder:
         comm_messages: int,
         comm_bytes: float,
         comm_s: float,
+        aborted: bool = False,
     ) -> None:
         ev = SpanEvent(
-            "span", rank, phase, wall_s, flops, comm_messages, comm_bytes, comm_s
+            "span",
+            rank,
+            phase,
+            wall_s,
+            flops,
+            comm_messages,
+            comm_bytes,
+            comm_s,
+            aborted,
         )
         with self._lock:
             self.events.append(ev)
@@ -195,6 +215,34 @@ class TraceRecorder:
         out: dict[int, int] = {}
         for ev in self.message_events(kind="send"):
             out[ev.rank] = out.get(ev.rank, 0) + ev.nbytes
+        return out
+
+    def signature(self) -> dict[int, list[tuple]]:
+        """Deterministic per-rank fingerprint of the trace.
+
+        The global event list interleaves rank threads nondeterministically
+        and ``wall_s`` is real time, so raw traces of identical runs never
+        compare equal.  The signature keeps only what *is* deterministic:
+        each rank's own events in program order, with wall-clock fields
+        dropped (modelled ``t_lat``/``t_bw``/``comm_s`` are kept — they are
+        functions of the machine model, not of the scheduler).  Two runs
+        with the same inputs, machine model and
+        :class:`~repro.mpi.faults.FaultPlan` seed that *complete* produce
+        identical signatures.
+        """
+        out: dict[int, list[tuple]] = {}
+        for ev in self.events:
+            if isinstance(ev, MessageEvent):
+                key = (
+                    ev.kind, ev.src, ev.dst, ev.tag, ev.nbytes, ev.phase,
+                    ev.t_lat, ev.t_bw, ev.seq,
+                )
+            else:
+                key = (
+                    ev.kind, ev.phase, ev.flops, ev.comm_messages,
+                    ev.comm_bytes, ev.comm_s, ev.aborted,
+                )
+            out.setdefault(ev.rank, []).append(key)
         return out
 
     # -- (de)serialisation --------------------------------------------------

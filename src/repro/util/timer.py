@@ -45,20 +45,36 @@ class PhaseProfile:
     A profile may optionally be bound to a trace recorder (see
     :meth:`bind_trace`): every ``phase()`` activation then emits one span
     event carrying the wall seconds and the counter *deltas* accumulated
-    while the phase was open.
+    while the phase was open.  Spans closed by an exception unwinding
+    through the phase (a rank crash, an abort) carry ``aborted=True``.
+
+    A chaos hook (see :meth:`bind_chaos`) is called on every phase
+    *entry*, before the phase opens — fault plans use it to inject
+    phase-targeted crashes and straggler delays.
     """
 
     events: dict[str, PhaseEvent] = field(default_factory=dict)
-    _stack: list[str] = field(default_factory=list)
+    #: Open phases, innermost last: (name, start perf_counter, counter snapshot).
+    _open: list[tuple[str, float, tuple]] = field(default_factory=list)
     #: Optional :class:`repro.perf.trace.TraceRecorder` (duck-typed so the
     #: util layer stays independent of :mod:`repro.perf`).
     _trace: object | None = field(default=None, repr=False, compare=False)
     _trace_rank: int = field(default=0, repr=False, compare=False)
+    #: Optional phase-entry hook ``hook(rank, name, profile)`` (duck-typed;
+    #: see :class:`repro.mpi.faults.ChaosFabric`).  May raise to crash the
+    #: rank *before* the phase opens.
+    _chaos: object | None = field(default=None, repr=False, compare=False)
+    _chaos_rank: int = field(default=0, repr=False, compare=False)
 
     def bind_trace(self, trace, rank: int = 0) -> None:
         """Emit one span event per ``phase()`` activation into ``trace``."""
         self._trace = trace
         self._trace_rank = int(rank)
+
+    def bind_chaos(self, hook, rank: int = 0) -> None:
+        """Call ``hook(rank, name, profile)`` on every phase entry."""
+        self._chaos = hook
+        self._chaos_rank = int(rank)
 
     def event(self, name: str) -> PhaseEvent:
         ev = self.events.get(name)
@@ -74,32 +90,64 @@ class PhaseProfile:
     @property
     def current_name(self) -> str:
         """Name of the innermost active phase (``"untimed"`` outside any)."""
-        return self._stack[-1] if self._stack else "untimed"
+        return self._open[-1][0] if self._open else "untimed"
+
+    def _snapshot(self, ev: PhaseEvent) -> tuple:
+        return (ev.flops, ev.comm_messages, ev.comm_bytes, ev.comm_seconds)
+
+    def _emit_span(
+        self, name: str, wall: float, ev: PhaseEvent, snap: tuple, aborted: bool
+    ) -> None:
+        self._trace.record_span(
+            self._trace_rank,
+            name,
+            wall,
+            ev.flops - snap[0],
+            ev.comm_messages - snap[1],
+            ev.comm_bytes - snap[2],
+            ev.comm_seconds - snap[3],
+            aborted=aborted,
+        )
 
     @contextmanager
     def phase(self, name: str):
         """Time a phase; nested phases attribute counters to the innermost."""
-        self._stack.append(name)
+        if self._chaos is not None:
+            # before the phase opens: an injected crash leaves no open span
+            self._chaos(self._chaos_rank, name, self)
         ev = self.event(name)
-        if self._trace is not None:
-            snap = (ev.flops, ev.comm_messages, ev.comm_bytes, ev.comm_seconds)
+        snap = self._snapshot(ev)
         t0 = time.perf_counter()
+        self._open.append((name, t0, snap))
+        aborted = True
         try:
             yield ev
+            aborted = False
         finally:
             wall = time.perf_counter() - t0
             ev.wall_seconds += wall
-            self._stack.pop()
+            self._open.pop()
             if self._trace is not None:
-                self._trace.record_span(
-                    self._trace_rank,
-                    name,
-                    wall,
-                    ev.flops - snap[0],
-                    ev.comm_messages - snap[1],
-                    ev.comm_bytes - snap[2],
-                    ev.comm_seconds - snap[3],
-                )
+                self._emit_span(name, wall, ev, snap, aborted)
+
+    def flush_open_spans(self) -> int:
+        """Close still-open phases as ``aborted`` spans; returns the count.
+
+        The launcher calls this for ranks whose threads never unwound
+        past an abort (wedged in foreign code or a sleep), so a JSONL
+        export of the failed run is still well-formed: every phase that
+        was open at abort time gets exactly one span, flagged aborted.
+        Counter deltas are read while the wedged thread may still be
+        running — a benign race, acceptable for post-mortem traces.
+        """
+        if self._trace is None:
+            return 0
+        now = time.perf_counter()
+        flushed = 0
+        for name, t0, snap in list(self._open):
+            self._emit_span(name, now - t0, self.event(name), snap, True)
+            flushed += 1
+        return flushed
 
     def add_flops(self, flops: float, phase: str | None = None) -> None:
         (self.event(phase) if phase else self.current).flops += flops

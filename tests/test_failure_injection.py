@@ -15,8 +15,9 @@ import pytest
 
 from repro.dist.geometry import RankGeometry
 from repro.dist.reduce_scatter import hypercube_reduce_scatter
-from repro.mpi import run_spmd
+from repro.mpi import SpmdError, run_spmd
 from repro.mpi.comm import Fabric, SimComm, SpmdAborted
+from repro.mpi.faults import Fault, FaultPlan, RankCrash
 from repro.util import morton
 
 
@@ -99,6 +100,74 @@ class TestRankDeath:
         with pytest.raises(RuntimeError, match="node failure"):
             run_spmd(8, fn, timeout=60)
         assert time.monotonic() - t0 < 5.0
+
+
+_COLLECTIVES = {
+    "bcast": lambda comm: comm.bcast({"x": comm.rank}, root=0),
+    "reduce": lambda comm: comm.reduce(float(comm.rank), root=0),
+    "allgather": lambda comm: comm.allgather(comm.rank * 11),
+    "alltoall": lambda comm: comm.alltoall(
+        [(comm.rank, d) for d in range(comm.size)]
+    ),
+    "exscan": lambda comm: comm.exscan(comm.rank + 1),
+}
+
+
+class TestCollectiveCrashMatrix:
+    """Every collective must fail *typed* — never hang — when any single
+    rank crashes at the collective's entry, at every size of interest."""
+
+    @pytest.mark.parametrize("name", sorted(_COLLECTIVES))
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_single_rank_crash_every_index(self, p, name):
+        coll = _COLLECTIVES[name]
+
+        def fn(comm):
+            with comm.profile.phase("coll"):
+                coll(comm)
+
+        deadline = 30.0
+        for victim in range(p):
+            plan = FaultPlan(
+                [Fault("crash", rank=victim, op="phase", phase="coll")]
+            )
+            t0 = time.monotonic()
+            with pytest.raises(RuntimeError, match="RankCrash") as ei:
+                run_spmd(p, fn, faults=plan, timeout=deadline)
+            assert time.monotonic() - t0 < deadline, (
+                f"{name} p={p} victim={victim}: not typed before the deadline"
+            )
+            assert isinstance(ei.value.__cause__, RankCrash)
+            assert ei.value.rank == victim
+
+
+class TestErrorMasking:
+    def test_rank_error_beats_timeout_when_a_peer_wedges(self):
+        """A recorded rank error must be reported even when another rank
+        sleeps past the deadline *and* the abort grace period — the old
+        code raised TimeoutError, masking the root cause."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise ValueError("root cause")
+            time.sleep(30.0)  # wedged: never observes the abort
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError, match="root cause") as ei:
+            run_spmd(2, fn, timeout=0.5)
+        assert time.monotonic() - t0 < 15.0
+        assert ei.value.rank == 0
+        assert ei.value.wedged == (1,)
+        assert "wedged" in str(ei.value)
+
+    def test_pure_timeout_still_raises_timeout_error(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=3)  # never sent
+
+        with pytest.raises(TimeoutError, match="deadlock") as ei:
+            run_spmd(2, fn, timeout=1.0)
+        assert "wedged" not in str(ei.value)  # recv unblocks on abort
 
 
 class TestFabricAbort:
