@@ -41,14 +41,23 @@ def _cmd_evaluate(args) -> int:
         recorder = TraceRecorder()
         profile.bind_trace(recorder, 0)
     t0 = time.perf_counter()
-    pot = fmm.evaluate(points, dens, profile=profile)
+    plan = fmm.plan(points, profile=profile)
+    pot = fmm.evaluate(points, dens, plan=plan, profile=profile,
+                       use_plan=not args.no_plan)
     dt = time.perf_counter() - t0
+    # --repeat: re-apply on the same tree (iterative-solver pattern); the
+    # evaluator compiles its EvalPlan on the second call and amortises it
+    for k in range(args.repeat - 1):
+        t1 = time.perf_counter()
+        pot = fmm.evaluate(points, dens, plan=plan, profile=profile,
+                           use_plan=not args.no_plan)
+        print(f"  repeat {k + 2}: {time.perf_counter() - t1:.2f}s")
     if recorder is not None:
         n = recorder.write_jsonl(args.trace)
         print(f"trace: {n} events -> {args.trace}")
     print(
         f"N={args.n} {args.distribution} {args.kernel} order={args.order} "
-        f"q={args.q}: {dt:.2f}s, {profile.total_flops():.3g} flops"
+        f"q={args.q}: {dt:.2f}s (first call), {profile.total_flops():.3g} flops"
     )
     for name, wall, flops, _, _ in profile.as_table():
         print(f"  {name:8s} {wall:7.2f}s  {flops:.3g} flops")
@@ -318,6 +327,11 @@ def main(argv=None) -> int:
                     help="verify against direct summation on a sample")
     pe.add_argument("--trace", default=None, metavar="OUT_JSONL",
                     help="record phase span events to a JSONL trace file")
+    pe.add_argument("--repeat", type=int, default=1, metavar="K",
+                    help="apply K times on the fixed tree (amortised plan "
+                         "path kicks in from the second call)")
+    pe.add_argument("--no-plan", action="store_true",
+                    help="disable EvalPlan compilation (legacy per-call path)")
     pe.set_defaults(fn=_cmd_evaluate)
 
     pr = sub.add_parser(

@@ -11,6 +11,13 @@ from repro.core.fft_m2l import FftM2L
 from repro.core.fmm import Fmm, FmmPlan
 from repro.core.lists import CsrList, InteractionLists, build_lists
 from repro.core.operators import OperatorCache
+from repro.core.plan import (
+    EvalPlan,
+    PlanMismatchError,
+    PlanScopes,
+    compile_plan,
+    tree_fingerprint,
+)
 from repro.core.tree import FmmTree, build_tree
 
 __all__ = [
@@ -25,4 +32,9 @@ __all__ = [
     "CsrList",
     "InteractionLists",
     "build_lists",
+    "EvalPlan",
+    "PlanScopes",
+    "PlanMismatchError",
+    "compile_plan",
+    "tree_fingerprint",
 ]

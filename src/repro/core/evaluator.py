@@ -18,9 +18,18 @@ The evaluator owns no tree state: it maps ``(tree, lists, densities)`` to
 potentials, charging flops to an optional :class:`PhaseProfile`.  Both the
 distributed driver and the GPU-accelerated evaluator reuse its phase
 methods, overriding only what they accelerate.
+
+Every phase accepts an optional precompiled :class:`~repro.core.plan.EvalPlan`
+(see that module): with a plan, the phase runs a pure-array apply over
+bit-identical precompiled schedules; without one it derives its batching
+per call as before.  :meth:`evaluate` compiles a plan lazily on the second
+consecutive call with the same ``(tree, lists)`` pair, so one-shot
+evaluations pay nothing and repeated applies amortise the setup.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
@@ -75,6 +84,54 @@ class FmmEvaluator:
         self.ops = OperatorCache(kernel, order, rcond=rcond)
         self.fft = FftM2L(kernel, order) if m2l_mode == "fft" else None
         self.ns = self.ops.n_surf
+        # Lazy plan cache: (weakrefs to the last-seen tree/lists, how many
+        # consecutive evaluates saw them, and the compiled plan if any).
+        self._plan_tree = None
+        self._plan_lists = None
+        self._plan_calls = 0
+        self._plan_obj = None
+
+    # -- plans -------------------------------------------------------------
+
+    def compile_plan(self, tree, lists, scopes=None, **kwargs):
+        """Compile an :class:`~repro.core.plan.EvalPlan` for this evaluator.
+
+        ``scopes`` (a :class:`~repro.core.plan.PlanScopes`) bakes
+        distributed ownership masks into the plan; ``kwargs`` forward to
+        :func:`repro.core.plan.compile_plan` (e.g. ``cache_matrices``,
+        ``matrix_budget``).
+        """
+        from repro.core.plan import compile_plan
+
+        return compile_plan(self, tree, lists, scopes=scopes, **kwargs)
+
+    #: Whether lazily compiled plans cache kernel-matrix blocks.  The GPU
+    #: evaluator turns this off: its device kernels regenerate geometry on
+    #: chip, so host-side matrix caches would only burn memory.
+    PLAN_CACHE_MATRICES = True
+
+    def _cached_plan(self, tree, lists, profile):
+        """Plan for ``(tree, lists)``, compiled on the second consecutive
+        evaluate that sees the pair (one-shot calls stay plan-free).
+
+        Compilation is charged to the ``setup:plan`` span so traces and
+        the perf model can separate amortisable setup from apply work.
+        """
+        tr = self._plan_tree() if self._plan_tree is not None else None
+        lr = self._plan_lists() if self._plan_lists is not None else None
+        if tr is tree and lr is lists:
+            self._plan_calls += 1
+            if self._plan_obj is None and self._plan_calls >= 2:
+                with profile.phase("setup:plan"):
+                    self._plan_obj = self.compile_plan(
+                        tree, lists, cache_matrices=self.PLAN_CACHE_MATRICES
+                    )
+        else:
+            self._plan_tree = weakref.ref(tree)
+            self._plan_lists = weakref.ref(lists)
+            self._plan_calls = 1
+            self._plan_obj = None
+        return self._plan_obj
 
     # -- public API -------------------------------------------------------
 
@@ -84,13 +141,26 @@ class FmmEvaluator:
         lists: InteractionLists,
         densities: np.ndarray,
         profile: PhaseProfile | None = None,
+        plan=None,
+        use_plan: bool = True,
     ) -> np.ndarray:
         """Potentials at the tree's (Morton-sorted) points.
 
         ``densities`` must be in the tree's sorted point order with dof
         interleaved per point; the result uses the same layout.
+
+        ``plan`` applies a caller-compiled
+        :class:`~repro.core.plan.EvalPlan` (validated against ``tree``).
+        Otherwise, with ``use_plan`` (the default), a plan is compiled
+        lazily on the second consecutive call with the same
+        ``(tree, lists)`` and reused from then on; ``use_plan=False``
+        forces the per-call legacy path.
         """
         profile = profile if profile is not None else PhaseProfile()
+        if plan is not None:
+            plan.check(tree)
+        elif use_plan:
+            plan = self._cached_plan(tree, lists, profile)
         state = self.allocate(tree)
         dens = np.ascontiguousarray(densities, dtype=np.float64).reshape(-1)
         expected = tree.n_points * self.kernel.source_dim
@@ -98,21 +168,21 @@ class FmmEvaluator:
             raise ValueError(f"densities size {dens.size} != {expected}")
 
         with profile.phase("S2U"):
-            self.s2u(tree, dens, state, profile)
+            self.s2u(tree, dens, state, profile, plan=plan)
         with profile.phase("U2U"):
-            self.u2u(tree, state, profile)
+            self.u2u(tree, state, profile, plan=plan)
         with profile.phase("VLI"):
-            self.vli(tree, lists, state, profile)
+            self.vli(tree, lists, state, profile, plan=plan)
         with profile.phase("XLI"):
-            self.xli(tree, lists, dens, state, profile)
+            self.xli(tree, lists, dens, state, profile, plan=plan)
         with profile.phase("D2D"):
-            self.d2d(tree, state, profile)
+            self.d2d(tree, state, profile, plan=plan)
         with profile.phase("WLI"):
-            self.wli(tree, lists, state, profile)
+            self.wli(tree, lists, state, profile, plan=plan)
         with profile.phase("D2T"):
-            self.d2t(tree, state, profile)
+            self.d2t(tree, state, profile, plan=plan)
         with profile.phase("ULI"):
-            self.uli(tree, lists, dens, state, profile)
+            self.uli(tree, lists, dens, state, profile, plan=plan)
         return state["pot"]
 
     def evaluate_targets(
@@ -128,7 +198,9 @@ class FmmEvaluator:
         Runs the full upward/interaction/downward machinery on the source
         tree, then evaluates the final phases (D2T, W-list, U-list direct)
         at the given targets: each target inherits the interaction lists of
-        the leaf containing it.  Targets must lie in the unit cube.
+        the leaf containing it.  Targets must lie in the unit cube.  This
+        path is plan-free: the target-side phases depend on the ad-hoc
+        target set, which a tree-bound plan cannot precompile.
         """
         from repro.octree.linear import covering_leaf_indices
 
@@ -198,14 +270,23 @@ class FmmEvaluator:
     # -- state ------------------------------------------------------------
 
     def allocate(self, tree: FmmTree) -> dict:
-        """Per-run working arrays (upward/downward densities, potentials)."""
+        """Per-run working arrays (upward/downward densities, potentials).
+
+        ``pot`` is a view of the first ``n_points`` rows of ``_pot_pad``,
+        which carries one extra sentinel row: plan-based scatters send
+        every padding slot there in a single fancy-indexed add, and the
+        garbage accumulated in the sentinel is simply never read.
+        """
         ks, kt = self.kernel.source_dim, self.kernel.target_dim
         n = tree.n_nodes
+        kte = self.eval_kernel.target_dim
+        pot_pad = np.zeros((tree.n_points + 1) * kte)
         return {
             "up": np.zeros((n, self.ns * ks)),
             "dcheck": np.zeros((n, self.ns * kt)),
             "dequiv": np.zeros((n, self.ns * ks)),
-            "pot": np.zeros(tree.n_points * self.eval_kernel.target_dim),
+            "pot": pot_pad[: tree.n_points * kte],
+            "_pot_pad": pot_pad,
         }
 
     # -- phases -----------------------------------------------------------
@@ -223,13 +304,16 @@ class FmmEvaluator:
 
         return gather_leaf_points(tree, dens, group, pad, ks)
 
-    def s2u(self, tree, dens, state, profile, scope=None) -> None:
+    def s2u(self, tree, dens, state, profile, scope=None, plan=None) -> None:
         """Leaf sources to upward equivalent densities.
 
         ``scope`` (bool mask over nodes) restricts the phase; the
         distributed driver passes ownership masks so ghost data never
         double-counts.
         """
+        if plan is not None:
+            plan.apply_s2u(self, dens, state, profile)
+            return
         ks, kt = self.kernel.source_dim, self.kernel.target_dim
         up = state["up"]
         counts = tree.point_counts()
@@ -251,8 +335,11 @@ class FmmEvaluator:
                 + 2.0 * group.size * (self.ns * ks) * (self.ns * kt)
             )
 
-    def u2u(self, tree, state, profile, scope=None) -> None:
+    def u2u(self, tree, state, profile, scope=None, plan=None) -> None:
         """Post-order M2M accumulation (children into parents)."""
+        if plan is not None:
+            plan.apply_u2u(self, state, profile)
+            return
         up = state["up"]
         counts = tree.point_counts()
         for lev in range(tree.max_level, 0, -1):
@@ -271,8 +358,14 @@ class FmmEvaluator:
                 up[tree.parent[sel]] += up[sel] @ m.T
                 profile.add_flops(2.0 * sel.size * m.size)
 
-    def vli(self, tree, lists, state, profile, scope=None) -> None:
+    def vli(self, tree, lists, state, profile, scope=None, plan=None) -> None:
         """V-list translations (FFT-diagonal by default)."""
+        if plan is not None:
+            if self.m2l_mode == "fft":
+                plan.apply_vli_fft(self, state, profile)
+            else:
+                plan.apply_vli_dense(self, state, profile)
+            return
         if self.m2l_mode == "fft":
             self._vli_fft(tree, lists, state, profile, scope)
         else:
@@ -315,10 +408,16 @@ class FmmEvaluator:
     #: with tens of thousands of boxes do not blow up memory.
     VLI_CHUNK = 2048
 
-    def _vli_fft(self, tree, lists, state, profile, scope=None) -> None:
-        up, dcheck = state["up"], state["dcheck"]
-        fft = self.fft
-        kt = self.kernel.target_dim
+    def _vli_chunks(self, tree, lists, scope=None):
+        """Yield FFT V-list chunk schedules ``(level, usrc, utgt, steps)``.
+
+        ``usrc``/``utgt`` are the unique source/target boxes of the chunk;
+        ``steps`` is a list of ``(offset, tgt_positions, src_positions,
+        n_pairs)`` where the positions index into ``utgt``/``usrc``.  Both
+        the per-call path and plan compilation iterate this generator, so
+        chunk boundaries and translation order are identical by
+        construction.  Within one offset each target appears at most once.
+        """
         for lev, tgts, srcs, offs in self._v_pairs_by_level(tree, lists, scope):
             # pairs arrive sorted by target; chunks are contiguous slices
             utgt_all = np.unique(tgts)
@@ -329,26 +428,34 @@ class FmmEvaluator:
                 ctgts, csrcs, coffs = tgts[a:b], srcs[a:b], offs[a:b]
                 usrc, src_pos = np.unique(csrcs, return_inverse=True)
                 utgt, tgt_pos = np.unique(ctgts, return_inverse=True)
-                uhat = fft.forward(up[usrc])
-                acc = np.zeros(
-                    (utgt.size, kt, fft.n, fft.n, fft.nf), dtype=np.complex128
-                )
                 code = (
                     (coffs[:, 0] + 3) * 49 + (coffs[:, 1] + 3) * 7 + coffs[:, 2] + 3
                 )
+                steps = []
                 for c in np.unique(code):
                     sel = code == c
-                    off = tuple(coffs[sel][0])
-                    that = fft.kernel_hat(lev, off)
-                    acc[tgt_pos[sel]] += fft.translate(that, uhat[src_pos[sel]])
-                    profile.add_flops(
-                        sel.sum() * fft.translate_flops_per_pair()
-                    )
-                dcheck[utgt] += fft.inverse(acc)
-                profile.add_flops(
-                    (usrc.size * self.kernel.source_dim + utgt.size * kt)
-                    * fft.fft_flops_per_box()
-                )
+                    off = tuple(int(o) for o in coffs[sel][0])
+                    steps.append((off, tgt_pos[sel], src_pos[sel], int(sel.sum())))
+                yield lev, usrc, utgt, steps
+
+    def _vli_fft(self, tree, lists, state, profile, scope=None) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        fft = self.fft
+        kt = self.kernel.target_dim
+        for lev, usrc, utgt, steps in self._vli_chunks(tree, lists, scope):
+            uhat = fft.forward(up[usrc])
+            acc = np.zeros(
+                (utgt.size, kt, fft.n, fft.n, fft.nf), dtype=np.complex128
+            )
+            for off, tpos, spos, npairs in steps:
+                that = fft.kernel_hat(lev, off)
+                acc[tpos] += fft.translate(that, uhat[spos])
+                profile.add_flops(npairs * fft.translate_flops_per_pair())
+            dcheck[utgt] += fft.inverse(acc)
+            profile.add_flops(
+                (usrc.size * self.kernel.source_dim + utgt.size * kt)
+                * fft.fft_flops_per_box()
+            )
 
     def _pair_batches(self, tree, rows, cols, level_of, pad_count_of):
         """Group interaction pairs by (level, padded count) and chunk.
@@ -371,14 +478,17 @@ class FmmEvaluator:
                 part = sel[s : s + chunk]
                 yield lev, pad, rows[part], cols[part]
 
-    def xli(self, tree, lists, dens, state, profile, scope=None) -> None:
+    def xli(self, tree, lists, dens, state, profile, scope=None, plan=None) -> None:
         """X-list: source points of coarse leaves onto DC surfaces.
 
         Pairs are batched by (target level, padded source count): the DC
         surfaces are regenerated from target centres, the coarse-leaf
         source points padded with zero-density centre points.
         """
-        ks, kt = self.kernel.source_dim, self.kernel.target_dim
+        if plan is not None:
+            plan.apply_xli(self, dens, state, profile)
+            return
+        ks = self.kernel.source_dim
         dcheck = state["dcheck"]
         counts = tree.point_counts()
         x = lists.x
@@ -423,8 +533,11 @@ class FmmEvaluator:
                 den[j, : n * ks] = dens[tree.pt_begin[i] * ks : tree.pt_end[i] * ks]
         return pts, den
 
-    def d2d(self, tree, state, profile, scope=None) -> None:
+    def d2d(self, tree, state, profile, scope=None, plan=None) -> None:
         """Pre-order L2L propagation and check-to-equivalent conversion."""
+        if plan is not None:
+            plan.apply_d2d(self, state, profile)
+            return
         dcheck, dequiv = state["dcheck"], state["dequiv"]
         # Root has no far field: dequiv stays zero.
         for lev in range(1, tree.max_level + 1):
@@ -445,18 +558,23 @@ class FmmEvaluator:
             dequiv[nodes] = dcheck[nodes] @ conv.T
             profile.add_flops(2.0 * nodes.size * conv.size)
 
-    def wli(self, tree, lists, state, profile, scope=None) -> None:
+    def wli(self, tree, lists, state, profile, scope=None, plan=None) -> None:
         """W-list: source-box up densities evaluated at target points.
 
         Pairs are batched by (source level, padded target count); the
         source UE surfaces are regenerated from box centres.  Sources are
         gated on their density (not local point counts): in a LET an
         internal ghost source has a valid up density but no locally
-        stored points.
+        stored points.  The potential scatter segment-sums contributions
+        per target leaf (stable argsort + ``reduceat``, exactly as the
+        plan path does) before one vectorised add.
         """
-        ks = self.kernel.source_dim
+        if plan is not None:
+            plan.apply_wli(self, tree, state, profile)
+            return
         kt = self.eval_kernel.target_dim
-        up, pot = state["up"], state["pot"]
+        up = state["up"]
+        potr = state["_pot_pad"].reshape(tree.n_points + 1, kt)
         counts = tree.point_counts()
         w = lists.w
         sel = tree.is_leaf & (w.counts > 0) & (counts > 0)
@@ -479,16 +597,24 @@ class FmmEvaluator:
             ue = base[lev][None, :, :] + tree.centers[ci][:, None, :]
             k = self.eval_kernel.matrix_batch(pts, ue)
             vals = np.einsum("bij,bj->bi", k, up[ci])
-            for j, i in enumerate(ri):
-                n = tree.pt_end[i] - tree.pt_begin[i]
-                pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
-                    j, : n * kt
-                ]
+            order = np.argsort(ri, kind="stable")
+            sri = ri[order]
+            starts = np.flatnonzero(
+                np.concatenate([[True], sri[1:] != sri[:-1]])
+            )
+            seg = sri[starts]
+            sums = np.add.reduceat(vals[order], starts, axis=0)
+            ar = np.arange(pad, dtype=np.int64)[None, :]
+            prow = tree.pt_begin[seg][:, None] + ar
+            prow[ar >= counts[seg][:, None]] = tree.n_points
+            potr[prow] += sums.reshape(seg.size, pad, kt)
             profile.add_flops(self.eval_kernel.pair_flops(counts[ri].sum(), self.ns))
 
-    def d2t(self, tree, state, profile, scope=None) -> None:
+    def d2t(self, tree, state, profile, scope=None, plan=None) -> None:
         """Down equivalent densities to potentials at leaf targets."""
-        ks = self.kernel.source_dim
+        if plan is not None:
+            plan.apply_d2t(self, state, profile)
+            return
         kt = self.eval_kernel.target_dim
         dequiv, pot = state["dequiv"], state["pot"]
         counts = tree.point_counts()
@@ -510,16 +636,16 @@ class FmmEvaluator:
                 ]
             profile.add_flops(self.eval_kernel.pair_flops(counts[group].sum(), self.ns))
 
-    def uli(self, tree, lists, dens, state, profile, scope=None) -> None:
-        """U-list: exact near-field interactions.
+    def _uli_groups(self, tree, lists, scope=None):
+        """Yield U-list batch groups ``(tpad, spad, boxes, src_totals)``.
 
-        Leaves are batched by (padded target count, padded total source
-        count); each batch evaluates one broadcast kernel block over the
-        concatenated (centre-padded, zero-density) neighbour sources.
+        Groups selected leaves by (padded target count, padded total
+        source count) and chunks each group; both the per-call path and
+        plan compilation iterate this generator so batch membership is
+        identical by construction.  The per-leaf total source count is a
+        CSR segment sum over the U-list (prefix-sum difference — no
+        Python loop over leaves).
         """
-        ks = self.kernel.source_dim
-        kt = self.eval_kernel.target_dim
-        pot = state["pot"]
         counts = tree.point_counts()
         u = lists.u
         sel = tree.is_leaf & (counts > 0)
@@ -528,10 +654,8 @@ class FmmEvaluator:
         leaves = np.flatnonzero(sel)
         if leaves.size == 0:
             return
-        # total source points per target leaf
-        src_total = np.array(
-            [counts[u.of(i)].sum() for i in leaves], dtype=np.int64
-        )
+        csum = np.concatenate(([0], np.cumsum(counts[u.indices])))
+        src_total = csum[u.offsets[leaves + 1]] - csum[u.offsets[leaves]]
         active = src_total > 0
         leaves, src_total = leaves[active], src_total[active]
         if leaves.size == 0:
@@ -550,32 +674,49 @@ class FmmEvaluator:
             chunk = max(1, int(6e6 / max(tp * sp, 1)))
             for s in range(0, grp.size, chunk):
                 part = grp[s : s + chunk]
-                boxes = leaves[part]
-                m = boxes.size
-                tgt, _ = self._gather_leaf_points_for(tree, np.empty(0), boxes, tp, 0)
-                src = np.repeat(tree.centers[boxes][:, None, :], sp, axis=1)
-                den = np.zeros((m, sp * ks))
-                for j, i in enumerate(boxes):
-                    pos = 0
-                    for a in u.of(i):
-                        n = counts[a]
-                        if n == 0:
-                            continue
-                        src[j, pos : pos + n] = tree.points[
-                            tree.pt_begin[a] : tree.pt_end[a]
-                        ]
-                        den[j, pos * ks : (pos + n) * ks] = dens[
-                            tree.pt_begin[a] * ks : tree.pt_end[a] * ks
-                        ]
-                        pos += n
-                k = self.eval_kernel.matrix_batch(tgt, src)
-                vals = np.einsum("bij,bj->bi", k, den)
-                for j, i in enumerate(boxes):
-                    n = tree.pt_end[i] - tree.pt_begin[i]
-                    pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
-                        j, : n * kt
+                yield tp, sp, leaves[part], src_total[part]
+
+    def uli(self, tree, lists, dens, state, profile, scope=None, plan=None) -> None:
+        """U-list: exact near-field interactions.
+
+        Leaves are batched by (padded target count, padded total source
+        count); each batch evaluates one broadcast kernel block over the
+        concatenated (centre-padded, zero-density) neighbour sources.
+        """
+        if plan is not None:
+            plan.apply_uli(self, dens, state, profile)
+            return
+        ks = self.kernel.source_dim
+        kt = self.eval_kernel.target_dim
+        pot = state["pot"]
+        counts = tree.point_counts()
+        u = lists.u
+        for tp, sp, boxes, src_total in self._uli_groups(tree, lists, scope):
+            m = boxes.size
+            tgt, _ = self._gather_leaf_points_for(tree, np.empty(0), boxes, tp, 0)
+            src = np.repeat(tree.centers[boxes][:, None, :], sp, axis=1)
+            den = np.zeros((m, sp * ks))
+            for j, i in enumerate(boxes):
+                pos = 0
+                for a in u.of(i):
+                    n = counts[a]
+                    if n == 0:
+                        continue
+                    src[j, pos : pos + n] = tree.points[
+                        tree.pt_begin[a] : tree.pt_end[a]
                     ]
-                profile.add_flops(
-                    self.eval_kernel.pair_flops(1, 1)
-                    * float((counts[boxes] * src_total[part]).sum())
-                )
+                    den[j, pos * ks : (pos + n) * ks] = dens[
+                        tree.pt_begin[a] * ks : tree.pt_end[a] * ks
+                    ]
+                    pos += n
+            k = self.eval_kernel.matrix_batch(tgt, src)
+            vals = np.einsum("bij,bj->bi", k, den)
+            for j, i in enumerate(boxes):
+                n = tree.pt_end[i] - tree.pt_begin[i]
+                pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
+                    j, : n * kt
+                ]
+            profile.add_flops(
+                self.eval_kernel.pair_flops(1, 1)
+                * float((counts[boxes] * src_total).sum())
+            )

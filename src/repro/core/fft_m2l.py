@@ -47,6 +47,12 @@ class FftM2L:
         m = np.arange(self.n)
         self._wrap = np.where(m < order, m, m - self.n)
         self._that: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
+        #: Per-(requested level, offset) transforms with the homogeneity
+        #: scale folded in.  Bounded by (distinct levels) x 316 offsets; for
+        #: non-homogeneous kernels entries alias ``_that`` (scale is 1).
+        self._that_scaled: dict[
+            tuple[int, tuple[int, int, int]], np.ndarray
+        ] = {}
 
     # -- kernel transforms ----------------------------------------------------
 
@@ -60,10 +66,17 @@ class FftM2L:
     def kernel_hat(self, level: int, offset: tuple[int, int, int]) -> np.ndarray:
         """rfft of the kernel tensor for one V-list offset at one level.
 
-        Shape ``(target_dim, source_dim, n, n, nf)`` complex.
+        Shape ``(target_dim, source_dim, n, n, nf)`` complex.  The returned
+        array is cached (including the homogeneity rescale to ``level``, so
+        repeated calls never re-multiply the full grid) and must not be
+        mutated by callers.
         """
+        skey = (int(level), tuple(int(o) for o in offset))
+        scaled = self._that_scaled.get(skey)
+        if scaled is not None:
+            return scaled
         lvl, fac = self._canonical(level)
-        key = (lvl, tuple(int(o) for o in offset))
+        key = (lvl, skey[1])
         that = self._that.get(key)
         if that is None:
             p = self.order
@@ -78,7 +91,11 @@ class FftM2L:
             t = vals.reshape(self.n, self.n, self.n, kt, ks)
             t = np.moveaxis(t, (3, 4), (0, 1))
             that = self._that[key] = np.fft.rfftn(t, axes=(-3, -2, -1))
-        return that if fac == 1.0 else that * fac
+            that.setflags(write=False)
+        scaled = that if fac == 1.0 else that * fac
+        scaled.setflags(write=False)
+        self._that_scaled[skey] = scaled
+        return scaled
 
     # -- grid embeddings --------------------------------------------------------
 

@@ -112,17 +112,33 @@ class Fmm:
             lists = build_lists(tree)
         return FmmPlan(tree, lists)
 
+    def compile_eval_plan(self, plan: FmmPlan, **kwargs):
+        """Eagerly compile an :class:`~repro.core.plan.EvalPlan` for ``plan``.
+
+        Useful when the first :meth:`evaluate` call should already run at
+        amortised speed (by default the evaluator compiles lazily on the
+        second call).  Pass the returned object as ``eval_plan=``.
+        """
+        return self.evaluator.compile_plan(plan.tree, plan.lists, **kwargs)
+
     def evaluate(
         self,
         points: np.ndarray,
         densities: np.ndarray,
         plan: FmmPlan | None = None,
         profile: PhaseProfile | None = None,
+        eval_plan=None,
+        use_plan: bool = True,
     ) -> np.ndarray:
         """Potential at every point, in the input point order.
 
         ``densities`` has ``source_dim`` values per point (flat, point-major);
         the result has ``target_dim`` values per point.
+
+        Repeated calls with the same ``plan`` amortise setup automatically:
+        the evaluator compiles an :class:`~repro.core.plan.EvalPlan` on the
+        second call and reuses it from then on (``use_plan=False`` opts
+        out; ``eval_plan=`` supplies a precompiled one).
         """
         points = np.asarray(points, dtype=np.float64)
         profile = profile if profile is not None else PhaseProfile()
@@ -138,7 +154,10 @@ class Fmm:
                 f"{tree.n_points * ks}"
             )
         sorted_dens = dens.reshape(-1, ks)[tree.order].reshape(-1)
-        pot_sorted = self.evaluator.evaluate(tree, plan.lists, sorted_dens, profile)
+        pot_sorted = self.evaluator.evaluate(
+            tree, plan.lists, sorted_dens, profile,
+            plan=eval_plan, use_plan=use_plan,
+        )
         pot = np.empty_like(pot_sorted)
         pot.reshape(-1, kt)[tree.order] = pot_sorted.reshape(-1, kt)
         return pot

@@ -1,0 +1,759 @@
+"""Plan-compiled evaluation engine: the setup / apply split.
+
+The paper's headline workloads (vortex-flow time stepping, iterative
+boundary-integral solvers) call the FMM repeatedly on a *fixed* tree with
+*changing* densities.  Everything in an evaluation that does not depend on
+the density vector — batch groupings, padded shapes, gather index arrays,
+scatter segment boundaries, surface point sets, V-list translation
+schedules, per-(level, child-position) traversal node sets, and the leaf
+kernel-matrix blocks themselves — can therefore be compiled once and
+reused across applies.  That is what :class:`EvalPlan` holds.
+
+Design rules:
+
+* **Bit-identical results.**  A plan-based apply must produce exactly the
+  floating-point operation sequence of the legacy per-call path.  Compile
+  therefore consumes the *same* grouping generators the legacy phases use
+  (``FmmEvaluator._leaf_batches`` / ``_pair_batches`` / ``_vli_chunks`` /
+  ``_uli_groups``), so batch membership, batch order and chunk boundaries
+  cannot diverge, and padded point arrays are materialised with the same
+  centre padding the legacy gathers produce.
+* **No Python per-box loops at apply time.**  Gathers are a single fancy
+  index into a sentinel-extended density table; scatters are a stable
+  argsort + ``np.add.reduceat`` segment sum (precompiled order/starts)
+  and/or one fancy-indexed add into a sentinel-extended potential buffer
+  (safe because scatter targets are unique within a batch — only the
+  discarded sentinel row repeats).  See DESIGN.md for why ``np.add.at``
+  is avoided.
+* **Density-dependent gating is deferred.**  The W-list prunes source
+  boxes whose upward density is identically zero — a property of the
+  density, not the tree.  Its schedule is compiled lazily at first apply
+  from the observed zero pattern and transparently recompiled if a later
+  density changes that pattern, so results always match the legacy path.
+* **Kernel matrices are plan state too.**  Leaf/pair kernel blocks depend
+  only on geometry; they are materialised at compile under a byte budget
+  (U-list first — it dominates), turning those phases into pure
+  ``einsum`` + scatter.  Blocks that do not fit fall back to evaluating
+  the kernel per apply, bit-identically either way.
+
+A plan is bound to one ``(tree, lists, kernel, order, m2l_mode, scope)``
+configuration; :func:`tree_fingerprint` rejects accidental reuse against a
+different tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tree import FmmTree
+
+__all__ = [
+    "EvalPlan",
+    "PlanScopes",
+    "PlanMismatchError",
+    "compile_plan",
+    "tree_fingerprint",
+]
+
+#: Default byte budget for cached kernel-matrix blocks (see compile_plan).
+MATRIX_BUDGET = 512 * 2**20
+
+
+class PlanMismatchError(ValueError):
+    """An :class:`EvalPlan` was applied to a tree it was not compiled for."""
+
+
+def tree_fingerprint(tree: FmmTree) -> str:
+    """Cheap structural fingerprint of a tree (topology + point layout).
+
+    Covers the node key set and the per-node point ranges — everything the
+    plan's precompiled indices depend on.  Point coordinates are pinned by
+    the key set up to leaf-box resolution; hashing them too would cost
+    more than the residual collision risk is worth.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(tree.n_points).tobytes())
+    h.update(np.ascontiguousarray(tree.keys).tobytes())
+    h.update(np.ascontiguousarray(tree.pt_begin).tobytes())
+    h.update(np.ascontiguousarray(tree.pt_end).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class PlanScopes:
+    """Per-phase node masks baked into a plan at compile time.
+
+    ``None`` means unrestricted.  The distributed driver passes the same
+    ownership masks it hands the legacy phases, so ghost data never
+    double-counts.  A plan compiled with scopes must only be applied by a
+    caller that would pass those same scopes.
+    """
+
+    s2u: np.ndarray | None = None
+    u2u: np.ndarray | None = None
+    vli: np.ndarray | None = None
+    xli: np.ndarray | None = None
+    d2d: np.ndarray | None = None
+    wli: np.ndarray | None = None
+    d2t: np.ndarray | None = None
+    uli: np.ndarray | None = None
+
+    def any_set(self) -> bool:
+        return any(
+            getattr(self, f) is not None
+            for f in ("s2u", "u2u", "vli", "xli", "d2d", "wli", "d2t", "uli")
+        )
+
+
+# -- precompiled section records ---------------------------------------------
+
+
+@dataclass
+class _LeafBlock:
+    """One (level, padded-count) leaf batch of S2U or D2T."""
+
+    level: int
+    pad: int
+    group: np.ndarray  # (b,) unique node indices
+    pts: np.ndarray  # (b, pad, 3) centre-padded leaf points
+    surf: np.ndarray  # (b, ns, 3) UC (S2U) / DE (D2T) surface points
+    den_rows: np.ndarray | None  # (b, pad) density-table rows (S2U)
+    pot_rows: np.ndarray | None  # (b, pad) potential-table rows (D2T)
+    mat: np.ndarray | None  # uc2ue, materialised once (S2U)
+    kmat: np.ndarray | None  # cached kernel block, budget permitting
+    flops: float
+
+
+@dataclass
+class _MatStep:
+    """One dense-operator application ``dst_arr[dst] (+)= src_arr[src] @ mat.T``."""
+
+    mat: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    flops: float
+
+
+@dataclass
+class _D2dLevel:
+    """One level of the downward sweep: L2L steps then DC->DE conversion."""
+
+    l2l: list
+    conv_mat: np.ndarray
+    nodes: np.ndarray
+    conv_flops: float
+
+
+@dataclass
+class _VChunk:
+    """One FFT V-list chunk: forward FFTs, per-offset translations, inverse."""
+
+    level: int
+    usrc: np.ndarray
+    utgt: np.ndarray
+    #: (offset, kernel_hat ref, tgt_positions, src_positions, n_pairs)
+    steps: list
+
+
+@dataclass
+class _PairBlock:
+    """One (level, padded-count) pair batch of XLI or WLI."""
+
+    level: int
+    pad: int
+    rows: np.ndarray  # target node per pair
+    cols: np.ndarray  # source node per pair
+    pts: np.ndarray  # (b, pad, 3): source pts (XLI) / target pts (WLI)
+    surf: np.ndarray  # (b, ns, 3): DC at rows (XLI) / UE at cols (WLI)
+    den_rows: np.ndarray | None  # (b, pad) density-table rows (XLI)
+    order: np.ndarray  # stable argsort of the scatter target
+    starts: np.ndarray  # reduceat segment starts
+    seg: np.ndarray  # unique scatter targets, segment order
+    pot_rows: np.ndarray | None  # (nseg, pad) potential-table rows (WLI)
+    kmat: np.ndarray | None
+    flops: float
+
+
+@dataclass
+class _UliBlock:
+    """One (tpad, spad) U-list batch: direct near-field interactions."""
+
+    tp: int
+    sp: int
+    boxes: np.ndarray  # (b,) unique target leaves
+    tgt_pts: np.ndarray  # (b, tp, 3) centre-padded targets
+    src_pts: np.ndarray  # (b, sp, 3) centre-padded packed neighbour sources
+    den_rows: np.ndarray  # (b, sp) density-table rows of the sources
+    pot_rows: np.ndarray  # (b, tp) potential-table rows of the targets
+    kmat: np.ndarray | None
+    flops: float
+
+
+@dataclass
+class _WliSection:
+    """Lazily compiled W-list schedule for one observed zero-up pattern."""
+
+    sig: np.ndarray  # packbits of the keep mask over the candidate pairs
+    blocks: list
+    cached_bytes: int  # kernel-matrix bytes charged against the budget
+
+
+@dataclass
+class EvalPlan:
+    """Everything density-independent about one FMM evaluation.
+
+    Compile with :func:`compile_plan` (or
+    :meth:`FmmEvaluator.compile_plan`); apply by passing the plan to the
+    evaluator phase methods (``FmmEvaluator.evaluate`` manages this
+    automatically).  ``gpu`` is a scratch cache where
+    :class:`~repro.gpu.accel.GpuFmmEvaluator` keeps its device streams and
+    staging gather/scatter indices.
+    """
+
+    fingerprint: str
+    n_points: int
+    ns: int
+    ks: int
+    kt: int  # base-kernel target dim (check surfaces)
+    kt_eval: int  # eval-kernel target dim (potential layout)
+    scoped: bool
+    s2u: list = field(default_factory=list)
+    u2u: list = field(default_factory=list)
+    vli_fft: list = field(default_factory=list)
+    vli_dense: list = field(default_factory=list)
+    xli: list = field(default_factory=list)
+    d2d: list = field(default_factory=list)
+    wli_rows: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    wli_cols: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    d2t: list = field(default_factory=list)
+    uli: list = field(default_factory=list)
+    gpu: dict = field(default_factory=dict)
+    _wli: _WliSection | None = field(default=None, repr=False)
+    _tree: FmmTree | None = field(default=None, repr=False)
+    _scratch: dict = field(default_factory=dict, repr=False)
+    _mat_left: int = field(default=0, repr=False)
+    _cache_matrices: bool = field(default=True, repr=False)
+
+    # -- validation --------------------------------------------------------
+
+    def check(self, tree: FmmTree) -> None:
+        """Raise :class:`PlanMismatchError` unless compiled for ``tree``."""
+        if self._tree is tree:
+            return
+        if tree_fingerprint(tree) != self.fingerprint:
+            raise PlanMismatchError(
+                "EvalPlan was compiled for a different tree "
+                "(fingerprint mismatch); recompile with compile_plan()"
+            )
+
+    def matrix_bytes(self) -> int:
+        """Bytes held by cached kernel-matrix blocks (memory diagnostics)."""
+        total = 0
+        for sec in (self.s2u, self.d2t, self.xli, self.uli):
+            total += sum(b.kmat.nbytes for b in sec if b.kmat is not None)
+        if self._wli is not None:
+            total += self._wli.cached_bytes
+        return total
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _dens_table(self, dens: np.ndarray) -> np.ndarray:
+        """Density rows extended by one all-zero sentinel row.
+
+        Every padding slot of a gather index points at the sentinel, so
+        assembling a padded per-box density block is a single fancy index.
+        The buffer is reused across phases and applies.
+        """
+        table = self._buffer("dens", (self.n_points + 1, self.ks), np.float64)
+        table[: self.n_points] = np.asarray(dens).reshape(self.n_points, self.ks)
+        table[self.n_points] = 0.0
+        return table
+
+    def _pot_table(self, state: dict) -> np.ndarray:
+        """Sentinel-extended potential rows (see ``FmmEvaluator.allocate``).
+
+        Row ``n_points`` absorbs the padding-slot writes of fancy-indexed
+        scatters; ``state["pot"]`` views only the real rows.
+        """
+        return state["_pot_pad"].reshape(self.n_points + 1, self.kt_eval)
+
+    def _buffer(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        """Reusable scratch array (density table, FFT accumulators)."""
+        need = int(np.prod(shape))
+        buf = self._scratch.get(name)
+        if buf is None or buf.size < need or buf.dtype != np.dtype(dtype):
+            buf = self._scratch[name] = np.empty(need, dtype=dtype)
+        return buf[:need].reshape(shape)
+
+    # -- phase applies -----------------------------------------------------
+
+    def apply_s2u(self, ev, dens, state, profile) -> None:
+        if not self.s2u:
+            return
+        up = state["up"]
+        table = self._dens_table(dens)
+        for blk in self.s2u:
+            den = table[blk.den_rows].reshape(blk.group.size, blk.pad * self.ks)
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+            )
+            q = np.einsum("bij,bj->bi", k, den)
+            up[blk.group] = q @ blk.mat.T
+            profile.add_flops(blk.flops)
+
+    def apply_u2u(self, ev, state, profile) -> None:
+        up = state["up"]
+        for st in self.u2u:
+            up[st.dst] += up[st.src] @ st.mat.T
+            profile.add_flops(st.flops)
+
+    def apply_vli_fft(self, ev, state, profile) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        fft = ev.fft
+        step_flops = fft.translate_flops_per_pair()
+        for ch in self.vli_fft:
+            uhat = fft.forward(up[ch.usrc])
+            acc = self._buffer(
+                "vli_acc",
+                (ch.utgt.size, self.kt, fft.n, fft.n, fft.nf),
+                np.complex128,
+            )
+            acc.fill(0.0)
+            for _off, that, tpos, spos, npairs in ch.steps:
+                acc[tpos] += fft.translate(that, uhat[spos])
+                profile.add_flops(npairs * step_flops)
+            dcheck[ch.utgt] += fft.inverse(acc)
+            profile.add_flops(
+                (ch.usrc.size * self.ks + ch.utgt.size * self.kt)
+                * fft.fft_flops_per_box()
+            )
+
+    def apply_vli_dense(self, ev, state, profile) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        for st in self.vli_dense:
+            dcheck[st.dst] += up[st.src] @ st.mat.T
+            profile.add_flops(st.flops)
+
+    def apply_xli(self, ev, dens, state, profile) -> None:
+        if not self.xli:
+            return
+        dcheck = state["dcheck"]
+        table = self._dens_table(dens)
+        for blk in self.xli:
+            den = table[blk.den_rows].reshape(blk.rows.size, blk.pad * self.ks)
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+            )
+            vals = np.einsum("bij,bj->bi", k, den)
+            dcheck[blk.seg] += np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            profile.add_flops(blk.flops)
+
+    def apply_d2d(self, ev, state, profile) -> None:
+        dcheck, dequiv = state["dcheck"], state["dequiv"]
+        for lv in self.d2d:
+            for st in lv.l2l:
+                dcheck[st.dst] += dequiv[st.src] @ st.mat.T
+                profile.add_flops(st.flops)
+            dequiv[lv.nodes] = dcheck[lv.nodes] @ lv.conv_mat.T
+            profile.add_flops(lv.conv_flops)
+
+    def apply_wli(self, ev, tree, state, profile) -> None:
+        if self.wli_rows.size == 0:
+            return
+        up = state["up"]
+        keep = np.any(up[self.wli_cols] != 0.0, axis=1)
+        if not keep.any():
+            return
+        sig = np.packbits(keep)
+        if self._wli is None or not np.array_equal(sig, self._wli.sig):
+            with profile.phase("setup:wli"):
+                if self._wli is not None:  # reclaim the replaced cache's budget
+                    self._mat_left += self._wli.cached_bytes
+                blocks = _compile_wli_blocks(
+                    ev, tree, self, self.wli_rows[keep], self.wli_cols[keep]
+                )
+                cached = sum(
+                    b.kmat.nbytes for b in blocks if b.kmat is not None
+                )
+                self._wli = _WliSection(sig=sig, blocks=blocks, cached_bytes=cached)
+        potr = self._pot_table(state)
+        kt = self.kt_eval
+        for blk in self._wli.blocks:
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+            )
+            vals = np.einsum("bij,bj->bi", k, up[blk.cols])
+            sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            potr[blk.pot_rows] += sums.reshape(blk.seg.size, blk.pad, kt)
+            profile.add_flops(blk.flops)
+
+    def apply_d2t(self, ev, state, profile) -> None:
+        dequiv = state["dequiv"]
+        potr = self._pot_table(state)
+        kt = self.kt_eval
+        for blk in self.d2t:
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+            )
+            vals = np.einsum("bij,bj->bi", k, dequiv[blk.group])
+            potr[blk.pot_rows] += vals.reshape(blk.group.size, blk.pad, kt)
+            profile.add_flops(blk.flops)
+
+    def apply_uli(self, ev, dens, state, profile) -> None:
+        if not self.uli:
+            return
+        table = self._dens_table(dens)
+        potr = self._pot_table(state)
+        kt = self.kt_eval
+        for blk in self.uli:
+            den = table[blk.den_rows].reshape(blk.boxes.size, blk.sp * self.ks)
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+            )
+            vals = np.einsum("bij,bj->bi", k, den)
+            potr[blk.pot_rows] += vals.reshape(blk.boxes.size, blk.tp, kt)
+            profile.add_flops(blk.flops)
+
+
+# -- compile ------------------------------------------------------------------
+
+
+def _padded_point_rows(tree: FmmTree, nodes: np.ndarray, pad: int) -> np.ndarray:
+    """(b, pad) rows into the point-major table; padding -> sentinel row."""
+    counts = (tree.pt_end - tree.pt_begin)[nodes]
+    ar = np.arange(pad, dtype=np.int64)[None, :]
+    rows = tree.pt_begin[nodes][:, None] + ar
+    rows[ar >= counts[:, None]] = tree.n_points
+    return rows
+
+
+def _padded_points(tree: FmmTree, nodes: np.ndarray, pad: int) -> np.ndarray:
+    """(b, pad, 3) leaf points, padding slots at the box centre.
+
+    Byte-identical to what the legacy per-box gather loops build, so the
+    downstream kernel matrices match bit for bit.
+    """
+    rows = _padded_point_rows(tree, nodes, pad)
+    pts = np.repeat(tree.centers[nodes][:, None, :], pad, axis=1)
+    valid = rows != tree.n_points
+    pts[valid] = tree.points[rows[valid]]
+    return pts
+
+
+def _scatter_schedule(targets: np.ndarray):
+    """Stable argsort + reduceat segment starts + unique segment targets."""
+    order = np.argsort(targets, kind="stable")
+    st = targets[order]
+    starts = np.flatnonzero(np.concatenate([[True], st[1:] != st[:-1]]))
+    return order, starts, st[starts]
+
+
+def _maybe_kmat(plan: EvalPlan, kernel, a: np.ndarray, b: np.ndarray):
+    """Materialise a kernel block if the matrix budget allows, else None."""
+    if not plan._cache_matrices:
+        return None
+    est = 8 * a.shape[0] * (a.shape[1] * kernel.target_dim) * (
+        b.shape[1] * kernel.source_dim
+    )
+    if est > plan._mat_left:
+        return None
+    k = kernel.matrix_batch(a, b)
+    plan._mat_left -= k.nbytes
+    return k
+
+
+def _compile_wli_blocks(ev, tree, plan: EvalPlan, rows, cols):
+    """W-list pair batches for one keep pattern (lazy, possibly repeated)."""
+    counts = tree.point_counts()
+    blocks = []
+    base: dict[int, np.ndarray] = {}
+    for lev, pad, ri, ci in ev._pair_batches(
+        tree, rows, cols, tree.levels[cols], counts[rows]
+    ):
+        if lev not in base:
+            base[lev] = ev.ops.ue_points(lev)
+        ue = base[lev][None, :, :] + tree.centers[ci][:, None, :]
+        pts = _padded_points(tree, ri, pad)
+        order, starts, seg = _scatter_schedule(ri)
+        blocks.append(
+            _PairBlock(
+                level=lev,
+                pad=pad,
+                rows=ri,
+                cols=ci,
+                pts=pts,
+                surf=ue,
+                den_rows=None,
+                order=order,
+                starts=starts,
+                seg=seg,
+                pot_rows=_padded_point_rows(tree, seg, pad),
+                kmat=_maybe_kmat(plan, ev.eval_kernel, pts, ue),
+                flops=ev.eval_kernel.pair_flops(counts[ri].sum(), ev.ns),
+            )
+        )
+    return blocks
+
+
+def compile_plan(
+    ev,
+    tree: FmmTree,
+    lists,
+    scopes: PlanScopes | None = None,
+    cache_matrices: bool = True,
+    matrix_budget: int = MATRIX_BUDGET,
+) -> EvalPlan:
+    """Compile an :class:`EvalPlan` for evaluator ``ev`` on ``(tree, lists)``.
+
+    ``scopes`` carries the distributed ownership masks (``None`` =
+    unrestricted).  ``cache_matrices`` materialises leaf/pair kernel
+    blocks up to ``matrix_budget`` bytes, U-list first (it dominates the
+    near field); disable it to trade apply speed for memory.
+    """
+    scopes = scopes if scopes is not None else PlanScopes()
+    ks, kt = ev.kernel.source_dim, ev.kernel.target_dim
+    counts = tree.point_counts()
+    plan = EvalPlan(
+        fingerprint=tree_fingerprint(tree),
+        n_points=tree.n_points,
+        ns=ev.ns,
+        ks=ks,
+        kt=kt,
+        kt_eval=ev.eval_kernel.target_dim,
+        scoped=scopes.any_set(),
+    )
+    plan._tree = tree
+    plan._cache_matrices = bool(cache_matrices)
+    plan._mat_left = int(matrix_budget) if cache_matrices else 0
+
+    # -- ULI (compiled first: priority claim on the matrix budget) ---------
+    u = lists.u
+    for tp, sp, boxes, stot in ev._uli_groups(tree, lists, scopes.uli):
+        src_rows = np.full((boxes.size, sp), tree.n_points, dtype=np.int64)
+        for j, i in enumerate(boxes):
+            srcs = u.of(i)
+            srcs = srcs[counts[srcs] > 0]
+            if srcs.size == 0:
+                continue
+            idx = np.concatenate(
+                [np.arange(tree.pt_begin[a], tree.pt_end[a]) for a in srcs]
+            )
+            src_rows[j, : idx.size] = idx
+        src_pts = np.repeat(tree.centers[boxes][:, None, :], sp, axis=1)
+        valid = src_rows != tree.n_points
+        src_pts[valid] = tree.points[src_rows[valid]]
+        tgt_pts = _padded_points(tree, boxes, tp)
+        plan.uli.append(
+            _UliBlock(
+                tp=tp,
+                sp=sp,
+                boxes=boxes,
+                tgt_pts=tgt_pts,
+                src_pts=src_pts,
+                den_rows=src_rows,
+                pot_rows=_padded_point_rows(tree, boxes, tp),
+                kmat=_maybe_kmat(plan, ev.eval_kernel, tgt_pts, src_pts),
+                flops=ev.eval_kernel.pair_flops(1, 1)
+                * float((counts[boxes] * stot).sum()),
+            )
+        )
+
+    # -- S2U ---------------------------------------------------------------
+    sel = tree.is_leaf & (counts > 0)
+    if scopes.s2u is not None:
+        sel = sel & scopes.s2u
+    base_uc: dict[int, np.ndarray] = {}
+    mats: dict[int, np.ndarray] = {}
+    for lev, pad, group in ev._leaf_batches(tree, sel):
+        if lev not in base_uc:
+            base_uc[lev] = ev.ops.uc_points(lev)
+            mats[lev] = ev.ops.uc2ue(lev)
+        pts = _padded_points(tree, group, pad)
+        uc = base_uc[lev][None, :, :] + tree.centers[group][:, None, :]
+        plan.s2u.append(
+            _LeafBlock(
+                level=lev,
+                pad=pad,
+                group=group,
+                pts=pts,
+                surf=uc,
+                den_rows=_padded_point_rows(tree, group, pad),
+                pot_rows=None,
+                mat=mats[lev],
+                kmat=_maybe_kmat(plan, ev.kernel, uc, pts),
+                flops=ev.kernel.pair_flops(ev.ns, counts[group].sum())
+                + 2.0 * group.size * (ev.ns * ks) * (ev.ns * kt),
+            )
+        )
+
+    # -- D2T ---------------------------------------------------------------
+    dsel = tree.is_leaf & (counts > 0)
+    if scopes.d2t is not None:
+        dsel = dsel & scopes.d2t
+    base_de: dict[int, np.ndarray] = {}
+    for lev, pad, group in ev._leaf_batches(tree, dsel):
+        if lev not in base_de:
+            base_de[lev] = ev.ops.de_points(lev)
+        pts = _padded_points(tree, group, pad)
+        de = base_de[lev][None, :, :] + tree.centers[group][:, None, :]
+        plan.d2t.append(
+            _LeafBlock(
+                level=lev,
+                pad=pad,
+                group=group,
+                pts=pts,
+                surf=de,
+                den_rows=None,
+                pot_rows=_padded_point_rows(tree, group, pad),
+                mat=None,
+                kmat=_maybe_kmat(plan, ev.eval_kernel, pts, de),
+                flops=ev.eval_kernel.pair_flops(counts[group].sum(), ev.ns),
+            )
+        )
+
+    # -- XLI ---------------------------------------------------------------
+    x = lists.x
+    xsel = x.counts > 0
+    if scopes.xli is not None:
+        xsel = xsel & scopes.xli
+    rows = np.repeat(np.arange(tree.n_nodes), np.where(xsel, x.counts, 0))
+    cols = x.indices[np.repeat(xsel, x.counts)] if x.indices.size else x.indices
+    keepx = counts[cols] > 0
+    rows, cols = rows[keepx], cols[keepx]
+    base_dc: dict[int, np.ndarray] = {}
+    for lev, pad, ri, ci in ev._pair_batches(
+        tree, rows, cols, tree.levels[rows], counts[cols]
+    ):
+        if lev not in base_dc:
+            base_dc[lev] = ev.ops.dc_points(lev)
+        pts = _padded_points(tree, ci, pad)
+        dc = base_dc[lev][None, :, :] + tree.centers[ri][:, None, :]
+        order, starts, seg = _scatter_schedule(ri)
+        plan.xli.append(
+            _PairBlock(
+                level=lev,
+                pad=pad,
+                rows=ri,
+                cols=ci,
+                pts=pts,
+                surf=dc,
+                den_rows=_padded_point_rows(tree, ci, pad),
+                order=order,
+                starts=starts,
+                seg=seg,
+                pot_rows=None,
+                kmat=_maybe_kmat(plan, ev.kernel, dc, pts),
+                flops=ev.kernel.pair_flops(ev.ns, counts[ci].sum()),
+            )
+        )
+
+    # -- U2U ---------------------------------------------------------------
+    for lev in range(tree.max_level, 0, -1):
+        nodes = tree.nodes_at_level(lev)
+        nodes = nodes[counts[nodes] > 0]
+        if scopes.u2u is not None:
+            nodes = nodes[scopes.u2u[nodes]]
+        if nodes.size == 0:
+            continue
+        pos = tree.child_pos[nodes]
+        for k in range(8):
+            ch = nodes[pos == k]
+            if ch.size == 0:
+                continue
+            m = ev.ops.m2m(lev, k)
+            plan.u2u.append(
+                _MatStep(
+                    mat=m,
+                    src=ch,
+                    dst=tree.parent[ch],
+                    flops=2.0 * ch.size * m.size,
+                )
+            )
+
+    # -- VLI ---------------------------------------------------------------
+    if ev.m2l_mode == "fft":
+        fft = ev.fft
+        for lev, usrc, utgt, steps in ev._vli_chunks(tree, lists, scopes.vli):
+            plan.vli_fft.append(
+                _VChunk(
+                    level=lev,
+                    usrc=usrc,
+                    utgt=utgt,
+                    steps=[
+                        (off, fft.kernel_hat(lev, off), tpos, spos, npairs)
+                        for off, tpos, spos, npairs in steps
+                    ],
+                )
+            )
+    else:
+        for lev, tgts, srcs, offs in ev._v_pairs_by_level(tree, lists, scopes.vli):
+            code = (offs[:, 0] + 3) * 49 + (offs[:, 1] + 3) * 7 + offs[:, 2] + 3
+            for c in np.unique(code):
+                cs = code == c
+                off = tuple(offs[cs][0])
+                m = ev.ops.m2l_dense(lev, off)
+                plan.vli_dense.append(
+                    _MatStep(
+                        mat=m,
+                        src=srcs[cs],
+                        dst=tgts[cs],
+                        flops=2.0 * cs.sum() * m.size,
+                    )
+                )
+
+    # -- D2D ---------------------------------------------------------------
+    for lev in range(1, tree.max_level + 1):
+        nodes = tree.nodes_at_level(lev)
+        if scopes.d2d is not None:
+            nodes = nodes[scopes.d2d[nodes]]
+        if nodes.size == 0:
+            continue
+        pos = tree.child_pos[nodes]
+        l2l_steps = []
+        for k in range(8):
+            ch = nodes[pos == k]
+            if ch.size == 0:
+                continue
+            m = ev.ops.l2l(lev, k)
+            l2l_steps.append(
+                _MatStep(
+                    mat=m,
+                    src=tree.parent[ch],
+                    dst=ch,
+                    flops=2.0 * ch.size * m.size,
+                )
+            )
+        conv = ev.ops.dc2de(lev)
+        plan.d2d.append(
+            _D2dLevel(
+                l2l=l2l_steps,
+                conv_mat=conv,
+                nodes=nodes,
+                conv_flops=2.0 * nodes.size * conv.size,
+            )
+        )
+
+    # -- WLI candidates (schedule itself compiles lazily per up-pattern) ---
+    w = lists.w
+    wsel = tree.is_leaf & (w.counts > 0) & (counts > 0)
+    if scopes.wli is not None:
+        wsel = wsel & scopes.wli
+    plan.wli_rows = np.repeat(np.arange(tree.n_nodes), np.where(wsel, w.counts, 0))
+    plan.wli_cols = (
+        w.indices[np.repeat(wsel, w.counts)] if w.indices.size else w.indices
+    )
+
+    return plan

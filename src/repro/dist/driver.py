@@ -61,6 +61,12 @@ class DistributedFmm:
     use_gpu:
         Attach a virtual GPU to this rank and run the accelerated
         evaluator (each MPI process owns one accelerator, as on Lincoln).
+    use_plan:
+        Compile an :class:`~repro.core.plan.EvalPlan` (with this rank's
+        ownership masks baked in) on the first ``evaluate()`` and reuse
+        it for every subsequent call on the same setup — including
+        resilient retries and checkpoint resumes, which rebind
+        communicators but keep the LET, and with it the plan.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class DistributedFmm:
         use_gpu: bool = False,
         gpu=None,
         gpu_wx: bool = False,
+        use_plan: bool = True,
     ):
         if comm_scheme not in ("hypercube", "owner"):
             raise ValueError("comm_scheme must be 'hypercube' or 'owner'")
@@ -100,12 +107,14 @@ class DistributedFmm:
             self.evaluator = FmmEvaluator(
                 self.kernel, self.order, m2l_mode=m2l_mode, rcond=rcond
             )
+        self.use_plan = bool(use_plan)
         self.comm: SimComm | None = None
         self.let: LocalEssentialTree | None = None
         self.lists = None
         self._own_point_keys: np.ndarray | None = None
         self._own_counts: np.ndarray | None = None
         self._ckpt: dict | None = None
+        self._plan = None
 
     # -- setup ---------------------------------------------------------------
 
@@ -225,6 +234,7 @@ class DistributedFmm:
         e = np.searchsorted(point_keys, hi, side="right")
         self._own_counts = (e - b).astype(np.int64)
         self._ckpt = None  # densities from an old tree are meaningless
+        self._plan = None  # plans are bound to the LET built above
         self._arm_chaos_gpu()
 
     # -- evaluation --------------------------------------------------------------
@@ -274,6 +284,30 @@ class DistributedFmm:
         own_leaf = let.owned_leaf
         contrib = let.owned_contrib & (self._own_counts > 0)
 
+        plan = self._plan
+        if self.use_plan and plan is None:
+            from repro.core.plan import PlanScopes
+
+            # Compiled once per setup(): the ownership masks are baked in,
+            # and the plan survives rebind()/resume, so retried attempts
+            # and every later evaluate() skip straight to the apply.
+            with profile.phase("setup:plan"):
+                plan = self._plan = ev.compile_plan(
+                    tree,
+                    lists,
+                    scopes=PlanScopes(
+                        s2u=own_leaf,
+                        u2u=contrib,
+                        vli=let.owned_contrib,
+                        xli=let.owned_contrib,
+                        d2d=let.owned_contrib,
+                        wli=own_leaf,
+                        d2t=own_leaf,
+                        uli=own_leaf,
+                    ),
+                    cache_matrices=ev.PLAN_CACHE_MATRICES,
+                )
+
         if resumable:
             dens = self._ckpt["dens"].copy()
             state["up"] = self._ckpt["up"].copy()
@@ -284,9 +318,9 @@ class DistributedFmm:
             with profile.phase("COMM_exchange"):
                 let.exchange_densities(comm, dens, ks)
             with profile.phase("S2U"):
-                ev.s2u(tree, dens, state, profile, scope=own_leaf)
+                ev.s2u(tree, dens, state, profile, scope=own_leaf, plan=plan)
             with profile.phase("U2U"):
-                ev.u2u(tree, state, profile, scope=contrib)
+                ev.u2u(tree, state, profile, scope=contrib, plan=plan)
             with profile.phase("COMM_reduce"):
                 self._reduce_shared(state)
             self._ckpt = {
@@ -295,17 +329,20 @@ class DistributedFmm:
                 "up": state["up"].copy(),
             }
         with profile.phase("VLI"):
-            ev.vli(tree, lists, state, profile, scope=let.owned_contrib)
+            ev.vli(tree, lists, state, profile, scope=let.owned_contrib, plan=plan)
         with profile.phase("XLI"):
-            ev.xli(tree, lists, dens, state, profile, scope=let.owned_contrib)
+            ev.xli(
+                tree, lists, dens, state, profile,
+                scope=let.owned_contrib, plan=plan,
+            )
         with profile.phase("D2D"):
-            ev.d2d(tree, state, profile, scope=let.owned_contrib)
+            ev.d2d(tree, state, profile, scope=let.owned_contrib, plan=plan)
         with profile.phase("WLI"):
-            ev.wli(tree, lists, state, profile, scope=own_leaf)
+            ev.wli(tree, lists, state, profile, scope=own_leaf, plan=plan)
         with profile.phase("D2T"):
-            ev.d2t(tree, state, profile, scope=own_leaf)
+            ev.d2t(tree, state, profile, scope=own_leaf, plan=plan)
         with profile.phase("ULI"):
-            ev.uli(tree, lists, dens, state, profile, scope=own_leaf)
+            ev.uli(tree, lists, dens, state, profile, scope=own_leaf, plan=plan)
         return let.gather_own_values(state["pot"], kt)
 
     def _reduce_shared(self, state: dict) -> None:

@@ -52,7 +52,37 @@ class GpuFmmEvaluator(FmmEvaluator):
         # the dual-kernel (gradient) evaluation path is CPU-only
         assert self.eval_kernel is self.kernel
 
+    #: Lazily compiled plans skip host-side kernel-matrix caches: the
+    #: device kernels regenerate surface geometry on chip, so the cached
+    #: blocks would never be read on the accelerated phases.
+    PLAN_CACHE_MATRICES = False
+
     # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _ragged_rows(begin: np.ndarray, cnts: np.ndarray):
+        """Concatenated ``arange(begin[j], begin[j]+cnts[j])`` + offsets."""
+        offsets = np.concatenate(([0], np.cumsum(cnts))).astype(np.int64)
+        rows = (
+            np.repeat(begin.astype(np.int64) - offsets[:-1], cnts)
+            + np.arange(offsets[-1], dtype=np.int64)
+        )
+        return rows, offsets
+
+    @staticmethod
+    def _plan_cache(plan, key, builder):
+        """Density-independent GPU staging schedule, cached on the plan."""
+        val = plan.gpu.get(key)
+        if val is None:
+            val = plan.gpu[key] = builder()
+        return val
+
+    @staticmethod
+    def _boxes_mask(tree, groups) -> np.ndarray:
+        sel = np.zeros(tree.n_nodes, dtype=bool)
+        for g in groups:
+            sel[g] = True
+        return sel
 
     def _device_ok(self, phase: str, profile) -> bool:
         """Probe the device at phase entry; degrade to the CPU on a fault.
@@ -92,17 +122,32 @@ class GpuFmmEvaluator(FmmEvaluator):
 
     # -- accelerated phases -------------------------------------------------
 
-    def s2u(self, tree, dens, state, profile, scope=None) -> None:
+    def s2u(self, tree, dens, state, profile, scope=None, plan=None) -> None:
         if not self._device_ok("S2U", profile):
-            super().s2u(tree, dens, state, profile, scope)
+            super().s2u(tree, dens, state, profile, scope, plan=plan)
             return
-        counts = tree.point_counts()
-        sel = tree.is_leaf & (counts > 0)
-        if scope is not None:
-            sel = sel & scope
-        with profile.phase("translate"):
-            stream = build_leaf_stream(tree, sel)
-            flat, offsets = self._leaf_density_block(tree, dens, stream.boxes)
+        if plan is not None:
+            # The plan caches the device stream and the flat gather rows,
+            # so repeated applies stage densities with one fancy index.
+            def _stage():
+                sel = self._boxes_mask(tree, (b.group for b in plan.s2u))
+                stream = build_leaf_stream(tree, sel)
+                cnts = tree.pt_end[stream.boxes] - tree.pt_begin[stream.boxes]
+                rows, offsets = self._ragged_rows(tree.pt_begin[stream.boxes], cnts)
+                return stream, rows, offsets
+
+            with profile.phase("translate"):
+                stream, rows, offsets = self._plan_cache(plan, "s2u", _stage)
+                ks = self.kernel.source_dim
+                flat = dens.reshape(tree.n_points, ks)[rows].reshape(-1)
+        else:
+            counts = tree.point_counts()
+            sel = tree.is_leaf & (counts > 0)
+            if scope is not None:
+                sel = sel & scope
+            with profile.phase("translate"):
+                stream = build_leaf_stream(tree, sel)
+                flat, offsets = self._leaf_density_block(tree, dens, stream.boxes)
         dens_dev = self.gpu.to_device(flat, phase="S2U")
         up32 = gpu_s2u(
             self.gpu, stream, dens_dev, offsets, self.kernel, self.ops
@@ -111,93 +156,116 @@ class GpuFmmEvaluator(FmmEvaluator):
         state["up"][stream.boxes] = up_host
         profile.add_flops(0.0)  # CPU does no arithmetic here
 
-    def vli(self, tree, lists, state, profile, scope=None) -> None:
+    def vli(self, tree, lists, state, profile, scope=None, plan=None) -> None:
         """FFT-diagonalised V-list with the multiply on the device.
 
         Per the paper, per-octant FFTs run on the CPU; only the pointwise
         frequency-space translation is offloaded.  Dense mode has no GPU
-        path and falls back to the CPU implementation.
+        path and falls back to the CPU implementation.  With a plan, the
+        chunk schedules come precompiled and the complex64 kernel
+        transforms the device consumes are cached on the plan, so repeated
+        applies skip both the pair grouping and the narrowing casts.
         """
         if self.m2l_mode != "fft" or not self._device_ok("VLI", profile):
-            super().vli(tree, lists, state, profile, scope)
+            super().vli(tree, lists, state, profile, scope, plan=plan)
             return
         up, dcheck = state["up"], state["dcheck"]
         fft = self.fft
         kt, ks = self.kernel.target_dim, self.kernel.source_dim
-        for lev, tgts, srcs, offs in self._v_pairs_by_level(tree, lists, scope):
-            # pairs arrive sorted by target; chunks are contiguous slices
-            utgt_all = np.unique(tgts)
-            for t0 in range(0, utgt_all.size, self.VLI_CHUNK):
-                chunk = utgt_all[t0 : t0 + self.VLI_CHUNK]
-                a = np.searchsorted(tgts, chunk[0], side="left")
-                b = np.searchsorted(tgts, chunk[-1], side="right")
-                ctgts, csrcs, coffs = tgts[a:b], srcs[a:b], offs[a:b]
-                usrc, src_pos = np.unique(csrcs, return_inverse=True)
-                utgt, tgt_pos = np.unique(ctgts, return_inverse=True)
-                # CPU: forward FFTs
-                uhat = fft.forward(up[usrc]).astype(np.complex64)
-                profile.add_flops(usrc.size * ks * fft.fft_flops_per_box())
-                nbytes_grid = uhat[0].nbytes if usrc.size else 0
-                self.gpu.ledger.charge_transfer(
-                    "VLI",
-                    self.gpu.model.transfer_seconds(uhat.nbytes),
-                    uhat.nbytes,
-                )
-                acc = np.zeros(
-                    (utgt.size, kt, fft.n, fft.n, fft.nf), dtype=np.complex64
-                )
-                code = (
-                    (coffs[:, 0] + 3) * 49 + (coffs[:, 1] + 3) * 7 + coffs[:, 2] + 3
-                )
-                flops = 0.0
-                gbytes = 0.0
-                for c in np.unique(code):
-                    sel = code == c
-                    off = tuple(coffs[sel][0])
-                    that = fft.kernel_hat(lev, off).astype(np.complex64)
-                    acc[tgt_pos[sel]] += fft.translate(that, uhat[src_pos[sel]])
-                    flops += sel.sum() * fft.translate_flops_per_pair()
-                    # low arithmetic intensity: every pair streams a grid
-                    gbytes += sel.sum() * (2.0 * nbytes_grid) + that.nbytes
-                self.gpu.charge_launch("VLI", flops, gbytes)
-                self.gpu.ledger.charge_transfer(
-                    "VLI", self.gpu.model.transfer_seconds(acc.nbytes), acc.nbytes
-                )
-                # CPU: inverse FFTs and surface gather
-                dcheck[utgt] += fft.inverse(acc.astype(np.complex128))
-                profile.add_flops(utgt.size * kt * fft.fft_flops_per_box())
+        if plan is not None:
+            that32 = plan.gpu.setdefault("vli_that32", {})
+            chunks = (
+                (ch.level, ch.usrc, ch.utgt, ch.steps) for ch in plan.vli_fft
+            )
+        else:
+            that32 = {}
+            chunks = (
+                (lev, usrc, utgt,
+                 [(off, fft.kernel_hat(lev, off), tpos, spos, npairs)
+                  for off, tpos, spos, npairs in steps])
+                for lev, usrc, utgt, steps in self._vli_chunks(tree, lists, scope)
+            )
+        for lev, usrc, utgt, steps in chunks:
+            # CPU: forward FFTs
+            uhat = fft.forward(up[usrc]).astype(np.complex64)
+            profile.add_flops(usrc.size * ks * fft.fft_flops_per_box())
+            nbytes_grid = uhat[0].nbytes if usrc.size else 0
+            self.gpu.ledger.charge_transfer(
+                "VLI",
+                self.gpu.model.transfer_seconds(uhat.nbytes),
+                uhat.nbytes,
+            )
+            acc = np.zeros(
+                (utgt.size, kt, fft.n, fft.n, fft.nf), dtype=np.complex64
+            )
+            flops = 0.0
+            gbytes = 0.0
+            for off, that, tpos, spos, npairs in steps:
+                t32 = that32.get((lev, off))
+                if t32 is None:
+                    t32 = that32[(lev, off)] = that.astype(np.complex64)
+                acc[tpos] += fft.translate(t32, uhat[spos])
+                flops += npairs * fft.translate_flops_per_pair()
+                # low arithmetic intensity: every pair streams a grid
+                gbytes += npairs * (2.0 * nbytes_grid) + t32.nbytes
+            self.gpu.charge_launch("VLI", flops, gbytes)
+            self.gpu.ledger.charge_transfer(
+                "VLI", self.gpu.model.transfer_seconds(acc.nbytes), acc.nbytes
+            )
+            # CPU: inverse FFTs and surface gather
+            dcheck[utgt] += fft.inverse(acc.astype(np.complex128))
+            profile.add_flops(utgt.size * kt * fft.fft_flops_per_box())
 
-    def d2t(self, tree, state, profile, scope=None) -> None:
+    def d2t(self, tree, state, profile, scope=None, plan=None) -> None:
         if not self._device_ok("D2T", profile):
-            super().d2t(tree, state, profile, scope)
+            super().d2t(tree, state, profile, scope, plan=plan)
             return
-        counts = tree.point_counts()
-        sel = tree.is_leaf & (counts > 0)
-        if scope is not None:
-            sel = sel & scope
-        with profile.phase("translate"):
-            stream = build_leaf_stream(tree, sel)
+        kt = self.kernel.target_dim
+        if plan is not None:
+            # Device results come back contiguous in stream order, so the
+            # cached target-point rows scatter them in one fancy add.
+            def _stage():
+                sel = self._boxes_mask(tree, (b.group for b in plan.d2t))
+                stream = build_leaf_stream(tree, sel)
+                cnts = tree.pt_end[stream.boxes] - tree.pt_begin[stream.boxes]
+                rows, _ = self._ragged_rows(tree.pt_begin[stream.boxes], cnts)
+                return stream, rows
+
+            with profile.phase("translate"):
+                stream, rows = self._plan_cache(plan, "d2t", _stage)
+        else:
+            counts = tree.point_counts()
+            sel = tree.is_leaf & (counts > 0)
+            if scope is not None:
+                sel = sel & scope
+            with profile.phase("translate"):
+                stream = build_leaf_stream(tree, sel)
+            rows = None
         deq_dev = self.gpu.to_device(
             state["dequiv"][stream.boxes], phase="D2T"
         )
         pot32 = gpu_d2t(self.gpu, stream, deq_dev, self.kernel, self.ops)
         pot_host = self.gpu.to_host(pot32, phase="D2T")
-        kt = self.kernel.target_dim
         pot = state["pot"]
+        if rows is not None:
+            pot.reshape(-1, kt)[rows] += pot_host.reshape(-1, kt)
+            return
         for j, i in enumerate(stream.boxes):
             p0, p1 = stream.pt_offsets[j], stream.pt_offsets[j + 1]
             pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += pot_host[
                 p0 * kt : p1 * kt
             ]
 
-    def wli(self, tree, lists, state, profile, scope=None) -> None:
+    def wli(self, tree, lists, state, profile, scope=None, plan=None) -> None:
         """W-list on the device when ``accelerate_wx`` is set.
 
         Source UE surface points are generated on the fly (as in S2U);
         only the target particles and up densities cross global memory.
+        The device path is per-box and plan-free (the plan only speeds up
+        the host paths it falls back to).
         """
         if not self.accelerate_wx or not self._device_ok("WLI", profile):
-            super().wli(tree, lists, state, profile, scope)
+            super().wli(tree, lists, state, profile, scope, plan=plan)
             return
         from repro.gpu.kernels import pairwise_f32
 
@@ -230,14 +298,15 @@ class GpuFmmEvaluator(FmmEvaluator):
             gbytes += pts.nbytes + row.nbytes
         self.gpu.charge_launch("WLI", flops, gbytes)
 
-    def xli(self, tree, lists, dens, state, profile, scope=None) -> None:
+    def xli(self, tree, lists, dens, state, profile, scope=None, plan=None) -> None:
         """X-list on the device when ``accelerate_wx`` is set.
 
         Target DC surface points are generated on the fly; ghost-leaf
-        source particles stream from global memory.
+        source particles stream from global memory.  Per-box and
+        plan-free, like the device W-list.
         """
         if not self.accelerate_wx or not self._device_ok("XLI", profile):
-            super().xli(tree, lists, dens, state, profile, scope)
+            super().xli(tree, lists, dens, state, profile, scope, plan=plan)
             return
         from repro.gpu.kernels import pairwise_f32
 
@@ -274,21 +343,40 @@ class GpuFmmEvaluator(FmmEvaluator):
                 gbytes += acc.nbytes
         self.gpu.charge_launch("XLI", flops, gbytes)
 
-    def uli(self, tree, lists, dens, state, profile, scope=None) -> None:
+    def uli(self, tree, lists, dens, state, profile, scope=None, plan=None) -> None:
         if not self._device_ok("ULI", profile):
-            super().uli(tree, lists, dens, state, profile, scope)
+            super().uli(tree, lists, dens, state, profile, scope, plan=plan)
             return
-        counts = tree.point_counts()
-        sel = tree.is_leaf & (counts > 0)
-        if scope is not None:
-            sel = sel & scope
-        with profile.phase("translate"):
-            stream = build_u_stream(tree, lists, self.gpu.block_size, sel)
+        kt = self.kernel.target_dim
+        if plan is not None:
+            # Device targets are padded to block multiples, so unlike D2T
+            # both sides of the scatter need cached row arrays: dst rows
+            # into the potential table, src rows into the device result.
+            def _stage():
+                sel = self._boxes_mask(tree, (b.boxes for b in plan.uli))
+                stream = build_u_stream(tree, lists, self.gpu.block_size, sel)
+                cnts = tree.pt_end[stream.boxes] - tree.pt_begin[stream.boxes]
+                dst, _ = self._ragged_rows(tree.pt_begin[stream.boxes], cnts)
+                src, _ = self._ragged_rows(stream.tgt_offsets[:-1], cnts)
+                return stream, dst, src
+
+            with profile.phase("translate"):
+                stream, dst, src = self._plan_cache(plan, "uli", _stage)
+        else:
+            counts = tree.point_counts()
+            sel = tree.is_leaf & (counts > 0)
+            if scope is not None:
+                sel = sel & scope
+            with profile.phase("translate"):
+                stream = build_u_stream(tree, lists, self.gpu.block_size, sel)
+            dst = src = None
         dens_dev = self.gpu.to_device(dens, phase="ULI")
         pot32 = gpu_uli(self.gpu, stream, dens_dev, self.kernel)
         pot_host = self.gpu.to_host(pot32, phase="ULI")
-        kt = self.kernel.target_dim
         pot = state["pot"]
+        if dst is not None:
+            pot.reshape(-1, kt)[dst] += pot_host.reshape(-1, kt)[src]
+            return
         for j, i in enumerate(stream.boxes):
             t0 = stream.tgt_offsets[j]
             n = tree.pt_end[i] - tree.pt_begin[i]

@@ -145,9 +145,14 @@ def overlapped_eval_seconds(
 def setup_seconds(
     profiles: list[PhaseProfile], machine: MachineModel
 ) -> dict[str, float]:
-    """Modelled max-over-ranks time of the setup phases."""
+    """Modelled max-over-ranks time of the setup phases.
+
+    ``setup:plan`` / ``setup:wli`` are the evaluation-plan compilation
+    spans (see :mod:`repro.core.plan`): one-time work that amortises
+    across repeated applies, so it belongs with setup, not evaluation.
+    """
     out = {}
-    for ph in ("tree", "let", "lists", "balance"):
+    for ph in ("tree", "let", "lists", "balance", "setup:plan", "setup:wli"):
         secs, _ = _phase_values(profiles, machine, [ph])
         out[ph] = float(secs.max())
     return out

@@ -1,0 +1,217 @@
+"""Tests for the plan-compiled evaluation engine (:mod:`repro.core.plan`).
+
+The load-bearing invariant: a plan-based apply is **bit-identical** to the
+legacy per-call path — same batches, same operation order, same floats.
+That is what lets `DistributedFmm` swap plans in under resilient retries
+and what keeps the chaos-matrix replay checks meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Fmm, PlanMismatchError, PlanScopes, tree_fingerprint
+from repro.datasets import uniform_cube
+from repro.dist.driver import DistributedFmm
+from repro.kernels import LaplaceGradientKernel
+from repro.mpi import run_spmd
+
+N = 2000
+SEED = 7
+
+
+def _points(n=N, seed=SEED):
+    return uniform_cube(n, seed=seed)
+
+
+def _setup(kernel="laplace", order=4, q=40, n=N, **kw):
+    fmm = Fmm(kernel, order=order, max_points_per_box=q, **kw)
+    pts = _points(n)
+    plan = fmm.plan(pts)
+    rng = np.random.default_rng(SEED)
+    dens = rng.standard_normal(n * fmm.kernel.source_dim)
+    srt = dens.reshape(-1, fmm.kernel.source_dim)[plan.tree.order].reshape(-1)
+    return fmm, plan, srt
+
+
+@pytest.mark.parametrize("kernel", ["laplace", "stokes", "yukawa"])
+def test_plan_bit_identical(kernel):
+    fmm, plan, dens = _setup(kernel)
+    ev = fmm.evaluator
+    ref = ev.evaluate(plan.tree, plan.lists, dens, use_plan=False).copy()
+    ep = ev.compile_plan(plan.tree, plan.lists)
+    out = ev.evaluate(plan.tree, plan.lists, dens, plan=ep)
+    assert np.array_equal(ref, out)
+
+
+def test_plan_bit_identical_gradient_eval_kernel():
+    fmm, plan, dens = _setup(eval_kernel=LaplaceGradientKernel())
+    ev = fmm.evaluator
+    ref = ev.evaluate(plan.tree, plan.lists, dens, use_plan=False).copy()
+    ep = ev.compile_plan(plan.tree, plan.lists)
+    out = ev.evaluate(plan.tree, plan.lists, dens, plan=ep)
+    assert np.array_equal(ref, out)
+
+
+def test_plan_bit_identical_dense_m2l():
+    fmm, plan, dens = _setup(m2l_mode="dense")
+    ev = fmm.evaluator
+    ref = ev.evaluate(plan.tree, plan.lists, dens, use_plan=False).copy()
+    ep = ev.compile_plan(plan.tree, plan.lists)
+    out = ev.evaluate(plan.tree, plan.lists, dens, plan=ep)
+    assert np.array_equal(ref, out)
+
+
+def test_plan_bit_identical_without_matrix_cache():
+    """Budget misses fall back to per-apply kernel evaluation, same floats."""
+    fmm, plan, dens = _setup()
+    ev = fmm.evaluator
+    ref = ev.evaluate(plan.tree, plan.lists, dens, use_plan=False).copy()
+    ep = ev.compile_plan(plan.tree, plan.lists, cache_matrices=False)
+    assert ep.matrix_bytes() == 0
+    out = ev.evaluate(plan.tree, plan.lists, dens, plan=ep)
+    assert np.array_equal(ref, out)
+
+
+def test_plan_scoped_ownership_masks():
+    """A plan compiled with node masks matches legacy scoped phases."""
+    fmm, plan, dens = _setup()
+    ev = fmm.evaluator
+    tree, lists = plan.tree, plan.lists
+    rng = np.random.default_rng(3)
+    scope = rng.random(tree.n_nodes) < 0.7
+    state_a = ev.allocate(tree)
+    state_b = ev.allocate(tree)
+    ep = ev.compile_plan(
+        tree, lists,
+        scopes=PlanScopes(s2u=scope, u2u=scope, vli=scope, xli=scope,
+                          d2d=scope, wli=scope, d2t=scope, uli=scope),
+    )
+    assert ep.scoped
+    from repro.util.timer import PhaseProfile
+
+    pa, pb = PhaseProfile(), PhaseProfile()
+    ev.s2u(tree, dens, state_a, pa, scope=scope)
+    ev.s2u(tree, dens, state_b, pb, plan=ep)
+    ev.u2u(tree, state_a, pa, scope=scope)
+    ev.u2u(tree, state_b, pb, plan=ep)
+    ev.vli(tree, lists, state_a, pa, scope=scope)
+    ev.vli(tree, lists, state_b, pb, plan=ep)
+    ev.xli(tree, lists, dens, state_a, pa, scope=scope)
+    ev.xli(tree, lists, dens, state_b, pb, plan=ep)
+    ev.d2d(tree, state_a, pa, scope=scope)
+    ev.d2d(tree, state_b, pb, plan=ep)
+    ev.wli(tree, lists, state_a, pa, scope=scope)
+    ev.wli(tree, lists, state_b, pb, plan=ep)
+    ev.d2t(tree, state_a, pa, scope=scope)
+    ev.d2t(tree, state_b, pb, plan=ep)
+    ev.uli(tree, lists, dens, state_a, pa, scope=scope)
+    ev.uli(tree, lists, dens, state_b, pb, plan=ep)
+    for key in ("up", "dcheck", "dequiv", "pot"):
+        assert np.array_equal(state_a[key], state_b[key]), key
+
+
+def test_wli_pattern_change_recompiles_bit_identically():
+    """Zeroing densities changes the W-list up-gating; the lazy W-list
+    schedule recompiles and results stay bit-identical."""
+    fmm, plan, dens = _setup(n=2500, q=25)
+    ev = fmm.evaluator
+    tree, lists = plan.tree, plan.lists
+    ep = ev.compile_plan(tree, lists)
+    out1 = ev.evaluate(tree, lists, dens, plan=ep).copy()
+    ref1 = ev.evaluate(tree, lists, dens, use_plan=False).copy()
+    assert np.array_equal(ref1, out1)
+    assert ep._wli is not None
+    sig1 = ep._wli.sig.copy()
+    # Zero the points of one W-list *leaf* source box: its up density
+    # becomes exactly 0.0, flipping the keep mask for its pairs.
+    counts = tree.point_counts()
+    cols = ep.wli_cols
+    src_leaves = cols[tree.is_leaf[cols] & (counts[cols] > 0)]
+    assert src_leaves.size, "test tree has no leaf W-list sources"
+    box = int(src_leaves[0])
+    dens2 = dens.copy()
+    dens2[tree.pt_begin[box] : tree.pt_end[box]] = 0.0
+    out2 = ev.evaluate(tree, lists, dens2, plan=ep).copy()
+    ref2 = ev.evaluate(tree, lists, dens2, use_plan=False).copy()
+    assert np.array_equal(ref2, out2)
+    assert not np.array_equal(sig1, ep._wli.sig)
+
+
+def test_lazy_compile_on_second_call():
+    fmm, plan, dens = _setup()
+    ev = fmm.evaluator
+    r1 = ev.evaluate(plan.tree, plan.lists, dens).copy()
+    assert ev._plan_obj is None  # one-shot calls stay plan-free
+    r2 = ev.evaluate(plan.tree, plan.lists, dens).copy()
+    assert ev._plan_obj is not None
+    r3 = ev.evaluate(plan.tree, plan.lists, dens).copy()
+    assert np.array_equal(r1, r2) and np.array_equal(r1, r3)
+
+
+def test_fmm_facade_plan_roundtrip():
+    """Fmm.evaluate with an eagerly compiled eval_plan matches legacy."""
+    fmm = Fmm("laplace", order=4, max_points_per_box=40)
+    pts = _points()
+    plan = fmm.plan(pts)
+    dens = np.random.default_rng(SEED).standard_normal(N)
+    ref = fmm.evaluate(pts, dens, plan=plan, use_plan=False)
+    ep = fmm.compile_eval_plan(plan)
+    out = fmm.evaluate(pts, dens, plan=plan, eval_plan=ep)
+    assert np.array_equal(ref, out)
+
+
+def test_plan_invalidation_fingerprint():
+    """A plan compiled for tree A is rejected on a different tree B."""
+    fmm, plan, dens = _setup()
+    ep = fmm.evaluator.compile_plan(plan.tree, plan.lists)
+    other = Fmm("laplace", order=4, max_points_per_box=70).plan(_points())
+    assert tree_fingerprint(other.tree) != ep.fingerprint
+    with pytest.raises(PlanMismatchError):
+        fmm.evaluator.evaluate(
+            other.tree, other.lists,
+            dens[: other.tree.n_points], plan=ep,
+        )
+    # same tree object passes the identity fast-path
+    ep.check(plan.tree)
+
+
+@pytest.mark.parametrize("p", [1, 4])
+def test_distributed_plan_bit_identical(p):
+    points = _points(1600, seed=11)
+
+    def body(comm, use_plan):
+        fmm = DistributedFmm(order=4, max_points_per_box=40, use_plan=use_plan)
+        fmm.setup(comm, points[comm.rank :: comm.size])
+        pts = fmm.owned_points
+        dens = np.sin(17.0 * pts[:, 0]) + pts[:, 2] * np.cos(11.0 * pts[:, 1])
+        p1 = fmm.evaluate(dens)
+        p2 = fmm.evaluate(dens)
+        assert np.array_equal(p1, p2)
+        assert (fmm._plan is not None) == use_plan
+        return p1
+
+    ref = run_spmd(p, body, False)
+    new = run_spmd(p, body, True)
+    for r in range(p):
+        assert np.array_equal(ref.values[r], new.values[r])
+
+
+def test_distributed_plan_compiles_once():
+    """Trace setup:plan spans: exactly one compile per rank across
+    consecutive evaluates (the cached plan is reused)."""
+    points = _points(1600, seed=13)
+
+    def body(comm):
+        fmm = DistributedFmm(order=4, max_points_per_box=40)
+        fmm.setup(comm, points[comm.rank :: comm.size])
+        pts = fmm.owned_points
+        dens = np.cos(5.0 * pts[:, 1])
+        fmm.evaluate(dens)
+        fmm.evaluate(dens)
+        fmm.evaluate(2.0 * dens)  # new density, same plan
+        return None
+
+    res = run_spmd(4, body, trace=True)
+    for r in range(4):
+        spans = res.trace.span_events(rank=r, phase="setup:plan")
+        assert len(spans) == 1, f"rank {r}: {len(spans)} setup:plan spans"
