@@ -1,0 +1,194 @@
+"""Serving throughput: batched multi-RHS apply vs sequential applies.
+
+The serving engine's micro-batcher coalesces concurrent single-density
+requests into one multi-RHS apply (see :mod:`repro.serve.batcher` and
+:mod:`repro.core.contract`).  This bench measures what that buys on a
+warm plan: the wall time of ``batch`` solo applies (one density each)
+against one batched apply of the same ``batch`` densities stacked as
+columns, with a bit-identity check column by column.
+
+Configuration notes (DESIGN.md "Serving" has the full story):
+
+* ``max_points_per_box`` is deliberately large (default 400 at paper
+  scale).  Batching pays off in the GEMM-bound phases (S2U/ULI/D2T/WLI/
+  XLI), where streaming one kernel matrix over 8 density columns
+  amortises the memory traffic that dominates a solo GEMV.  The V-list
+  FFT translate is memory-bound and gains nothing from extra columns,
+  so the bench shifts work out of VLI and into ULI — the same
+  phase-balance lever as the paper's Table III q-sweep.
+* ``matrix_budget`` is raised to 6 GB so the near-field kernel blocks
+  stay cached across applies on BOTH paths; the measured ratio is then
+  pure column-batching, not a caching artefact.
+
+Results land under the ``"throughput"`` key of ``BENCH_serving.json``
+(``python -m repro serve --bench`` fills the ``"serving"`` key of the
+same file).  Run standalone for the paper-scale numbers::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --assert-ratio 2
+
+or via pytest at smoke scale (CI's serving-smoke step)::
+
+    pytest benchmarks/bench_serving.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+
+def merge_result(section: str, result: dict, path: Path = RESULT_PATH) -> None:
+    """Write ``result`` under ``section`` preserving other sections."""
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = result
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def run_bench(
+    n: int = 20_000,
+    order: int = 6,
+    q: int = 400,
+    kernel: str = "laplace",
+    batch: int = 8,
+    repeats: int = 3,
+    matrix_budget: int = 6 * 2**30,
+    seed: int = 1234,
+) -> dict:
+    from repro.core import Fmm
+    from repro.datasets import uniform_cube
+
+    points = uniform_cube(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    fmm = Fmm(kernel, order=order, max_points_per_box=q)
+    ks = fmm.kernel.source_dim
+    dens_block = rng.standard_normal((n * ks, batch))
+
+    plan = fmm.plan(points)
+    ep = fmm.compile_eval_plan(plan, matrix_budget=matrix_budget)
+
+    def solo_sweep():
+        return [
+            fmm.evaluate(points, dens_block[:, j], plan=plan, eval_plan=ep)
+            for j in range(batch)
+        ]
+
+    def batched():
+        return fmm.evaluate(points, dens_block, plan=plan, eval_plan=ep)
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        out = fn()
+        return time.perf_counter() - t0, out
+
+    # Warm both paths (kernel-matrix cache, FFT plans, scratch buffers)
+    # before timing, so the ratio is steady-state column batching only.
+    solos = solo_sweep()
+    multi = batched()
+    identical = all(
+        np.array_equal(multi[:, j], solos[j]) for j in range(batch)
+    )
+
+    seq_times = [timed(solo_sweep)[0] for _ in range(repeats)]
+    multi_times = [timed(batched)[0] for _ in range(repeats)]
+    seq_s = statistics.median(seq_times)
+    multi_s = statistics.median(multi_times)
+    return {
+        "n": n,
+        "order": order,
+        "q": q,
+        "kernel": kernel,
+        "batch": batch,
+        "repeats": repeats,
+        "matrix_budget_mb": matrix_budget / 2**20,
+        "sequential_s": seq_s,
+        "batched_s": multi_s,
+        "per_request_sequential_ms": seq_s / batch * 1e3,
+        "per_request_batched_ms": multi_s / batch * 1e3,
+        "ratio": seq_s / multi_s,
+        "plan_matrix_mb": ep.matrix_bytes() / 2**20,
+        "bit_identical": identical,
+    }
+
+
+def _print(result: dict) -> None:
+    print(
+        f"N={result['n']} order={result['order']} q={result['q']} "
+        f"{result['kernel']} batch={result['batch']}:"
+    )
+    print(f"  sequential ({result['batch']}x solo) {result['sequential_s'] * 1e3:9.1f} ms")
+    print(f"  batched (one multi-RHS)     {result['batched_s'] * 1e3:9.1f} ms")
+    print(f"  per-request batched         {result['per_request_batched_ms']:9.1f} ms")
+    print(f"  throughput ratio            {result['ratio']:9.2f}x")
+    print(f"  cached matrices             {result['plan_matrix_mb']:9.1f} MB")
+    print(f"  bit-identical columns       {result['bit_identical']}")
+
+
+def test_serving_throughput(benchmark):
+    """Smoke-scale batching check (CI's serving-smoke gate).
+
+    Asserts every batched column is bit-identical to its solo apply and
+    that batching is not slower than sequential (1.1x tolerance against
+    timer noise at tiny N; the >= 2x acceptance gate runs at paper scale
+    via ``--assert-ratio``).
+    """
+    result = benchmark.pedantic(
+        lambda: run_bench(
+            n=4_000, order=4, q=200, batch=8, repeats=3,
+            matrix_budget=2 * 2**30,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(result)
+    merge_result("throughput_smoke", result)
+    assert result["bit_identical"]
+    assert result["batched_s"] <= 1.1 * result["sequential_s"], (
+        f"batched apply {result['batched_s']:.4f}s slower than "
+        f"{result['batch']} sequential applies {result['sequential_s']:.4f}s"
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--n", type=int, default=20_000)
+    ap.add_argument("--order", type=int, default=6)
+    ap.add_argument("--q", type=int, default=400, help="max points per box")
+    ap.add_argument("--kernel", default="laplace")
+    ap.add_argument("--batch", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--matrix-budget-mb", type=int, default=6144,
+                    help="kernel-matrix cache budget (MB) for both paths")
+    ap.add_argument("--seed", type=int, default=1234)
+    ap.add_argument("--assert-ratio", type=float, default=None,
+                    metavar="X", help="fail unless ratio >= X")
+    args = ap.parse_args()
+    result = run_bench(
+        n=args.n, order=args.order, q=args.q, kernel=args.kernel,
+        batch=args.batch, repeats=args.repeats,
+        matrix_budget=args.matrix_budget_mb * 2**20, seed=args.seed,
+    )
+    _print(result)
+    merge_result("throughput", result)
+    print(f"wrote {RESULT_PATH}")
+    if not result["bit_identical"]:
+        print("FAIL: batched columns are not bit-identical to solo applies")
+        return 1
+    if args.assert_ratio is not None and result["ratio"] < args.assert_ratio:
+        print(f"FAIL: ratio {result['ratio']:.2f}x < {args.assert_ratio}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,9 @@ Commands
 ``chaos``     run the fault-injection matrix: every fault class against
               a distributed FMM, checking typed failure or bit-identical
               recovery, plus seeded-determinism replay checks
+``serve``     stand up the in-process evaluation service, drive it with
+              closed-loop clients, and report latency/throughput/batching
+              metrics (``--bench`` gates and writes BENCH_serving.json)
 ``info``      print version, kernels, machine/device models
 """
 
@@ -284,6 +287,147 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    """Serving smoke/bench: register models, run closed-loop load, report.
+
+    With ``--bench`` the run is gated (CI's serving-smoke step): every
+    accepted request must complete (0 failed), p99 latency must beat the
+    request timeout, and the mean batch size must exceed 1 (batching
+    actually engaged); the metrics snapshot lands under the ``serving``
+    key of ``BENCH_serving.json``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro import Fmm
+    from repro.datasets import make_distribution
+    from repro.serve import ServeEngine
+    from repro.serve.loadgen import run_load
+
+    faults = None
+    retry = None
+    if args.chaos:
+        from repro.mpi.faults import Fault, FaultPlan, RetryPolicy
+
+        # one phase-crash per worker early in the run: every accepted
+        # request must still complete bit-identically via retry
+        faults = FaultPlan(
+            [Fault("crash", rank=r, op="phase", phase="S2U", attempts=1)
+             for r in range(args.workers)],
+            seed=args.seed,
+        )
+        retry = RetryPolicy(max_attempts=3)
+
+    engine = ServeEngine(
+        n_workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        faults=faults,
+        retry=retry,
+        matrix_budget=args.matrix_budget_mb * 2**20,
+    )
+    print(
+        f"registering {args.models} model(s): N={args.n} {args.kernel} "
+        f"order={args.order} box={args.q} (tree + warm plan) ..."
+    )
+    names = []
+    for i in range(args.models):
+        name = f"m{i}"
+        pts = make_distribution(args.distribution, args.n, seed=args.seed + i)
+        fmm = Fmm(args.kernel, order=args.order, max_points_per_box=args.q)
+        engine.register(name, fmm, pts, warm=True)
+        names.append(name)
+
+    with engine:
+        print(
+            f"load: {args.clients} closed-loop clients for "
+            f"{args.duration:.0f}s (timeout {args.timeout:.0f}s/request)"
+        )
+        summary = run_load(
+            engine,
+            names,
+            duration_s=args.duration,
+            clients=args.clients,
+            timeout_s=args.timeout,
+            seed=args.seed,
+        )
+    summary["config"] = {
+        "n": args.n, "order": args.order, "q": args.q,
+        "kernel": args.kernel, "models": args.models,
+        "workers": args.workers, "clients": args.clients,
+        "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+        "timeout_s": args.timeout, "chaos": bool(args.chaos),
+        "matrix_budget_mb": args.matrix_budget_mb,
+    }
+    if args.chaos:
+        summary["fault_injections"] = len(engine.fault_events)
+
+    lg = summary["loadgen"]
+    print(
+        f"\nrequests: {lg['ok']} ok, {lg['overloaded']} overloaded, "
+        f"{lg['errors']} errors in {lg['elapsed_s']:.1f}s "
+        f"({summary['throughput_rps']:.1f} req/s)"
+    )
+    for name in names:
+        m = summary["models"][name]
+        lat = m["latency_s"]
+        if m["completed"]:
+            print(
+                f"  {name}: {m['completed']} done, {m['failed']} failed | "
+                f"latency p50 {lat['p50'] * 1e3:.0f} p95 {lat['p95'] * 1e3:.0f} "
+                f"p99 {lat['p99'] * 1e3:.0f} ms | "
+                f"batch mean {m['batch_size']['mean']:.2f}"
+            )
+        else:
+            print(f"  {name}: 0 done, {m['failed']} failed")
+    pc = summary["plan_cache"]
+    print(
+        f"plan cache: {pc['hits']} hits / {pc['misses']} misses "
+        f"(hit rate {pc['hit_rate']:.3f}); retries {summary['retried']}, "
+        f"rejected {summary['rejected']}, expired {summary['expired']}"
+    )
+    if args.chaos:
+        print(f"chaos: {summary['fault_injections']} injected fault(s)")
+    for err in lg["error_samples"]:
+        print(f"  error: {err}")
+
+    if args.out or args.bench:
+        out = Path(args.out) if args.out else Path("BENCH_serving.json")
+        data = {}
+        if out.exists():
+            try:
+                data = json.loads(out.read_text())
+            except (ValueError, OSError):
+                data = {}
+        data["serving"] = summary
+        out.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if args.bench:
+        failed_total = sum(
+            summary["models"][m]["failed"] for m in names
+        ) + lg["errors"]
+        p99s = [summary["models"][m]["latency_s"]["p99"] for m in names
+                if summary["models"][m]["completed"]]
+        batch_means = [summary["models"][m]["batch_size"]["mean"]
+                       for m in names if summary["models"][m]["completed"]]
+        checks = [
+            ("0 failed requests", failed_total == 0),
+            ("every model completed requests", len(p99s) == len(names)),
+            (f"p99 < timeout ({args.timeout:.0f}s)",
+             bool(p99s) and max(p99s) < args.timeout),
+            ("mean batch size > 1 (batching engaged)",
+             bool(batch_means) and max(batch_means) > 1.0),
+        ]
+        ok = True
+        for label, passed in checks:
+            print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+            ok = ok and passed
+        return 0 if ok else 1
+    return 0
+
+
 def _cmd_info(args) -> int:
     import repro
     from repro.gpu.device import TESLA_S1070
@@ -387,6 +531,45 @@ def main(argv=None) -> int:
     pc.add_argument("--out", default=None, metavar="OUT_JSONL",
                     help="write the crash-class recovery trace to JSONL")
     pc.set_defaults(fn=_cmd_chaos)
+
+    ps = sub.add_parser(
+        "serve",
+        help="run the in-process evaluation service under closed-loop load",
+    )
+    ps.add_argument("--kernel", default="laplace")
+    ps.add_argument("--distribution", default="uniform",
+                    choices=["uniform", "ellipsoid", "plummer",
+                             "two_spheres", "filament"])
+    ps.add_argument("--n", type=int, default=8_000,
+                    help="points per registered model")
+    ps.add_argument("--order", type=int, default=6)
+    ps.add_argument("--q", type=int, default=400,
+                    help="max points per box (large: shifts work into the "
+                         "GEMM-batched U-list, where batching pays)")
+    ps.add_argument("--models", type=int, default=1,
+                    help="number of models to register (m0..mK-1)")
+    ps.add_argument("--workers", type=int, default=2)
+    ps.add_argument("--clients", type=int, default=8,
+                    help="closed-loop client threads")
+    ps.add_argument("--duration", type=float, default=5.0,
+                    help="load-generation window in seconds")
+    ps.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request deadline in seconds")
+    ps.add_argument("--max-batch", type=int, default=8)
+    ps.add_argument("--max-wait-ms", type=float, default=2.0)
+    ps.add_argument("--max-queue", type=int, default=64)
+    ps.add_argument("--matrix-budget-mb", type=int, default=2048,
+                    help="kernel-matrix cache budget per compiled plan")
+    ps.add_argument("--chaos", action="store_true",
+                    help="inject one phase-crash per worker; accepted "
+                         "requests must still complete via retry")
+    ps.add_argument("--bench", action="store_true",
+                    help="gate the run (0 failed, p99 < timeout, batching "
+                         "engaged) and write BENCH_serving.json")
+    ps.add_argument("--out", default=None, metavar="OUT_JSON",
+                    help="write the metrics summary JSON here")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.set_defaults(fn=_cmd_serve)
 
     pi = sub.add_parser("info", help="print build/config information")
     pi.set_defaults(fn=_cmd_info)

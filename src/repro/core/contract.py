@@ -1,0 +1,61 @@
+"""The shared dense-contraction primitive of the evaluation phases.
+
+Every kernel-matrix phase (S2U, XLI, WLI, D2T, ULI) reduces to
+``out[b] = k[b] @ den[b]`` over a batch of padded blocks.  Three code
+paths must produce **bit-identical** columns from this contraction — the
+legacy per-call phases, the plan applies, and the multi-RHS (serving
+batch) applies — so they all funnel through :func:`gemm_cols`, which
+fixes the floating-point operation sequence by construction:
+
+* The right-hand side is always materialised as a fresh C-contiguous
+  ``(b, j, Q_PAD)`` block, zero-padded to a **fixed column width**.
+  BLAS GEMM results depend on the operand shapes and memory layout (a
+  ``(b, j, 1)`` matmul takes a different kernel than ``(b, j, 8)``, and
+  a strided operand can change the blocking), but with the shape and
+  layout pinned, each output column is an independent FMA chain over the
+  same ``k`` elements: column ``c`` depends only on input column ``c``,
+  not on its position's neighbours or on how many real columns there
+  are.  Verified properties on this BLAS (see tests/test_multirhs.py):
+  position-independence, other-column-value-independence.
+* A single-RHS caller therefore pads its one column to ``Q_PAD`` and
+  reads column 0; a ``q``-column batch runs ``ceil(q / Q_PAD)`` GEMM
+  groups of the identical shape.  The padding columns cost almost
+  nothing: GEMM at these sizes is bound by streaming ``k``, which is
+  read once per group either way — that is the whole multi-RHS batching
+  win.
+
+This replaces the previous ``np.einsum("bij,bj->bi")`` formulation,
+which never dispatched to BLAS (2-3x slower) and whose batched
+``"bij,bqj->bqi"`` form only amortised the Python overhead, not the
+``k`` traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Q_PAD", "gemm_cols"]
+
+#: Fixed GEMM column-group width.  Changing this changes result bits
+#: (legally — all paths change together), so it is a constant, not a
+#: tuning knob.
+Q_PAD = 8
+
+
+def gemm_cols(k: np.ndarray, den_cols: np.ndarray) -> np.ndarray:
+    """Batched ``k @ den_cols`` with a pinned GEMM shape per column group.
+
+    ``k``: ``(b, i, j)`` kernel blocks (C-contiguous — cached plan
+    matrices and ``matrix_batch`` outputs both are).
+    ``den_cols``: ``(b, j, q)`` density columns, any layout.
+    Returns ``(b, i, q)``; column ``c`` is bit-identical for any ``q``,
+    any column position, and any values in the other columns.
+    """
+    b, jdim, q = den_cols.shape
+    out = np.empty((b, k.shape[1], q))
+    for g0 in range(0, q, Q_PAD):
+        g1 = min(g0 + Q_PAD, q)
+        blk = np.zeros((b, jdim, Q_PAD))
+        blk[:, :, : g1 - g0] = den_cols[:, :, g0:g1]
+        out[:, :, g0:g1] = np.matmul(k, blk)[:, :, : g1 - g0]
+    return out

@@ -29,10 +29,12 @@ evaluations pay nothing and repeated applies amortise the setup.
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 import numpy as np
 
+from repro.core.contract import gemm_cols
 from repro.core.fft_m2l import FftM2L
 from repro.core.lists import InteractionLists
 from repro.core.operators import OperatorCache
@@ -86,10 +88,13 @@ class FmmEvaluator:
         self.ns = self.ops.n_surf
         # Lazy plan cache: (weakrefs to the last-seen tree/lists, how many
         # consecutive evaluates saw them, and the compiled plan if any).
+        # Guarded by ``_plan_lock``: concurrent evaluates of one shared
+        # evaluator must agree on a single compile per (tree, lists).
         self._plan_tree = None
         self._plan_lists = None
         self._plan_calls = 0
         self._plan_obj = None
+        self._plan_lock = threading.Lock()
 
     # -- plans -------------------------------------------------------------
 
@@ -116,22 +121,33 @@ class FmmEvaluator:
 
         Compilation is charged to the ``setup:plan`` span so traces and
         the perf model can separate amortisable setup from apply work.
+        The whole lookup runs under ``_plan_lock``: two threads evaluating
+        the same pair must produce exactly one compile (later callers
+        block briefly, then reuse it) and must not race the weakref
+        bookkeeping into re-compiling or dropping a live plan.
         """
-        tr = self._plan_tree() if self._plan_tree is not None else None
-        lr = self._plan_lists() if self._plan_lists is not None else None
-        if tr is tree and lr is lists:
-            self._plan_calls += 1
-            if self._plan_obj is None and self._plan_calls >= 2:
-                with profile.phase("setup:plan"):
-                    self._plan_obj = self.compile_plan(
-                        tree, lists, cache_matrices=self.PLAN_CACHE_MATRICES
-                    )
-        else:
-            self._plan_tree = weakref.ref(tree)
-            self._plan_lists = weakref.ref(lists)
-            self._plan_calls = 1
-            self._plan_obj = None
-        return self._plan_obj
+        with self._plan_lock:
+            tr = self._plan_tree() if self._plan_tree is not None else None
+            lr = self._plan_lists() if self._plan_lists is not None else None
+            if tr is tree and lr is lists:
+                self._plan_calls += 1
+                if self._plan_obj is None and self._plan_calls >= 2:
+                    with profile.phase("setup:plan"):
+                        self._plan_obj = self.compile_plan(
+                            tree, lists, cache_matrices=self.PLAN_CACHE_MATRICES
+                        )
+            else:
+                self._plan_tree = weakref.ref(tree)
+                self._plan_lists = weakref.ref(lists)
+                self._plan_calls = 1
+                self._plan_obj = None
+            return self._plan_obj
+
+    #: Whether this evaluator can push a multi-RHS ``(n, q)`` density
+    #: block through the phases in one pass.  The GPU evaluator turns
+    #: this off (its device kernels stage one density at a time), falling
+    #: back to a bit-identical per-column loop.
+    SUPPORTS_MULTI_RHS = True
 
     # -- public API -------------------------------------------------------
 
@@ -147,7 +163,11 @@ class FmmEvaluator:
         """Potentials at the tree's (Morton-sorted) points.
 
         ``densities`` must be in the tree's sorted point order with dof
-        interleaved per point; the result uses the same layout.
+        interleaved per point; the result uses the same layout.  A 2-D
+        array whose first axis has ``n_points * source_dim`` rows is a
+        multi-RHS column block and is routed to :meth:`evaluate_multi`
+        (result ``(n_points * target_dim, q)``); any other shape is
+        flattened to a single density vector.
 
         ``plan`` applies a caller-compiled
         :class:`~repro.core.plan.EvalPlan` (validated against ``tree``).
@@ -157,15 +177,24 @@ class FmmEvaluator:
         forces the per-call legacy path.
         """
         profile = profile if profile is not None else PhaseProfile()
+        expected = tree.n_points * self.kernel.source_dim
+        arr = np.asarray(densities)
+        if arr.ndim == 2 and arr.shape[0] == expected:
+            return self.evaluate_multi(
+                tree, lists, arr, profile, plan=plan, use_plan=use_plan
+            )
         if plan is not None:
             plan.check(tree)
         elif use_plan:
             plan = self._cached_plan(tree, lists, profile)
         state = self.allocate(tree)
-        dens = np.ascontiguousarray(densities, dtype=np.float64).reshape(-1)
-        expected = tree.n_points * self.kernel.source_dim
+        dens = np.ascontiguousarray(arr, dtype=np.float64).reshape(-1)
         if dens.size != expected:
-            raise ValueError(f"densities size {dens.size} != {expected}")
+            raise ValueError(
+                f"densities shape {arr.shape} has {dens.size} values, "
+                f"expected n_points*source_dim = {expected} (or a 2-D "
+                f"({expected}, q) multi-RHS block)"
+            )
 
         with profile.phase("S2U"):
             self.s2u(tree, dens, state, profile, plan=plan)
@@ -184,6 +213,82 @@ class FmmEvaluator:
         with profile.phase("ULI"):
             self.uli(tree, lists, dens, state, profile, plan=plan)
         return state["pot"]
+
+    def evaluate_multi(
+        self,
+        tree: FmmTree,
+        lists: InteractionLists,
+        dens_block: np.ndarray,
+        profile: PhaseProfile | None = None,
+        plan=None,
+        use_plan: bool = True,
+    ) -> np.ndarray:
+        """Potentials for a ``(n_points * source_dim, q)`` density block.
+
+        Returns ``(n_points * eval_target_dim, q)``; column ``j`` is
+        bit-identical to ``evaluate(dens_block[:, j])`` (see the multi-RHS
+        notes in :mod:`repro.core.plan`).  The batched one-pass path needs
+        a plan; without one (or when the subclass sets
+        ``SUPPORTS_MULTI_RHS = False``) columns run through
+        :meth:`evaluate` one at a time — identical by construction, just
+        without the GEMM batching win.
+        """
+        profile = profile if profile is not None else PhaseProfile()
+        dens = np.ascontiguousarray(dens_block, dtype=np.float64)
+        expected = tree.n_points * self.kernel.source_dim
+        if dens.ndim != 2 or dens.shape[0] != expected:
+            raise ValueError(
+                f"densities shape {np.asarray(dens_block).shape} is not a "
+                f"({expected}, q) multi-RHS block "
+                f"(n_points*source_dim = {expected})"
+            )
+        q = dens.shape[1]
+        if q == 1:
+            pot = self.evaluate(
+                tree, lists, dens[:, 0], profile, plan=plan, use_plan=use_plan
+            )
+            return pot.reshape(-1, 1)
+        if plan is not None:
+            plan.check(tree)
+        elif use_plan:
+            plan = self._cached_plan(tree, lists, profile)
+        if plan is None or not self.SUPPORTS_MULTI_RHS:
+            cols = [
+                self.evaluate(
+                    tree,
+                    lists,
+                    np.ascontiguousarray(dens[:, j]),
+                    profile,
+                    plan=plan,
+                    use_plan=use_plan,
+                )
+                for j in range(q)
+            ]
+            return np.stack(cols, axis=1)
+        state = self.allocate_multi(tree, q)
+        with profile.phase("S2U"):
+            plan.apply_s2u_multi(self, dens, state, profile)
+        with profile.phase("U2U"):
+            plan.apply_u2u_multi(self, state, profile)
+        with profile.phase("VLI"):
+            if self.m2l_mode == "fft":
+                plan.apply_vli_fft_multi(self, state, profile)
+            else:
+                plan.apply_vli_dense_multi(self, state, profile)
+        with profile.phase("XLI"):
+            plan.apply_xli_multi(self, dens, state, profile)
+        with profile.phase("D2D"):
+            plan.apply_d2d_multi(self, state, profile)
+        with profile.phase("WLI"):
+            plan.apply_wli_multi(self, tree, state, profile)
+        with profile.phase("D2T"):
+            plan.apply_d2t_multi(self, state, profile)
+        with profile.phase("ULI"):
+            plan.apply_uli_multi(self, dens, state, profile)
+        pot = state["pot"]  # (n_points, q, kt_eval)
+        return np.ascontiguousarray(pot.transpose(0, 2, 1)).reshape(
+            -1, q
+        )
 
     def evaluate_targets(
         self,
@@ -289,6 +394,26 @@ class FmmEvaluator:
             "_pot_pad": pot_pad,
         }
 
+    def allocate_multi(self, tree: FmmTree, q: int) -> dict:
+        """Working arrays for a ``q``-column multi-RHS apply.
+
+        The column axis sits in the middle (``(rows, q, features)``) so
+        per-column slices gather contiguously and per-box gathers keep a
+        box's columns adjacent (see the multi-RHS notes in
+        :mod:`repro.core.plan`).
+        """
+        ks, kt = self.kernel.source_dim, self.kernel.target_dim
+        n = tree.n_nodes
+        kte = self.eval_kernel.target_dim
+        pot_pad = np.zeros((tree.n_points + 1, q, kte))
+        return {
+            "up": np.zeros((n, q, self.ns * ks)),
+            "dcheck": np.zeros((n, q, self.ns * kt)),
+            "dequiv": np.zeros((n, q, self.ns * ks)),
+            "pot": pot_pad[: tree.n_points],
+            "_pot_pad": pot_pad,
+        }
+
     # -- phases -----------------------------------------------------------
 
     #: Leaf boxes per batched kernel-matrix call (bounds peak memory).
@@ -327,7 +452,7 @@ class FmmEvaluator:
                 base[lev] = self.ops.uc_points(lev)
             uc = base[lev][None, :, :] + tree.centers[group][:, None, :]
             k = self.kernel.matrix_batch(uc, pts)
-            q = np.einsum("bij,bj->bi", k, den)
+            q = gemm_cols(k, den[:, :, None])[:, :, 0]
             up[group] = q @ self.ops.uc2ue(lev).T
             true_pts = counts[group].sum()
             profile.add_flops(
@@ -510,7 +635,7 @@ class FmmEvaluator:
                 base[lev] = self.ops.dc_points(lev)
             dc = base[lev][None, :, :] + tree.centers[ri][:, None, :]
             k = self.kernel.matrix_batch(dc, pts)
-            vals = np.einsum("bij,bj->bi", k, den)
+            vals = gemm_cols(k, den[:, :, None])[:, :, 0]
             # segment-sum by target (np.add.at is an order slower)
             order = np.argsort(ri, kind="stable")
             sorted_ri = ri[order]
@@ -596,7 +721,7 @@ class FmmEvaluator:
                 base[lev] = self.ops.ue_points(lev)
             ue = base[lev][None, :, :] + tree.centers[ci][:, None, :]
             k = self.eval_kernel.matrix_batch(pts, ue)
-            vals = np.einsum("bij,bj->bi", k, up[ci])
+            vals = gemm_cols(k, up[ci][:, :, None])[:, :, 0]
             order = np.argsort(ri, kind="stable")
             sri = ri[order]
             starts = np.flatnonzero(
@@ -628,7 +753,7 @@ class FmmEvaluator:
                 base[lev] = self.ops.de_points(lev)
             de = base[lev][None, :, :] + tree.centers[group][:, None, :]
             k = self.eval_kernel.matrix_batch(pts, de)
-            vals = np.einsum("bij,bj->bi", k, dequiv[group])
+            vals = gemm_cols(k, dequiv[group][:, :, None])[:, :, 0]
             for j, i in enumerate(group):
                 n = tree.pt_end[i] - tree.pt_begin[i]
                 pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[
@@ -710,7 +835,7 @@ class FmmEvaluator:
                     ]
                     pos += n
             k = self.eval_kernel.matrix_batch(tgt, src)
-            vals = np.einsum("bij,bj->bi", k, den)
+            vals = gemm_cols(k, den[:, :, None])[:, :, 0]
             for j, i in enumerate(boxes):
                 n = tree.pt_end[i] - tree.pt_begin[i]
                 pot[tree.pt_begin[i] * kt : tree.pt_end[i] * kt] += vals[

@@ -112,13 +112,58 @@ class FftM2L:
         grids = grids.reshape(nb, ks, self.n, self.n, self.n)
         return np.fft.rfftn(grids, axes=(-3, -2, -1))
 
+    def forward_multi(self, u: np.ndarray) -> np.ndarray:
+        """Multi-RHS :meth:`forward`: ``(n_boxes, q, ns * source_dim)`` in,
+        ``(n_boxes, q, source_dim, n, n, nf)`` out.
+
+        Each ``[:, j]`` slice is bit-identical to ``forward(u[:, j])``:
+        the grid embedding is pure data movement and pocketfft transforms
+        are computed independently per batch slot.
+        """
+        nb, q = u.shape[0], u.shape[1]
+        ks = self.kernel.source_dim
+        grids = np.zeros((nb, q, ks, self.n**3), dtype=np.float64)
+        grids[:, :, :, self._surf_n] = u.reshape(nb, q, self.ns, ks).transpose(
+            0, 1, 3, 2
+        )
+        grids = grids.reshape(nb, q, ks, self.n, self.n, self.n)
+        return np.fft.rfftn(grids, axes=(-3, -2, -1))
+
+    def inverse_multi(self, acc: np.ndarray) -> np.ndarray:
+        """Multi-RHS :meth:`inverse`: ``(n_boxes, q, target_dim, n, n, nf)``
+        in, ``(n_boxes, q, ns * target_dim)`` out (per-slice bit-identical)."""
+        nb, q = acc.shape[0], acc.shape[1]
+        kt = self.kernel.target_dim
+        grids = np.fft.irfftn(acc, s=(self.n,) * 3, axes=(-3, -2, -1))
+        vals = grids.reshape(nb, q, kt, self.n**3)[:, :, :, self._surf_n]
+        return vals.transpose(0, 1, 3, 2).reshape(nb, q, self.ns * kt)
+
     def translate(self, that: np.ndarray, uhat: np.ndarray) -> np.ndarray:
         """Pointwise (diagonal) frequency-space translation.
 
-        ``that``: ``(kt, ks, n, n, nf)``; ``uhat``: ``(nb, ks, n, n, nf)``;
-        returns ``(nb, kt, n, n, nf)``.
+        ``that``: ``(kt, ks, n, n, nf)``; ``uhat``: ``(..., ks, n, n, nf)``
+        with any leading batch dims (boxes, or boxes x densities for the
+        multi-RHS path); returns ``(..., kt, n, n, nf)``.
+
+        Written as an explicit sum of elementwise products rather than an
+        einsum: each output element is a fixed-order chain of complex
+        multiply-adds, so the result is bit-identical for any leading
+        batch shape — one multi-RHS call over ``(nb, q, ks, ...)`` matches
+        ``q`` single calls exactly.  (``einsum(optimize=True)`` picks
+        shape-dependent contraction paths, which breaks that, and never
+        vectorises this memory-bound product as well anyway.)
         """
-        return np.einsum("tsxyz,bsxyz->btxyz", that, uhat, optimize=True)
+        kt, ks = that.shape[0], that.shape[1]
+        out = np.empty(
+            uhat.shape[:-4] + (kt,) + uhat.shape[-3:],
+            dtype=np.result_type(that, uhat),
+        )
+        for t in range(kt):
+            acc = that[t, 0] * uhat[..., 0, :, :, :]
+            for s in range(1, ks):
+                acc += that[t, s] * uhat[..., s, :, :, :]
+            out[..., t, :, :, :] = acc
+        return out
 
     def inverse(self, acc: np.ndarray) -> np.ndarray:
         """Frequency accumulators -> check potentials on the surface points.

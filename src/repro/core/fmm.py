@@ -27,6 +27,29 @@ from repro.util.timer import PhaseProfile
 __all__ = ["Fmm", "FmmPlan"]
 
 
+def _as_density_block(densities, n_points: int, ks: int, where: str):
+    """Validate densities and normalise to ``(n_points * ks, q)`` + q flag.
+
+    The reshape rule: a 2-D array with ``n_points * ks`` rows is a
+    multi-RHS column block (one density vector per column); anything else
+    is flattened to a single vector, which must then have exactly
+    ``n_points * ks`` values.  Errors always report the offending shape.
+    """
+    arr = np.asarray(densities, dtype=np.float64)
+    expected = n_points * ks
+    if arr.ndim == 2 and arr.shape[0] == expected:
+        return arr, True
+    flat = arr.reshape(-1)
+    if flat.size != expected:
+        raise ValueError(
+            f"{where}: densities shape {arr.shape} has {flat.size} values, "
+            f"expected n_points*source_dim = {n_points}*{ks} = {expected}; "
+            f"pass a flat ({expected},) vector or a ({expected}, q) "
+            f"multi-RHS block"
+        )
+    return flat, False
+
+
 @dataclass
 class FmmPlan:
     """A built tree + lists, reusable across evaluations on the same points."""
@@ -133,7 +156,12 @@ class Fmm:
         """Potential at every point, in the input point order.
 
         ``densities`` has ``source_dim`` values per point (flat, point-major);
-        the result has ``target_dim`` values per point.
+        the result has ``target_dim`` values per point.  A 2-D array with
+        ``n_points * source_dim`` rows is a multi-RHS block — one density
+        vector per column, evaluated together through one batched pass —
+        and yields a ``(n_points * target_dim, q)`` result whose column
+        ``j`` is bit-identical to evaluating ``densities[:, j]`` alone.
+        Any other shape is flattened to a single vector.
 
         Repeated calls with the same ``plan`` amortise setup automatically:
         the evaluator compiles an :class:`~repro.core.plan.EvalPlan` on the
@@ -147,12 +175,21 @@ class Fmm:
         tree = plan.tree
         ks = self.kernel.source_dim
         kt = self.evaluator.eval_kernel.target_dim
-        dens = np.asarray(densities, dtype=np.float64).reshape(-1)
-        if dens.size != tree.n_points * ks:
-            raise ValueError(
-                f"densities size {dens.size} != n_points*source_dim "
-                f"{tree.n_points * ks}"
+        dens, multi = _as_density_block(
+            densities, tree.n_points, ks, "Fmm.evaluate"
+        )
+        if multi:
+            q = dens.shape[1]
+            sorted_dens = (
+                dens.reshape(-1, ks, q)[tree.order].reshape(-1, q)
             )
+            pot_sorted = self.evaluator.evaluate_multi(
+                tree, plan.lists, sorted_dens, profile,
+                plan=eval_plan, use_plan=use_plan,
+            )
+            pot = np.empty_like(pot_sorted)
+            pot.reshape(-1, kt, q)[tree.order] = pot_sorted.reshape(-1, kt, q)
+            return pot
         sorted_dens = dens.reshape(-1, ks)[tree.order].reshape(-1)
         pot_sorted = self.evaluator.evaluate(
             tree, plan.lists, sorted_dens, profile,
@@ -175,6 +212,11 @@ class Fmm:
         An extension beyond the paper's coincident-points setting: the
         tree and expansions are built over the sources; each target
         inherits the interaction lists of the leaf containing it.
+
+        ``densities`` follows the same reshape rule as :meth:`evaluate`:
+        a 2-D ``(n_points * source_dim, q)`` block evaluates each column
+        in turn (this path is plan-free, so there is no batched pass) and
+        returns ``(n_targets * target_dim, q)``.
         """
         sources = np.asarray(sources, dtype=np.float64)
         profile = profile if profile is not None else PhaseProfile()
@@ -182,12 +224,21 @@ class Fmm:
             plan = self.plan(sources, profile=profile)
         tree = plan.tree
         ks = self.kernel.source_dim
-        dens = np.asarray(densities, dtype=np.float64).reshape(-1)
-        if dens.size != tree.n_points * ks:
-            raise ValueError(
-                f"densities size {dens.size} != n_points*source_dim "
-                f"{tree.n_points * ks}"
-            )
+        dens, multi = _as_density_block(
+            densities, tree.n_points, ks, "Fmm.evaluate_targets"
+        )
+        if multi:
+            cols = [
+                self.evaluate_targets(
+                    sources,
+                    np.ascontiguousarray(dens[:, j]),
+                    targets,
+                    plan=plan,
+                    profile=profile,
+                )
+                for j in range(dens.shape[1])
+            ]
+            return np.stack(cols, axis=1)
         sorted_dens = dens.reshape(-1, ks)[tree.order].reshape(-1)
         return self.evaluator.evaluate_targets(
             tree, plan.lists, sorted_dens, targets, profile

@@ -33,7 +33,7 @@ Design rules:
 * **Kernel matrices are plan state too.**  Leaf/pair kernel blocks depend
   only on geometry; they are materialised at compile under a byte budget
   (U-list first — it dominates), turning those phases into pure
-  ``einsum`` + scatter.  Blocks that do not fit fall back to evaluating
+  GEMM + scatter.  Blocks that do not fit fall back to evaluating
   the kernel per apply, bit-identically either way.
 
 A plan is bound to one ``(tree, lists, kernel, order, m2l_mode, scope)``
@@ -44,10 +44,12 @@ different tree.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.contract import gemm_cols
 from repro.core.tree import FmmTree
 
 __all__ = [
@@ -233,7 +235,15 @@ class EvalPlan:
     gpu: dict = field(default_factory=dict)
     _wli: _WliSection | None = field(default=None, repr=False)
     _tree: FmmTree | None = field(default=None, repr=False)
-    _scratch: dict = field(default_factory=dict, repr=False)
+    #: Scratch buffers are per-thread: concurrent applies of one plan (the
+    #: serving engine's worker pool) must not share density tables or FFT
+    #: accumulators mid-flight.
+    _scratch: threading.local = field(
+        default_factory=threading.local, repr=False
+    )
+    #: Guards the lazily compiled W-list section and the matrix budget it
+    #: charges — the only plan state mutated after compile.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _mat_left: int = field(default=0, repr=False)
     _cache_matrices: bool = field(default=True, repr=False)
 
@@ -256,6 +266,38 @@ class EvalPlan:
             total += sum(b.kmat.nbytes for b in sec if b.kmat is not None)
         if self._wli is not None:
             total += self._wli.cached_bytes
+        return total
+
+    @property
+    def nbytes(self) -> int:
+        """Total resident bytes of the plan: cached kernel matrices plus
+        every precompiled index / point / operator array.  This is what the
+        serving plan cache charges against its memory budget when deciding
+        LRU evictions, so it walks *all* block records, not just ``kmat``.
+        """
+
+        def arrays(obj):
+            total = 0
+            for v in vars(obj).values():
+                if isinstance(v, np.ndarray):
+                    total += v.nbytes
+            return total
+
+        total = self.wli_rows.nbytes + self.wli_cols.nbytes
+        for sec in (self.s2u, self.u2u, self.vli_dense, self.xli,
+                    self.d2t, self.uli):
+            total += sum(arrays(b) for b in sec)
+        for lv in self.d2d:
+            total += arrays(lv) + sum(arrays(st) for st in lv.l2l)
+        for ch in self.vli_fft:
+            total += ch.usrc.nbytes + ch.utgt.nbytes
+            for _off, that, tpos, spos, _np in ch.steps:
+                # kernel_hat transforms are shared with FftM2L's own cache,
+                # but they live only because the plan keeps them referenced.
+                total += that.nbytes + tpos.nbytes + spos.nbytes
+        if self._wli is not None:
+            total += self._wli.sig.nbytes
+            total += sum(arrays(b) for b in self._wli.blocks)
         return total
 
     # -- shared helpers ----------------------------------------------------
@@ -281,11 +323,14 @@ class EvalPlan:
         return state["_pot_pad"].reshape(self.n_points + 1, self.kt_eval)
 
     def _buffer(self, name: str, shape: tuple, dtype) -> np.ndarray:
-        """Reusable scratch array (density table, FFT accumulators)."""
+        """Reusable per-thread scratch array (density table, FFT accumulators)."""
+        bufs = getattr(self._scratch, "bufs", None)
+        if bufs is None:
+            bufs = self._scratch.bufs = {}
         need = int(np.prod(shape))
-        buf = self._scratch.get(name)
+        buf = bufs.get(name)
         if buf is None or buf.size < need or buf.dtype != np.dtype(dtype):
-            buf = self._scratch[name] = np.empty(need, dtype=dtype)
+            buf = bufs[name] = np.empty(need, dtype=dtype)
         return buf[:need].reshape(shape)
 
     # -- phase applies -----------------------------------------------------
@@ -302,7 +347,7 @@ class EvalPlan:
                 if blk.kmat is not None
                 else ev.kernel.matrix_batch(blk.surf, blk.pts)
             )
-            q = np.einsum("bij,bj->bi", k, den)
+            q = gemm_cols(k, den[:, :, None])[:, :, 0]
             up[blk.group] = q @ blk.mat.T
             profile.add_flops(blk.flops)
 
@@ -351,7 +396,7 @@ class EvalPlan:
                 if blk.kmat is not None
                 else ev.kernel.matrix_batch(blk.surf, blk.pts)
             )
-            vals = np.einsum("bij,bj->bi", k, den)
+            vals = gemm_cols(k, den[:, :, None])[:, :, 0]
             dcheck[blk.seg] += np.add.reduceat(vals[blk.order], blk.starts, axis=0)
             profile.add_flops(blk.flops)
 
@@ -364,6 +409,27 @@ class EvalPlan:
             dequiv[lv.nodes] = dcheck[lv.nodes] @ lv.conv_mat.T
             profile.add_flops(lv.conv_flops)
 
+    def _wli_section(self, ev, tree, keep, profile) -> _WliSection:
+        """The W-list schedule for ``keep``, compiled lazily under the plan
+        lock (concurrent applies must not both compile, and must not watch
+        ``_wli`` swap mid-iteration — hence compile-and-snapshot)."""
+        sig = np.packbits(keep)
+        with self._lock:
+            if self._wli is None or not np.array_equal(sig, self._wli.sig):
+                with profile.phase("setup:wli"):
+                    if self._wli is not None:  # reclaim the replaced budget
+                        self._mat_left += self._wli.cached_bytes
+                    blocks = _compile_wli_blocks(
+                        ev, tree, self, self.wli_rows[keep], self.wli_cols[keep]
+                    )
+                    cached = sum(
+                        b.kmat.nbytes for b in blocks if b.kmat is not None
+                    )
+                    self._wli = _WliSection(
+                        sig=sig, blocks=blocks, cached_bytes=cached
+                    )
+            return self._wli
+
     def apply_wli(self, ev, tree, state, profile) -> None:
         if self.wli_rows.size == 0:
             return
@@ -371,27 +437,16 @@ class EvalPlan:
         keep = np.any(up[self.wli_cols] != 0.0, axis=1)
         if not keep.any():
             return
-        sig = np.packbits(keep)
-        if self._wli is None or not np.array_equal(sig, self._wli.sig):
-            with profile.phase("setup:wli"):
-                if self._wli is not None:  # reclaim the replaced cache's budget
-                    self._mat_left += self._wli.cached_bytes
-                blocks = _compile_wli_blocks(
-                    ev, tree, self, self.wli_rows[keep], self.wli_cols[keep]
-                )
-                cached = sum(
-                    b.kmat.nbytes for b in blocks if b.kmat is not None
-                )
-                self._wli = _WliSection(sig=sig, blocks=blocks, cached_bytes=cached)
+        wli = self._wli_section(ev, tree, keep, profile)
         potr = self._pot_table(state)
         kt = self.kt_eval
-        for blk in self._wli.blocks:
+        for blk in wli.blocks:
             k = (
                 blk.kmat
                 if blk.kmat is not None
                 else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
             )
-            vals = np.einsum("bij,bj->bi", k, up[blk.cols])
+            vals = gemm_cols(k, up[blk.cols][:, :, None])[:, :, 0]
             sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
             potr[blk.pot_rows] += sums.reshape(blk.seg.size, blk.pad, kt)
             profile.add_flops(blk.flops)
@@ -406,7 +461,7 @@ class EvalPlan:
                 if blk.kmat is not None
                 else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
             )
-            vals = np.einsum("bij,bj->bi", k, dequiv[blk.group])
+            vals = gemm_cols(k, dequiv[blk.group][:, :, None])[:, :, 0]
             potr[blk.pot_rows] += vals.reshape(blk.group.size, blk.pad, kt)
             profile.add_flops(blk.flops)
 
@@ -423,9 +478,239 @@ class EvalPlan:
                 if blk.kmat is not None
                 else ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
             )
-            vals = np.einsum("bij,bj->bi", k, den)
+            vals = gemm_cols(k, den[:, :, None])[:, :, 0]
             potr[blk.pot_rows] += vals.reshape(blk.boxes.size, blk.tp, kt)
             profile.add_flops(blk.flops)
+
+    # -- multi-RHS applies -------------------------------------------------
+    #
+    # Every operator is density-linear, so a block of ``q`` densities can
+    # ride through the eight phases together: the per-phase contractions
+    # batch over columns and the FFT grids batch.  The serving batcher
+    # depends on each column being **bit-identical** to a solo apply,
+    # which pins the numerics used below:
+    #
+    # * Kernel-block contractions (S2U/XLI/WLI/D2T/ULI) go through
+    #   :func:`repro.core.contract.gemm_cols` in *both* the solo and the
+    #   multi applies: GEMM runs on a fixed ``(b, j, Q_PAD)`` zero-padded
+    #   contiguous block, so column ``c`` of a ``q``-column call matches
+    #   the solo call's column bit for bit (see contract.py).
+    # * Dense matrix steps (U2U, D2D, dense M2L, the S2U post-multiply)
+    #   loop over columns: BLAS GEMM row results are *not* stable under a
+    #   changed row count at small sizes, so folding ``q`` into those
+    #   GEMMs would change bits.  ``arr[idx, j]`` (advanced + scalar
+    #   index) yields the same contiguous copy the solo path's
+    #   ``arr[idx]`` gather does, so each per-column GEMM call is
+    #   literally identical.
+    # * pocketfft transforms are batch-stable, so forward/inverse FFTs
+    #   batch over ``(box, column)``, and ``FftM2L.translate`` is an
+    #   explicit elementwise multiply-add chain (batch-stable over any
+    #   leading dims), so one translate call carries all columns of an
+    #   offset at once.
+    # * ``np.add.reduceat`` segment sums are exact per-slot regardless of
+    #   trailing axes, so scatter schedules are shared as-is.
+    # * W-list gating uses the *union* zero pattern over the block's
+    #   columns.  A column that is zero on some kept pair contributes an
+    #   exact ``+0.0`` to that segment sum, which IEEE addition absorbs
+    #   (``x + 0.0 == x``; a ``-0.0`` slot flips to ``+0.0``, equal under
+    #   ``==``), so per-column results still match the solo apply whose
+    #   own pattern kept fewer pairs.
+    #
+    # Multi state layout (see ``FmmEvaluator.allocate_multi``): node/point
+    # state keeps ``q`` on axis 1 — ``up``/``dequiv`` are
+    # ``(n_nodes, q, ns*ks)``, ``dcheck`` ``(n_nodes, q, ns*kt)``,
+    # ``_pot_pad`` ``(n_points + 1, q, kt_eval)`` — so per-column slices
+    # (the matrix steps) gather contiguously.  gemm_cols operands instead
+    # keep ``q`` innermost (``(b, j, q)`` in, ``(b, i, q)`` out), matching
+    # BLAS's preferred column layout; scatters transpose views on the fly.
+
+    def _dens_table_multi(self, dens: np.ndarray) -> np.ndarray:
+        """Sentinel-extended ``(n_points + 1, ks, q)`` density table for a
+        ``(n_points * ks, q)`` column block.  Row-major over points so a
+        padded gather reshapes straight to gemm_cols's ``(b, pad*ks, q)``."""
+        q = dens.shape[1]
+        table = self._buffer(
+            "dens_multi", (self.n_points + 1, self.ks, q), np.float64
+        )
+        table[: self.n_points] = dens.reshape(self.n_points, self.ks, q)
+        table[self.n_points] = 0.0
+        return table
+
+    @staticmethod
+    def _den_block(table: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Gather ``(b, pad * ks, q)`` C-contiguous padded densities."""
+        b, pad = rows.shape
+        ks, q = table.shape[1], table.shape[2]
+        return table[rows].reshape(b, pad * ks, q)
+
+    def apply_s2u_multi(self, ev, dens, state, profile) -> None:
+        if not self.s2u:
+            return
+        up = state["up"]
+        table = self._dens_table_multi(dens)
+        q = table.shape[2]
+        for blk in self.s2u:
+            den = self._den_block(table, blk.den_rows)
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+            )
+            qv = gemm_cols(k, den)
+            for j in range(q):
+                up[blk.group, j] = (
+                    np.ascontiguousarray(qv[:, :, j]) @ blk.mat.T
+                )
+            profile.add_flops(blk.flops * q)
+
+    def apply_u2u_multi(self, ev, state, profile) -> None:
+        up = state["up"]
+        q = up.shape[1]
+        for st in self.u2u:
+            for j in range(q):
+                up[st.dst, j] += up[st.src, j] @ st.mat.T
+            profile.add_flops(st.flops * q)
+
+    #: Byte budget for the multi-RHS V-list frequency accumulator: columns
+    #: are processed in groups sized to stay under it (FFT batching is
+    #: column-stable, so grouping does not change bits).  Deliberately
+    #: small: the translation sweep re-touches the whole accumulator once
+    #: per offset step, so it must stay cache-resident — at 256 MB a q=8
+    #: V-list ran 3x *slower* than eight solo passes; at 8 MB (one column
+    #: group on paper-size levels) it matches the solo path.  The V-list
+    #: is memory-bound and gains nothing from column batching anyway —
+    #: the multi-RHS win lives in the GEMM phases (see DESIGN.md).
+    VLI_MULTI_BYTES = 8 * 2**20
+
+    def apply_vli_fft_multi(self, ev, state, profile) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        q = up.shape[1]
+        fft = ev.fft
+        step_flops = fft.translate_flops_per_pair()
+        per_col = 16 * self.kt * fft.n * fft.n * fft.nf
+        for ch in self.vli_fft:
+            src_up = up[ch.usrc]
+            qc = max(1, int(self.VLI_MULTI_BYTES // max(ch.utgt.size * per_col, 1)))
+            for q0 in range(0, q, qc):
+                q1 = min(q0 + qc, q)
+                uhat = fft.forward_multi(np.ascontiguousarray(src_up[:, q0:q1]))
+                acc = self._buffer(
+                    "vli_acc_multi",
+                    (ch.utgt.size, q1 - q0, self.kt, fft.n, fft.n, fft.nf),
+                    np.complex128,
+                )
+                acc.fill(0.0)
+                for _off, that, tpos, spos, npairs in ch.steps:
+                    # One translate carries every column of the group: the
+                    # elementwise multiply-add chain is identical per
+                    # (pair, column) regardless of the leading batch shape.
+                    acc[tpos] += fft.translate(that, uhat[spos])
+                    profile.add_flops(npairs * step_flops * (q1 - q0))
+                dcheck[ch.utgt, q0:q1] += fft.inverse_multi(acc)
+                profile.add_flops(
+                    (ch.usrc.size * self.ks + ch.utgt.size * self.kt)
+                    * fft.fft_flops_per_box()
+                    * (q1 - q0)
+                )
+
+    def apply_vli_dense_multi(self, ev, state, profile) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        q = up.shape[1]
+        for st in self.vli_dense:
+            for j in range(q):
+                dcheck[st.dst, j] += up[st.src, j] @ st.mat.T
+            profile.add_flops(st.flops * q)
+
+    def apply_xli_multi(self, ev, dens, state, profile) -> None:
+        if not self.xli:
+            return
+        dcheck = state["dcheck"]
+        table = self._dens_table_multi(dens)
+        q = table.shape[2]
+        for blk in self.xli:
+            den = self._den_block(table, blk.den_rows)
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+            )
+            vals = gemm_cols(k, den)  # (b, ns*kt, q)
+            sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            dcheck[blk.seg] += sums.transpose(0, 2, 1)
+            profile.add_flops(blk.flops * q)
+
+    def apply_d2d_multi(self, ev, state, profile) -> None:
+        dcheck, dequiv = state["dcheck"], state["dequiv"]
+        q = dcheck.shape[1]
+        for lv in self.d2d:
+            for st in lv.l2l:
+                for j in range(q):
+                    dcheck[st.dst, j] += dequiv[st.src, j] @ st.mat.T
+                profile.add_flops(st.flops * q)
+            for j in range(q):
+                dequiv[lv.nodes, j] = dcheck[lv.nodes, j] @ lv.conv_mat.T
+            profile.add_flops(lv.conv_flops * q)
+
+    def apply_wli_multi(self, ev, tree, state, profile) -> None:
+        if self.wli_rows.size == 0:
+            return
+        up = state["up"]
+        q = up.shape[1]
+        keep = np.any(up[self.wli_cols] != 0.0, axis=(1, 2))
+        if not keep.any():
+            return
+        wli = self._wli_section(ev, tree, keep, profile)
+        potr = state["_pot_pad"]
+        kt = self.kt_eval
+        for blk in wli.blocks:
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+            )
+            vals = gemm_cols(k, up[blk.cols].transpose(0, 2, 1))
+            sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            potr[blk.pot_rows] += sums.reshape(
+                blk.seg.size, blk.pad, kt, q
+            ).transpose(0, 1, 3, 2)
+            profile.add_flops(blk.flops * q)
+
+    def apply_d2t_multi(self, ev, state, profile) -> None:
+        dequiv = state["dequiv"]
+        potr = state["_pot_pad"]
+        q = dequiv.shape[1]
+        kt = self.kt_eval
+        for blk in self.d2t:
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+            )
+            vals = gemm_cols(k, dequiv[blk.group].transpose(0, 2, 1))
+            potr[blk.pot_rows] += vals.reshape(
+                blk.group.size, blk.pad, kt, q
+            ).transpose(0, 1, 3, 2)
+            profile.add_flops(blk.flops * q)
+
+    def apply_uli_multi(self, ev, dens, state, profile) -> None:
+        if not self.uli:
+            return
+        table = self._dens_table_multi(dens)
+        q = table.shape[2]
+        potr = state["_pot_pad"]
+        kt = self.kt_eval
+        for blk in self.uli:
+            den = self._den_block(table, blk.den_rows)
+            k = (
+                blk.kmat
+                if blk.kmat is not None
+                else ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+            )
+            vals = gemm_cols(k, den)
+            potr[blk.pot_rows] += vals.reshape(
+                blk.boxes.size, blk.tp, kt, q
+            ).transpose(0, 1, 3, 2)
+            profile.add_flops(blk.flops * q)
 
 
 # -- compile ------------------------------------------------------------------

@@ -328,6 +328,19 @@ class DistributedFmm:
                 "dens": dens.copy(),
                 "up": state["up"].copy(),
             }
+            if comm.size > 1:
+                # Commit the checkpoint collectively: without this, a
+                # crash early in one rank's downward sweep can abort a
+                # peer still blocked in COMM_reduce (before its cut), and
+                # the next attempt's collective resume decision degrades
+                # to a full re-run depending on thread schedule.  After
+                # the barrier, every rank holds its checkpoint before any
+                # rank enters the abortable downward phases, so recovery
+                # behaviour is deterministic.  (A rank aborted *inside*
+                # the barrier has already cut its checkpoint — still
+                # resumable.)
+                with profile.phase("COMM_ckpt"):
+                    comm.barrier()
         with profile.phase("VLI"):
             ev.vli(tree, lists, state, profile, scope=let.owned_contrib, plan=plan)
         with profile.phase("XLI"):

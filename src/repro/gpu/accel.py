@@ -57,6 +57,11 @@ class GpuFmmEvaluator(FmmEvaluator):
     #: blocks would never be read on the accelerated phases.
     PLAN_CACHE_MATRICES = False
 
+    #: Device staging moves one density vector per transfer; multi-RHS
+    #: blocks fall back to a bit-identical per-column loop (see
+    #: ``FmmEvaluator.evaluate_multi``).
+    SUPPORTS_MULTI_RHS = False
+
     # -- helpers -----------------------------------------------------------
 
     @staticmethod

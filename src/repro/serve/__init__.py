@@ -1,0 +1,37 @@
+"""In-process FMM evaluation service (engine, batching, admission, metrics).
+
+Public surface::
+
+    from repro.serve import ServeEngine, Overloaded, DeadlineExceeded
+
+    engine = ServeEngine(max_batch=8).start()
+    engine.register("vortex", Fmm("laplace", order=6), points)
+    pot = engine.evaluate("vortex", densities)
+
+See :mod:`repro.serve.engine` for the architecture overview and
+TUTORIAL.md §11 for a walkthrough.
+"""
+
+from repro.serve.engine import PlanCache, RegisteredModel, ServeEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.scheduler import (
+    DeadlineExceeded,
+    FairQueue,
+    Overloaded,
+    Request,
+    UnknownModel,
+    WorkerPool,
+)
+
+__all__ = [
+    "DeadlineExceeded",
+    "FairQueue",
+    "Overloaded",
+    "PlanCache",
+    "RegisteredModel",
+    "Request",
+    "ServeEngine",
+    "ServeMetrics",
+    "UnknownModel",
+    "WorkerPool",
+]

@@ -1,0 +1,78 @@
+"""Micro-batching: coalesce concurrent requests into multi-RHS applies.
+
+A serving engine that evaluates queued densities one at a time pays the
+full per-apply cost — kernel-matrix streaming, FFT grids, translation
+tables — once *per request*.  Those costs are density-independent, so a
+batch of ``q`` densities for the same model rides through one multi-RHS
+apply in barely more time than a single density (the GEMMs stream the
+same matrices either way; see DESIGN.md).  The batcher's job is to find
+those batches without hurting latency:
+
+* a worker blocks on the fair queue for the next request, then
+* waits at most ``max_wait_ms`` for more *same-model* requests to
+  arrive, flushing early as soon as ``max_batch`` are in hand (or the
+  head request's deadline leaves no slack to keep waiting).
+
+Requests for *other* models stay queued untouched (per-tenant FIFO order
+is preserved by :meth:`~repro.serve.scheduler.FairQueue.take_matching`),
+so one hot model cannot starve the rest — the fair queue hands them to
+the next worker.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.scheduler import FairQueue, Request
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Collects per-model batches from a :class:`FairQueue`."""
+
+    def __init__(
+        self,
+        queue: FairQueue,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        poll_s: float = 0.05,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.queue = queue
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        #: How long one collect() blocks waiting for a first request
+        #: before returning empty (lets worker loops observe shutdown).
+        self.poll_s = float(poll_s)
+
+    def collect(self) -> list[Request]:
+        """One batch: all for the same model, ``1..max_batch`` requests.
+
+        Empty list on idle timeout or queue shutdown.
+        """
+        head = self.queue.pop(timeout=self.poll_s)
+        if head is None:
+            return []
+        batch = [head]
+        if self.max_batch == 1:
+            return batch
+        flush_at = time.monotonic() + self.max_wait_s
+        if head.deadline is not None:
+            # Leave the apply its share: never batch-wait past the point
+            # where the head would expire before a typical apply starts.
+            flush_at = min(flush_at, head.deadline)
+        while len(batch) < self.max_batch:
+            batch.extend(
+                self.queue.take_matching(head.model, self.max_batch - len(batch))
+            )
+            if len(batch) >= self.max_batch:
+                break
+            remaining = flush_at - time.monotonic()
+            if remaining <= 0:
+                break
+            self.queue.wait_for_arrival(min(remaining, self.poll_s))
+            if time.monotonic() >= flush_at:
+                break
+        return batch

@@ -1,0 +1,393 @@
+"""The in-process FMM evaluation service.
+
+:class:`ServeEngine` turns the plan-compiled evaluator into a
+long-running service for the paper's repeated-apply workloads (time
+steppers, iterative solvers, many tenants sharing one machine): register
+a *model* — geometry + kernel + built tree — once, then submit density
+vectors from any thread and get potentials back.
+
+The engine composes four pieces, each its own module:
+
+* a **plan cache** (here): compiled :class:`~repro.core.plan.EvalPlan`
+  objects per model, LRU-evicted under a byte budget (``plan.nbytes``),
+  recompiled transparently on miss.  Warm plans are what make serving
+  cheap — an apply on a warm plan skips all setup.
+* a **micro-batcher** (:mod:`repro.serve.batcher`): concurrent
+  single-density requests for the same model coalesce into one
+  multi-RHS apply.  Each column of the batched result is bit-identical
+  to a solo evaluation (see :mod:`repro.core.contract`), so batching is
+  invisible to callers except in latency.
+* a **scheduler** (:mod:`repro.serve.scheduler`): bounded admission
+  (typed :class:`~repro.serve.scheduler.Overloaded`), per-request
+  deadlines, weighted-fair dequeue across tenants, and a plain-thread
+  worker pool.
+* **metrics** (:mod:`repro.serve.metrics`): latency quantiles,
+  throughput, batch-size distribution, plan-cache hit rate.
+
+Degraded mode: construct with a :class:`~repro.mpi.faults.FaultPlan` and
+worker applies run on the chaos fabric's phase hooks — injected faults
+surface as typed transient errors inside the worker, which retries the
+whole batch under a :class:`~repro.mpi.faults.RetryPolicy` (re-entering
+a phase advances the per-(worker, phase) trigger counter, so planned
+faults fire their quota and the retry converges).  Accepted requests
+either complete bit-identically or fail with a typed error — never
+silently wrong, never hung.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.mpi.faults import ChaosFabric, FaultPlan, RetryPolicy, TRANSIENT_ERRORS
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import ServeMetrics
+from repro.serve.scheduler import (
+    DeadlineExceeded,
+    FairQueue,
+    Overloaded,
+    Request,
+    UnknownModel,
+    WorkerPool,
+)
+from repro.util.timer import PhaseProfile
+
+__all__ = ["PlanCache", "RegisteredModel", "ServeEngine"]
+
+#: Default plan-cache budget: enough for a handful of mid-size models.
+PLAN_BUDGET = 2 * 2**30
+
+
+class RegisteredModel:
+    """One served model: geometry, kernel configuration, built tree."""
+
+    __slots__ = ("name", "fmm", "points", "plan", "expected")
+
+    def __init__(self, name, fmm, points):
+        self.name = name
+        self.fmm = fmm
+        self.points = np.asarray(points, dtype=np.float64)
+        self.plan = fmm.plan(self.points)  # tree + interaction lists
+        self.expected = self.plan.tree.n_points * fmm.kernel.source_dim
+
+
+class PlanCache:
+    """LRU cache of compiled :class:`~repro.core.plan.EvalPlan` objects.
+
+    Entries are charged their ``plan.nbytes`` at insert (the lazily
+    compiled W-list section can grow a plan afterwards; the snapshot is
+    deliberate — eviction is a budget heuristic, not an allocator).
+    Compilation runs outside the cache lock under a per-model lock, so
+    two workers missing on the same model produce one compile while other
+    models stay servable; eviction never removes the entry being
+    inserted, so a single over-budget plan still serves (the cache just
+    holds nothing else).
+    """
+
+    def __init__(self, budget_bytes: int = PLAN_BUDGET, metrics=None):
+        self.budget = int(budget_bytes)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self._compile_locks: dict[str, threading.Lock] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return sum(nb for _, nb in self._entries.values())
+
+    def invalidate(self, name: str) -> None:
+        with self._lock:
+            self._entries.pop(name, None)
+
+    def get(self, name: str, compile_fn):
+        """The cached plan for ``name``, compiling via ``compile_fn`` on miss."""
+        with self._lock:
+            hit = self._entries.get(name)
+            if hit is not None:
+                self._entries.move_to_end(name)
+                if self._metrics is not None:
+                    self._metrics.record_plan_lookup(True)
+                return hit[0]
+            if self._metrics is not None:
+                self._metrics.record_plan_lookup(False)
+            clock = self._compile_locks.setdefault(name, threading.Lock())
+        with clock:
+            with self._lock:  # a racing worker may have compiled meanwhile
+                hit = self._entries.get(name)
+                if hit is not None:
+                    self._entries.move_to_end(name)
+                    return hit[0]
+            plan = compile_fn()
+            nb = plan.nbytes
+            with self._lock:
+                self._entries[name] = (plan, nb)
+                self._entries.move_to_end(name)
+                total = sum(b for _, b in self._entries.values())
+                while total > self.budget and len(self._entries) > 1:
+                    evicted, (_, eb) = self._entries.popitem(last=False)
+                    if evicted == name:  # never evict the fresh insert
+                        self._entries[name] = (plan, nb)
+                        self._entries.move_to_end(name, last=False)
+                        break
+                    total -= eb
+            return plan
+
+
+class ServeEngine:
+    """Batching, admission-controlled FMM evaluation service.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads.  On one core they overlap queue waits with
+        compute; throughput comes from batching, not parallelism.
+    max_queue:
+        Admission bound; :meth:`submit` raises
+        :class:`~repro.serve.scheduler.Overloaded` beyond it.
+    max_batch / max_wait_ms:
+        Micro-batching flush triggers (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    plan_budget:
+        Byte budget of the :class:`PlanCache`.
+    tenant_weights:
+        Weighted-fair shares for :class:`~repro.serve.scheduler.FairQueue`.
+    faults / retry:
+        Optional :class:`~repro.mpi.faults.FaultPlan` (degraded-mode
+        chaos on the worker applies) and the
+        :class:`~repro.mpi.faults.RetryPolicy` bounding recovery.
+    trace:
+        Optional :class:`~repro.perf.trace.TraceRecorder`; workers emit
+        ``SERVE:apply:<model>`` spans plus the usual per-phase spans.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        plan_budget: int = PLAN_BUDGET,
+        tenant_weights: dict | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        trace=None,
+        matrix_budget: int | None = None,
+    ):
+        self.metrics = ServeMetrics()
+        self.queue = FairQueue(max_depth=max_queue, weights=tenant_weights)
+        self.plans = PlanCache(plan_budget, metrics=self.metrics)
+        self.batcher = MicroBatcher(
+            self.queue, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Kernel-matrix cache budget per compiled plan (None = the
+        #: compiler default).  Serving throughput lives on fully cached
+        #: near-field blocks, so benches raise this well past the
+        #: single-shot default.
+        self.matrix_budget = matrix_budget
+        self._models: dict[str, RegisteredModel] = {}
+        self._models_lock = threading.Lock()
+        self._trace = trace
+        self._fabric = (
+            ChaosFabric(n_workers, faults) if faults is not None else None
+        )
+        self._profiles = [PhaseProfile() for _ in range(n_workers)]
+        for rank, prof in enumerate(self._profiles):
+            if trace is not None:
+                prof.bind_trace(trace, rank=rank)
+            if self._fabric is not None:
+                prof.bind_chaos(self._fabric.on_phase, rank=rank)
+        if self._fabric is not None:
+            self._fabric.bind(self._profiles, trace)
+        self.pool = WorkerPool(n_workers, self._worker)
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServeEngine":
+        if not self._started:
+            self._started = True
+            self.pool.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work and join the workers (queued requests that
+        no worker picks up before shutdown fail with ``Overloaded``)."""
+        self.queue.close()
+        self.pool.stop()
+        while True:  # drain: nothing may be left hanging
+            req = self.queue.pop(timeout=0.0)
+            if req is None:
+                break
+            req.set_error(Overloaded("engine stopped before request ran"))
+
+    def __enter__(self) -> "ServeEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def fault_events(self):
+        """Injected-fault log (empty when no FaultPlan was configured)."""
+        return self._fabric.fault_events if self._fabric is not None else []
+
+    # -- models ------------------------------------------------------------
+
+    def register(self, name: str, fmm, points, warm: bool = True):
+        """Register ``name`` as (kernel config, geometry); builds the tree
+        now and, with ``warm``, compiles its evaluation plan into the
+        cache so the first request already runs at amortised speed."""
+        model = RegisteredModel(name, fmm, points)
+        with self._models_lock:
+            self._models[name] = model
+        if warm:
+            self._plan_for(model)
+        return model
+
+    def models(self) -> list[str]:
+        with self._models_lock:
+            return sorted(self._models)
+
+    def _model(self, name: str) -> RegisteredModel:
+        with self._models_lock:
+            model = self._models.get(name)
+        if model is None:
+            raise UnknownModel(
+                f"model {name!r} is not registered (have: {self.models()})"
+            )
+        return model
+
+    def _plan_for(self, model: RegisteredModel):
+        kwargs = (
+            {} if self.matrix_budget is None
+            else {"matrix_budget": self.matrix_budget}
+        )
+        return self.plans.get(
+            model.name,
+            lambda: model.fmm.compile_eval_plan(model.plan, **kwargs),
+        )
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        density: np.ndarray,
+        tenant: str = "default",
+        timeout_s: float | None = None,
+    ) -> Request:
+        """Enqueue one density vector; returns a :class:`Request` future.
+
+        Raises :class:`UnknownModel` / :class:`ValueError` on bad input
+        and :class:`Overloaded` when the queue is full.  ``timeout_s``
+        sets the request deadline: requests a worker cannot reach in time
+        fail with :class:`DeadlineExceeded` instead of completing late.
+        """
+        m = self._model(model)
+        dens = np.asarray(density, dtype=np.float64).reshape(-1)
+        if dens.size != m.expected:
+            raise ValueError(
+                f"model {model!r}: densities shape "
+                f"{np.asarray(density).shape} has {dens.size} values, "
+                f"expected n_points*source_dim = {m.expected}"
+            )
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        req = Request(model, dens, tenant=tenant, deadline=deadline)
+        try:
+            self.queue.push(req)
+        except Overloaded:
+            self.metrics.record_rejected()
+            raise
+        self.metrics.record_queue_depth(self.queue.depth)
+        return req
+
+    def evaluate(
+        self,
+        model: str,
+        density: np.ndarray,
+        tenant: str = "default",
+        timeout_s: float | None = None,
+    ) -> np.ndarray:
+        """Blocking :meth:`submit` + result."""
+        return self.submit(model, density, tenant, timeout_s).result(
+            timeout=None if timeout_s is None else timeout_s + 60.0
+        )
+
+    # -- workers -----------------------------------------------------------
+
+    def _worker(self, worker_id: int) -> None:
+        batch = self.batcher.collect()
+        if not batch:
+            return
+        now = time.monotonic()
+        live = []
+        for req in batch:
+            if req.expired(now):
+                self.metrics.record_expired(req.model)
+                req.set_error(
+                    DeadlineExceeded(
+                        f"request for model {req.model!r} expired after "
+                        f"{now - req.enqueued:.3f}s in queue"
+                    )
+                )
+            else:
+                live.append(req)
+        if not live:
+            return
+        model = self._model(live[0].model)
+        profile = self._profiles[worker_id]
+        q = len(live)
+        for req in live:
+            req.batch_size = q
+            req.wait_s = now - req.enqueued
+        dens_block = np.stack([r.density for r in live], axis=1)
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                eval_plan = self._plan_for(model)
+                with profile.phase(f"SERVE:apply:{model.name}"):
+                    pot = model.fmm.evaluate(
+                        model.points,
+                        dens_block,
+                        plan=model.plan,
+                        eval_plan=eval_plan,
+                        profile=profile,
+                    )
+                break
+            except TRANSIENT_ERRORS as err:
+                if (
+                    attempts >= self.retry.max_attempts
+                    or not isinstance(err, self.retry.retry_on)
+                ):
+                    for req in live:
+                        self.metrics.record_failed(req.model)
+                        req.set_error(err)
+                    return
+                if self.retry.backoff:
+                    time.sleep(self.retry.backoff * attempts)
+            except Exception as err:  # non-transient: fail fast, typed
+                for req in live:
+                    self.metrics.record_failed(req.model)
+                    req.set_error(err)
+                return
+        done = time.monotonic()
+        for _ in range(attempts - 1):
+            self.metrics.record_retry()
+        for j, req in enumerate(live):
+            req.set_result(np.ascontiguousarray(pot[:, j]))
+            self.metrics.record_completed(
+                req.model, done - req.enqueued, req.wait_s, q
+            )

@@ -1,0 +1,86 @@
+"""Closed-loop load generator for the serving engine.
+
+Drives a :class:`~repro.serve.engine.ServeEngine` with a configurable
+number of concurrent closed-loop clients (each submits, waits for the
+result, submits again), which is the access pattern of the paper's
+repeated-apply consumers — a time stepper per tenant, an iterative
+solver per tenant — and exactly what gives the micro-batcher material
+to coalesce.  Produces the summary dict that ``python -m repro serve
+--bench`` writes to ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.serve.engine import ServeEngine
+from repro.serve.scheduler import Overloaded
+
+__all__ = ["run_load"]
+
+
+def run_load(
+    engine: ServeEngine,
+    models: list[str],
+    duration_s: float = 5.0,
+    clients: int = 8,
+    timeout_s: float = 30.0,
+    seed: int = 0,
+) -> dict:
+    """Run closed-loop clients against ``engine`` for ``duration_s``.
+
+    Client ``i`` drives model ``models[i % len(models)]`` as tenant
+    ``t{i}`` with fresh random densities each round.  Returns the
+    engine's metrics snapshot plus loadgen-side counters (successes,
+    typed rejections, unexpected errors, wall time).
+    """
+    stop_at = time.monotonic() + duration_s
+    counters = {"ok": 0, "overloaded": 0, "errors": 0}
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def client(i: int) -> None:
+        model = models[i % len(models)]
+        expected = engine._model(model).expected
+        rng = np.random.default_rng(seed + i)
+        while time.monotonic() < stop_at:
+            dens = rng.standard_normal(expected)
+            try:
+                engine.evaluate(model, dens, tenant=f"t{i}", timeout_s=timeout_s)
+                with lock:
+                    counters["ok"] += 1
+            except Overloaded:
+                with lock:
+                    counters["overloaded"] += 1
+                time.sleep(0.005)
+            except Exception as err:  # typed failures are data, not crashes
+                with lock:
+                    counters["errors"] += 1
+                    if len(errors) < 10:
+                        errors.append(f"{type(err).__name__}: {err}")
+
+    t0 = time.monotonic()
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(duration_s + timeout_s + 60.0)
+    elapsed = time.monotonic() - t0
+
+    out = engine.metrics.snapshot(elapsed_s=elapsed)
+    out["loadgen"] = {
+        "clients": clients,
+        "duration_s": duration_s,
+        "elapsed_s": elapsed,
+        "ok": counters["ok"],
+        "overloaded": counters["overloaded"],
+        "errors": counters["errors"],
+        "error_samples": errors,
+    }
+    return out

@@ -1,0 +1,181 @@
+"""Serving observability: latency histograms, throughput, cache hit rates.
+
+The serving engine is judged on tail latency and batching efficiency, so
+:class:`ServeMetrics` keeps exactly the counters needed to see both:
+
+* per-model **latency samples** (end-to-end: enqueue to completion) with
+  p50 / p95 / p99 quantiles,
+* per-model **batch-size distribution** — the mean is the direct measure
+  of how much multi-RHS coalescing the batcher achieved,
+* engine-wide counters: completed / rejected / failed / retried requests,
+  plan-cache hits and misses, and a queue-depth gauge sampled at submit.
+
+Everything is a plain counter under one lock — cheap enough to update per
+request — and exports to a JSON-friendly dict (``python -m repro serve``
+writes it as ``BENCH_serving.json``).  Workers additionally emit
+``SERVE:*`` spans through the existing :class:`~repro.perf.trace.
+TraceRecorder` machinery, so serving runs are inspectable with the same
+``python -m repro trace`` tooling as SPMD runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["ServeMetrics"]
+
+#: Retain at most this many latency / batch samples per model (newest
+#: win); bounds memory for long-running engines while keeping quantile
+#: estimates sharp at bench scale.
+MAX_SAMPLES = 100_000
+
+
+class _ModelStats:
+    __slots__ = ("latencies", "waits", "batch_sizes", "completed", "failed")
+
+    def __init__(self):
+        self.latencies: list[float] = []
+        self.waits: list[float] = []
+        self.batch_sizes: list[int] = []
+        self.completed = 0
+        self.failed = 0
+
+
+def _quantiles(samples: list[float]) -> dict:
+    if not samples:
+        return {"p50": None, "p95": None, "p99": None, "mean": None}
+    arr = np.asarray(samples)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean": float(arr.mean()),
+    }
+
+
+class ServeMetrics:
+    """Thread-safe counters for one :class:`~repro.serve.engine.ServeEngine`."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._models: dict[str, _ModelStats] = {}
+        self.rejected = 0  # Overloaded at admission
+        self.expired = 0  # DeadlineExceeded at dequeue
+        self.retried = 0  # transient-fault retries that later succeeded
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.queue_depth_sum = 0
+        self.queue_depth_samples = 0
+        self.queue_depth_peak = 0
+
+    def _stats(self, model: str) -> _ModelStats:
+        st = self._models.get(model)
+        if st is None:
+            st = self._models[model] = _ModelStats()
+        return st
+
+    # -- recording ---------------------------------------------------------
+
+    def record_completed(
+        self, model: str, latency_s: float, wait_s: float, batch_size: int
+    ) -> None:
+        with self._lock:
+            st = self._stats(model)
+            st.completed += 1
+            st.latencies.append(latency_s)
+            st.waits.append(wait_s)
+            st.batch_sizes.append(int(batch_size))
+            if len(st.latencies) > MAX_SAMPLES:
+                del st.latencies[: MAX_SAMPLES // 2]
+                del st.waits[: MAX_SAMPLES // 2]
+                del st.batch_sizes[: MAX_SAMPLES // 2]
+
+    def record_failed(self, model: str) -> None:
+        with self._lock:
+            self._stats(model).failed += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self, model: str) -> None:
+        with self._lock:
+            self.expired += 1
+            self._stats(model).failed += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retried += 1
+
+    def record_plan_lookup(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.plan_hits += 1
+            else:
+                self.plan_misses += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth_sum += depth
+            self.queue_depth_samples += 1
+            self.queue_depth_peak = max(self.queue_depth_peak, depth)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self, elapsed_s: float | None = None) -> dict:
+        """JSON-friendly summary of everything recorded so far."""
+        with self._lock:
+            total_completed = sum(st.completed for st in self._models.values())
+            total_failed = sum(st.failed for st in self._models.values())
+            lookups = self.plan_hits + self.plan_misses
+            out = {
+                "completed": total_completed,
+                "failed": total_failed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "retried": self.retried,
+                "plan_cache": {
+                    "hits": self.plan_hits,
+                    "misses": self.plan_misses,
+                    "hit_rate": (
+                        self.plan_hits / lookups if lookups else None
+                    ),
+                },
+                "queue_depth": {
+                    "mean": (
+                        self.queue_depth_sum / self.queue_depth_samples
+                        if self.queue_depth_samples
+                        else None
+                    ),
+                    "peak": self.queue_depth_peak,
+                },
+                "models": {},
+            }
+            if elapsed_s is not None and elapsed_s > 0:
+                out["throughput_rps"] = total_completed / elapsed_s
+            for name, st in self._models.items():
+                bs = np.asarray(st.batch_sizes) if st.batch_sizes else None
+                out["models"][name] = {
+                    "completed": st.completed,
+                    "failed": st.failed,
+                    "latency_s": _quantiles(st.latencies),
+                    "queue_wait_s": _quantiles(st.waits),
+                    "batch_size": {
+                        "mean": float(bs.mean()) if bs is not None else None,
+                        "max": int(bs.max()) if bs is not None else None,
+                        "hist": (
+                            {
+                                int(v): int(c)
+                                for v, c in zip(
+                                    *np.unique(bs, return_counts=True)
+                                )
+                            }
+                            if bs is not None
+                            else {}
+                        ),
+                    },
+                }
+            return out

@@ -1,0 +1,275 @@
+"""Admission control, fair queueing and the worker pool.
+
+The serving queue is the contention point of the whole engine, so its
+behaviour is typed and explicit:
+
+* **Bounded admission.**  :meth:`FairQueue.push` raises :class:`Overloaded`
+  once the queue holds ``max_depth`` requests — callers see backpressure
+  as a typed rejection at submit time instead of unbounded latency.
+* **Weighted fair dequeue.**  Tenants are scheduled by stride scheduling:
+  each tenant carries a *pass* value advanced by ``stride = K / weight``
+  per dequeue, and the non-empty tenant with the smallest pass goes next.
+  A tenant with weight 2 drains twice as fast as a weight-1 tenant under
+  contention; an idle tenant re-enters at the current global pass so it
+  cannot hoard credit while away.
+* **Deadlines.**  Every request may carry an absolute deadline; expired
+  requests are dropped at dequeue time with :class:`DeadlineExceeded`
+  (never silently evaluated late).
+
+Workers are plain threads owned by :class:`WorkerPool`; each loops
+``collect -> process`` until stopped.  On a single core the pool mostly
+overlaps queue waiting with compute — the throughput win comes from the
+batcher turning queued requests into multi-RHS applies, not from thread
+parallelism (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "DeadlineExceeded",
+    "FairQueue",
+    "Overloaded",
+    "Request",
+    "UnknownModel",
+    "WorkerPool",
+]
+
+#: Stride normalisation constant (any positive value works; this keeps
+#: passes readable in debuggers).
+_STRIDE_K = 1024.0
+
+
+class Overloaded(RuntimeError):
+    """The queue is full: the request was rejected at admission."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline passed before a worker could serve it."""
+
+
+class UnknownModel(KeyError):
+    """The request names a model the engine has not registered."""
+
+
+class Request:
+    """One queued density evaluation.
+
+    Completion is a one-shot event: exactly one of :meth:`set_result` /
+    :meth:`set_error` fires, after which :meth:`result` returns the
+    potential column or raises the typed error.
+    """
+
+    __slots__ = (
+        "model",
+        "density",
+        "tenant",
+        "deadline",
+        "enqueued",
+        "attempts",
+        "batch_size",
+        "wait_s",
+        "_done",
+        "_result",
+        "_error",
+    )
+
+    def __init__(self, model, density, tenant="default", deadline=None):
+        self.model = model
+        self.density = density
+        self.tenant = tenant
+        #: Absolute ``time.monotonic()`` deadline (``None`` = no deadline).
+        self.deadline = deadline
+        self.enqueued = time.monotonic()
+        self.attempts = 0
+        self.batch_size = 0
+        self.wait_s = 0.0
+        self._done = threading.Event()
+        self._result = None
+        self._error = None
+
+    def expired(self, now=None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def error(self):
+        return self._error
+
+    def set_result(self, value) -> None:
+        self._result = value
+        self._done.set()
+
+    def set_error(self, err: BaseException) -> None:
+        self._error = err
+        self._done.set()
+
+    def result(self, timeout=None):
+        """Block for completion; return the potential or raise the error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request for model {self.model!r} not completed "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class FairQueue:
+    """Bounded multi-tenant queue with weighted-fair stride dequeue."""
+
+    def __init__(self, max_depth: int = 64, weights: dict | None = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = int(max_depth)
+        self._weights = dict(weights or {})
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._queues: dict[str, deque] = {}
+        self._passes: dict[str, float] = {}
+        self._global_pass = 0.0
+        self._depth = 0
+        self._closed = False
+
+    def _stride(self, tenant: str) -> float:
+        return _STRIDE_K / float(self._weights.get(tenant, 1.0))
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def close(self) -> None:
+        """Wake all waiters; subsequent pops drain then return ``None``."""
+        with self._lock:
+            self._closed = True
+            self._arrived.notify_all()
+
+    def push(self, req: Request) -> None:
+        with self._lock:
+            if self._depth >= self.max_depth:
+                raise Overloaded(
+                    f"queue full ({self._depth}/{self.max_depth} requests); "
+                    f"retry later or raise max_queue"
+                )
+            dq = self._queues.get(req.tenant)
+            if dq is None:
+                dq = self._queues[req.tenant] = deque()
+            if not dq:
+                # (Re-)entering tenants start at the current global pass:
+                # time spent idle earns no backlog credit.
+                self._passes[req.tenant] = max(
+                    self._passes.get(req.tenant, 0.0), self._global_pass
+                )
+            dq.append(req)
+            self._depth += 1
+            self._arrived.notify()
+
+    def _pick_tenant(self):
+        best, best_pass = None, None
+        for tenant, dq in self._queues.items():
+            if not dq:
+                continue
+            p = self._passes[tenant]
+            if best_pass is None or p < best_pass:
+                best, best_pass = tenant, p
+        return best
+
+    def pop(self, timeout: float | None = None) -> Request | None:
+        """Next request by weighted fairness, or ``None`` on timeout/close."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._depth == 0:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._arrived.wait(remaining)
+            tenant = self._pick_tenant()
+            self._passes[tenant] += self._stride(tenant)
+            self._global_pass = max(self._global_pass, self._passes[tenant])
+            self._depth -= 1
+            return self._queues[tenant].popleft()
+
+    def take_matching(self, model, limit: int) -> list[Request]:
+        """Dequeue up to ``limit`` queued requests for ``model``.
+
+        Used by the batcher to coalesce a multi-RHS batch: tenants are
+        visited in pass order and charged their stride per taken request,
+        so batching still respects the weighted shares; within a tenant
+        only the *head* run of matching requests is taken (per-tenant
+        FIFO order is never reordered).
+        """
+        taken: list[Request] = []
+        with self._lock:
+            while len(taken) < limit:
+                candidates = sorted(
+                    (
+                        (self._passes[t], t)
+                        for t, dq in self._queues.items()
+                        if dq and dq[0].model == model
+                    ),
+                )
+                if not candidates:
+                    break
+                _, tenant = candidates[0]
+                dq = self._queues[tenant]
+                while len(taken) < limit and dq and dq[0].model == model:
+                    taken.append(dq.popleft())
+                    self._depth -= 1
+                    self._passes[tenant] += self._stride(tenant)
+                self._global_pass = max(
+                    self._global_pass, self._passes[tenant]
+                )
+        return taken
+
+    def wait_for_arrival(self, timeout: float) -> None:
+        """Sleep until a new request arrives (or ``timeout`` elapses)."""
+        with self._lock:
+            if self._depth == 0 and not self._closed:
+                self._arrived.wait(max(timeout, 0.0))
+
+
+class WorkerPool:
+    """Plain-thread worker pool running ``target(worker_id)`` loops."""
+
+    def __init__(self, n_workers: int, target):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._target = target
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(i,), name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def _run(self, worker_id: int) -> None:
+        while not self._stop.is_set():
+            self._target(worker_id)
+
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        self._stop.set()
+        for t in self._threads:
+            if t.ident is not None:  # join() before start() raises
+                t.join(join_timeout)

@@ -118,7 +118,7 @@ class TestM2LModes:
 class TestApiContract:
     def test_wrong_density_size(self):
         pts = uniform_cube(100, seed=1)
-        with pytest.raises(ValueError, match="densities size"):
+        with pytest.raises(ValueError, match=r"densities shape \(100,\)"):
             Fmm("stokes", order=4).evaluate(pts, np.zeros(100))
 
     def test_plan_reuse(self):
