@@ -1,0 +1,244 @@
+"""Precision-parameterised warm-plan applies: fp64 vs fp32 vs auto.
+
+The plan-compiled engine (:mod:`repro.core.plan`) carries precision as a
+compile-time axis: an fp32 plan stores float32 kernel matrices, complex64
+FFT kernel transforms and float32 gather scratch, while every
+accumulation (U2U/D2D operator chains, check-potential reductions,
+multi-RHS column sums) stays float64.  This bench measures what that
+buys on the paper's repeated-apply workload:
+
+* ``apply_s``       — median steady-state warm-plan apply per precision
+* ``phase_s``       — per-phase wall seconds (median over repeats)
+* ``rel_err``       — relative l2 error vs direct summation on a sample
+* ``plan_bytes``    — actual bytes held by the compiled plan
+* ``auto``          — what the calibration probe picked, and whether the
+                      error target was met end-to-end
+
+Results are written to ``BENCH_precision.json`` at the repo root.  Run
+standalone for the paper-scale numbers (N=20k, order 6)::
+
+    PYTHONPATH=src python benchmarks/bench_precision.py
+
+or via pytest at smoke scale (used by CI's precision-smoke step)::
+
+    pytest benchmarks/bench_precision.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_precision.json"
+
+#: Evaluation phases reported per precision (setup phases excluded: the
+#: bench measures warm applies).
+PHASES = ["S2U", "U2U", "VLI", "XLI", "D2D", "WLI", "D2T", "ULI"]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def run_bench(
+    n: int = 20_000,
+    order: int = 6,
+    q: int = 50,
+    kernel: str = "laplace",
+    repeats: int = 5,
+    seed: int = 1234,
+    check: int = 2_000,
+    rtol: float = 1e-4,
+) -> dict:
+    from repro.core import Fmm
+    from repro.datasets import uniform_cube
+    from repro.kernels import direct_sum, get_kernel
+    from repro.util.timer import PhaseProfile
+
+    points = uniform_cube(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    fmm = Fmm(kernel, order=order, max_points_per_box=q)
+    ks = fmm.kernel.source_dim
+    kt = fmm.kernel.target_dim
+    dens = rng.standard_normal(n * ks)
+    plan = fmm.plan(points)
+
+    sample = rng.choice(n, min(n, check), replace=False)
+    ref = direct_sum(get_kernel(kernel), points[sample], points, dens)
+
+    def rel_err(pot):
+        got = pot.reshape(-1, kt)[sample].reshape(-1)
+        return float(np.linalg.norm(got - ref) / np.linalg.norm(ref))
+
+    result = {
+        "n": n, "order": order, "q": q, "kernel": kernel,
+        "repeats": repeats, "rtol": rtol, "check_targets": int(len(sample)),
+    }
+
+    for prec in ("fp64", "fp32"):
+        t_compile, ep = _timed(
+            lambda p=prec: fmm.compile_eval_plan(plan, precision=p)
+        )
+        pot = fmm.evaluate(points, dens, plan=plan, eval_plan=ep)  # warm-up
+        times, phase_walls = [], {ph: [] for ph in PHASES}
+        for _ in range(repeats):
+            prof = PhaseProfile()
+            t, pot = _timed(
+                lambda: fmm.evaluate(
+                    points, dens, plan=plan, eval_plan=ep, profile=prof
+                )
+            )
+            times.append(t)
+            for ph in PHASES:
+                ev = prof.events.get(ph)
+                phase_walls[ph].append(ev.wall_seconds if ev else 0.0)
+        result[prec] = {
+            "compile_s": t_compile,
+            "apply_s": statistics.median(times),
+            "phase_s": {
+                ph: statistics.median(w) for ph, w in phase_walls.items()
+            },
+            "rel_err": rel_err(pot),
+            "plan_bytes": ep.nbytes,
+            "plan_matrix_mb": ep.matrix_bytes() / 2**20,
+        }
+
+    f64, f32 = result["fp64"], result["fp32"]
+    result["fp32"]["speedup_vs_fp64"] = f64["apply_s"] / f32["apply_s"]
+    result["fp32"]["phase_speedup"] = {
+        ph: (f64["phase_s"][ph] / f32["phase_s"][ph]
+             if f32["phase_s"][ph] > 0 else None)
+        for ph in PHASES
+    }
+    result["fp32"]["bytes_ratio"] = f32["plan_bytes"] / f64["plan_bytes"]
+    result["fp32"]["err_ratio"] = (
+        f32["rel_err"] / f64["rel_err"] if f64["rel_err"] > 0 else None
+    )
+
+    # auto: one calibration probe picks the cheapest qualifying precision
+    fmm_auto = Fmm(
+        kernel, order=order, max_points_per_box=q,
+        precision="auto", precision_rtol=rtol,
+    )
+    t_probe, ep_auto = _timed(lambda: fmm_auto.compile_eval_plan(plan))
+    pot = fmm_auto.evaluate(points, dens, plan=plan, eval_plan=ep_auto)
+    t_auto = statistics.median(
+        _timed(
+            lambda: fmm_auto.evaluate(
+                points, dens, plan=plan, eval_plan=ep_auto
+            )
+        )[0]
+        for _ in range(repeats)
+    )
+    probe = fmm_auto.evaluator._auto_result
+    auto_err = rel_err(pot)
+    result["auto"] = {
+        "choice": ep_auto.precision,
+        "probe_and_compile_s": t_probe,
+        "apply_s": t_auto,
+        "rel_err": auto_err,
+        "met_target": bool(auto_err <= rtol),
+        "probe_errors": probe.errors if probe is not None else None,
+        "probe_met": probe.met if probe is not None else None,
+    }
+    return result
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def _print(result: dict) -> None:
+    f64, f32, auto = result["fp64"], result["fp32"], result["auto"]
+    print(
+        f"N={result['n']} order={result['order']} q={result['q']} "
+        f"{result['kernel']} (rtol {result['rtol']:.0e}):"
+    )
+    print(f"  fp64 apply  {f64['apply_s'] * 1e3:9.1f} ms  "
+          f"err {f64['rel_err']:.2e}  plan {f64['plan_bytes'] / 2**20:7.1f} MiB")
+    print(f"  fp32 apply  {f32['apply_s'] * 1e3:9.1f} ms  "
+          f"err {f32['rel_err']:.2e}  plan {f32['plan_bytes'] / 2**20:7.1f} MiB")
+    print(f"  fp32 speedup {f32['speedup_vs_fp64']:8.2f}x  "
+          f"bytes ratio {f32['bytes_ratio']:.2f}  "
+          f"err ratio {f32['err_ratio']:.1f}")
+    for ph in PHASES:
+        s = f32["phase_speedup"][ph]
+        if s is not None and f64["phase_s"][ph] > 1e-4:
+            print(f"    {ph:4s} {f64['phase_s'][ph] * 1e3:8.1f} -> "
+                  f"{f32['phase_s'][ph] * 1e3:8.1f} ms  ({s:.2f}x)")
+    print(f"  auto picked {auto['choice']} "
+          f"(probe+compile {auto['probe_and_compile_s'] * 1e3:.0f} ms), "
+          f"apply {auto['apply_s'] * 1e3:.1f} ms, err {auto['rel_err']:.2e}, "
+          f"target {'met' if auto['met_target'] else 'MISSED'}")
+
+
+def test_precision(benchmark):
+    """Smoke-scale precision check (CI's precision-smoke gate).
+
+    Asserts the fp32 warm apply is no slower than fp64 (1.1x tolerance
+    against timer noise at tiny N), the fp32 error stays within the
+    documented factor of fp64 (10x, or inside the float32 accuracy
+    floor), the fp32 plan is materially smaller, and the auto pick meets
+    its error target end-to-end.
+    """
+    result = benchmark.pedantic(
+        lambda: run_bench(n=3_000, order=4, q=40, repeats=3, rtol=1e-3),
+        rounds=1,
+        iterations=1,
+    )
+    _print(result)
+    write_result(result)
+    f64, f32, auto = result["fp64"], result["fp32"], result["auto"]
+    assert f32["apply_s"] <= 1.1 * f64["apply_s"], (
+        f"fp32 apply {f32['apply_s']:.4f}s slower than fp64 "
+        f"{f64['apply_s']:.4f}s"
+    )
+    assert f32["rel_err"] <= max(10.0 * f64["rel_err"], 1e-4), (
+        f"fp32 err {f32['rel_err']:.2e} vs fp64 {f64['rel_err']:.2e}"
+    )
+    assert f32["bytes_ratio"] < 0.75
+    assert auto["met_target"], (
+        f"auto picked {auto['choice']} but err {auto['rel_err']:.2e} "
+        f"exceeds rtol {result['rtol']:.0e}"
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--n", type=int, default=20_000)
+    ap.add_argument("--order", type=int, default=6)
+    ap.add_argument("--q", type=int, default=50, help="max points per box")
+    ap.add_argument("--kernel", default="laplace")
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--seed", type=int, default=1234)
+    ap.add_argument("--check", type=int, default=2_000,
+                    help="direct-sum verification targets")
+    ap.add_argument("--rtol", type=float, default=1e-4,
+                    help="auto-precision error target")
+    ap.add_argument("--assert-speedup", type=float, default=None,
+                    metavar="X", help="fail unless fp32 speedup >= X")
+    args = ap.parse_args()
+    result = run_bench(
+        n=args.n, order=args.order, q=args.q, kernel=args.kernel,
+        repeats=args.repeats, seed=args.seed, check=args.check,
+        rtol=args.rtol,
+    )
+    _print(result)
+    write_result(result)
+    print(f"wrote {RESULT_PATH}")
+    if args.assert_speedup is not None:
+        sp = result["fp32"]["speedup_vs_fp64"]
+        if sp < args.assert_speedup:
+            print(f"FAIL: fp32 speedup {sp:.2f}x < {args.assert_speedup}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,8 @@ def _cmd_evaluate(args) -> int:
     rng = np.random.default_rng(args.seed)
     dens = rng.standard_normal(args.n * kernel.source_dim)
 
-    fmm = Fmm(kernel, order=args.order, max_points_per_box=args.q)
+    fmm = Fmm(kernel, order=args.order, max_points_per_box=args.q,
+              precision=args.precision)
     profile = PhaseProfile()
     recorder = None
     if args.trace:
@@ -60,7 +61,8 @@ def _cmd_evaluate(args) -> int:
         print(f"trace: {n} events -> {args.trace}")
     print(
         f"N={args.n} {args.distribution} {args.kernel} order={args.order} "
-        f"q={args.q}: {dt:.2f}s (first call), {profile.total_flops():.3g} flops"
+        f"q={args.q} precision={profile.precision}: {dt:.2f}s (first call), "
+        f"{profile.total_flops():.3g} flops"
     )
     for name, wall, flops, _, _ in profile.as_table():
         print(f"  {name:8s} {wall:7.2f}s  {flops:.3g} flops")
@@ -336,7 +338,7 @@ def _cmd_serve(args) -> int:
         name = f"m{i}"
         pts = make_distribution(args.distribution, args.n, seed=args.seed + i)
         fmm = Fmm(args.kernel, order=args.order, max_points_per_box=args.q)
-        engine.register(name, fmm, pts, warm=True)
+        engine.register(name, fmm, pts, warm=True, precision=args.precision)
         names.append(name)
 
     with engine:
@@ -359,7 +361,13 @@ def _cmd_serve(args) -> int:
         "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
         "timeout_s": args.timeout, "chaos": bool(args.chaos),
         "matrix_budget_mb": args.matrix_budget_mb,
+        "precision": args.precision,
     }
+    # per-model served precision + cached plan bytes (dtype-honest)
+    summary["plans"] = engine.plan_stats()
+    for name, info in summary["plans"].items():
+        if name in summary.get("models", {}):
+            summary["models"][name]["precision"] = info["precision"]
     if args.chaos:
         summary["fault_injections"] = len(engine.fault_events)
 
@@ -387,6 +395,13 @@ def _cmd_serve(args) -> int:
         f"(hit rate {pc['hit_rate']:.3f}); retries {summary['retried']}, "
         f"rejected {summary['rejected']}, expired {summary['expired']}"
     )
+    for name, info in summary["plans"].items():
+        nb = sum(info["plan_bytes"].values())
+        print(
+            f"  {name}: precision {info['precision']}, "
+            f"cached plan bytes {nb / 2**20:.1f} MiB "
+            f"({', '.join(f'{p}={b / 2**20:.1f}' for p, b in info['plan_bytes'].items())})"
+        )
     if args.chaos:
         print(f"chaos: {summary['fault_injections']} injected fault(s)")
     for err in lg["error_samples"]:
@@ -476,6 +491,11 @@ def main(argv=None) -> int:
                          "path kicks in from the second call)")
     pe.add_argument("--no-plan", action="store_true",
                     help="disable EvalPlan compilation (legacy per-call path)")
+    pe.add_argument("--precision", default="fp64",
+                    choices=["fp64", "fp32", "auto"],
+                    help="plan precision: fp64 (bit-identical baseline), "
+                         "fp32 (float32 GEMM/FFT phases), or auto "
+                         "(calibrated pick meeting the error target)")
     pe.set_defaults(fn=_cmd_evaluate)
 
     pr = sub.add_parser(
@@ -560,6 +580,10 @@ def main(argv=None) -> int:
     ps.add_argument("--max-queue", type=int, default=64)
     ps.add_argument("--matrix-budget-mb", type=int, default=2048,
                     help="kernel-matrix cache budget per compiled plan")
+    ps.add_argument("--precision", default="fp64",
+                    choices=["fp64", "fp32", "auto"],
+                    help="plan precision the models are registered at "
+                         "(auto calibrates once per model at registration)")
     ps.add_argument("--chaos", action="store_true",
                     help="inject one phase-crash per worker; accepted "
                          "requests must still complete via retry")

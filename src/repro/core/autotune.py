@@ -1,4 +1,4 @@
-"""Autotuning of the points-per-box parameter ``q``.
+"""Autotuning of the points-per-box parameter ``q`` and the precision axis.
 
 Paper §V, on the Table III sweep: "This test resembles the tuning phase
 and can be part of an autotuning algorithm."  This module is that
@@ -7,6 +7,14 @@ target workload and picks the one minimising either measured wall time
 (CPU) or modelled device time (virtual GPU), so production runs can use
 per-architecture box sizes exactly as the paper did (q ~ 100 for CPU,
 q ~ 400 for GPU on Lincoln).
+
+:func:`autotune_precision` applies the same subsample-probe idea to the
+plan engine's precision axis (Holm et al., PAPERS.md: precision selection
+should be tuned per workload against an accuracy target): it evaluates a
+subsampled workload with an fp64 and an fp32 plan, measures each
+candidate's relative error against a direct-sum reference and its warm
+apply time, and picks the cheapest candidate meeting the caller's
+relative-error target.
 """
 
 from __future__ import annotations
@@ -19,13 +27,28 @@ import numpy as np
 from repro.core.evaluator import FmmEvaluator
 from repro.core.lists import build_lists
 from repro.core.tree import build_tree
-from repro.kernels import Kernel, get_kernel
+from repro.kernels import Kernel, direct_sum, get_kernel
 from repro.util.timer import PhaseProfile
 
-__all__ = ["TuneResult", "autotune_points_per_box"]
+__all__ = [
+    "TuneResult",
+    "PrecisionResult",
+    "autotune_points_per_box",
+    "autotune_precision",
+]
 
 #: Geometric default candidate grid, bracketing the usual optimum.
 DEFAULT_CANDIDATES = (16, 32, 64, 128, 256, 512, 1024)
+
+#: Default relative-error target for ``precision="auto"``: order 6 lands
+#: around 1e-5 in fp64, so 1e-4 accepts fp32 at the default order while
+#: still rejecting it when the expansion order outruns float32.
+DEFAULT_PRECISION_RTOL = 1e-4
+
+#: fp32 must clear the target with this safety factor on the probe: the
+#: probe is a subsample, and float32 roundoff grows (slowly) with N, so a
+#: probe error right at the target is not trustworthy on the full set.
+_FP32_SAFETY = 2.0
 
 
 @dataclass
@@ -109,3 +132,89 @@ def autotune_points_per_box(
         costs=costs,
         metric="wall" if target == "cpu" else "device-model",
     )
+
+
+@dataclass
+class PrecisionResult:
+    """Outcome of one :func:`autotune_precision` calibration probe."""
+
+    best: str  # chosen precision ("fp64" or "fp32")
+    errors: dict[str, float]  # precision -> probe relative error
+    times: dict[str, float]  # precision -> warm-plan apply seconds
+    rtol: float  # the relative-error target calibrated against
+    met: bool  # whether the chosen precision met the target
+
+    def ranked(self) -> list[tuple[str, float]]:
+        return sorted(self.times.items(), key=lambda kv: kv[1])
+
+
+def autotune_precision(
+    points: np.ndarray,
+    kernel: Kernel | str = "laplace",
+    order: int = 6,
+    rtol: float | None = None,
+    m2l_mode: str = "fft",
+    eval_kernel: Kernel | None = None,
+    rcond: float | None = None,
+    sample: int | None = 2_000,
+    max_points_per_box: int = 64,
+    seed: int = 0,
+) -> PrecisionResult:
+    """Pick the cheapest plan precision meeting a relative-error target.
+
+    A random subsample of ``sample`` points is evaluated once with an
+    fp64 plan and once with an fp32 plan (warm applies: the timed pass
+    reuses the compiled plan), and each result is compared against the
+    exact direct sum over the subsample.  The cheapest candidate whose
+    probe error clears the target is chosen; fp32 must clear it with a
+    2x safety factor (``_FP32_SAFETY`` — probe errors are measured on a
+    subsample and float32 roundoff grows slowly with N).  If no
+    candidate qualifies, fp64 is returned with ``met=False`` — the
+    caller's accuracy budget needs a higher expansion order, not a
+    precision choice.
+    """
+    rtol = DEFAULT_PRECISION_RTOL if rtol is None else float(rtol)
+    if rtol <= 0:
+        raise ValueError("rtol must be positive")
+    kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    pts = np.asarray(points, dtype=np.float64)
+    if sample is not None and len(pts) > sample:
+        rng = np.random.default_rng(seed)
+        pts = pts[rng.choice(len(pts), sample, replace=False)]
+    dens_raw = np.random.default_rng(seed + 1).standard_normal(
+        len(pts) * kernel.source_dim
+    )
+
+    tree = build_tree(pts, int(max_points_per_box))
+    lists = build_lists(tree)
+    dens = dens_raw.reshape(-1, kernel.source_dim)[tree.order].reshape(-1)
+    ref_kernel = kernel if eval_kernel is None else eval_kernel
+    ref = direct_sum(ref_kernel, tree.points, tree.points, dens)
+    ref_norm = float(np.linalg.norm(ref))
+
+    errors: dict[str, float] = {}
+    times: dict[str, float] = {}
+    for prec in ("fp64", "fp32"):
+        ev = FmmEvaluator(
+            kernel, order, m2l_mode=m2l_mode, rcond=rcond,
+            eval_kernel=eval_kernel,
+        )
+        plan = ev.compile_plan(tree, lists, precision=prec)
+        # one warm-up apply (first-touch scratch allocation), then time
+        pot = ev.evaluate(tree, lists, dens, PhaseProfile(), plan=plan)
+        t0 = time.perf_counter()
+        pot = ev.evaluate(tree, lists, dens, PhaseProfile(), plan=plan)
+        times[prec] = time.perf_counter() - t0
+        errors[prec] = float(np.linalg.norm(pot - ref)) / max(ref_norm, 1e-300)
+
+    qualifying = [
+        p
+        for p in ("fp64", "fp32")
+        if errors[p] * (_FP32_SAFETY if p == "fp32" else 1.0) <= rtol
+    ]
+    if qualifying:
+        best = min(qualifying, key=lambda p: times[p])
+        met = True
+    else:
+        best, met = "fp64", False
+    return PrecisionResult(best=best, errors=errors, times=times, rtol=rtol, met=met)

@@ -50,12 +50,17 @@ def gemm_cols(k: np.ndarray, den_cols: np.ndarray) -> np.ndarray:
     ``den_cols``: ``(b, j, q)`` density columns, any layout.
     Returns ``(b, i, q)``; column ``c`` is bit-identical for any ``q``,
     any column position, and any values in the other columns.
+
+    Arithmetic runs in ``np.result_type(k, den_cols)``: all-float32
+    operands stay in float32 (the mixed-precision plans depend on this),
+    while float64 inputs take exactly the pre-dtype-parameterised path.
     """
     b, jdim, q = den_cols.shape
-    out = np.empty((b, k.shape[1], q))
+    dt = np.result_type(k, den_cols)
+    out = np.empty((b, k.shape[1], q), dtype=dt)
     for g0 in range(0, q, Q_PAD):
         g1 = min(g0 + Q_PAD, q)
-        blk = np.zeros((b, jdim, Q_PAD))
+        blk = np.zeros((b, jdim, Q_PAD), dtype=dt)
         blk[:, :, : g1 - g0] = den_cols[:, :, g0:g1]
         out[:, :, g0:g1] = np.matmul(k, blk)[:, :, : g1 - g0]
     return out

@@ -63,6 +63,19 @@ class FmmEvaluator:
         evaluating them with e.g. the Laplace gradient kernel yields
         forces from the same pass.  Must share the base kernel's
         ``source_dim``.  Default: the base kernel itself.
+    precision:
+        Arithmetic precision of plan-based applies: ``"fp64"`` (default;
+        bit-identical to the pre-precision engine), ``"fp32"`` (float32
+        GEMM phases / complex64 V-list; accumulators stay float64), or
+        ``"auto"`` (a one-time calibration probe —
+        :func:`repro.core.autotune.autotune_precision` — picks the
+        cheapest precision meeting ``precision_rtol``).  fp32 is
+        plan-only: the legacy per-call path stays float64, so
+        ``use_plan=False`` with an fp32 precision raises
+        :class:`~repro.core.plan.PrecisionError`.
+    precision_rtol:
+        Relative-error target for ``precision="auto"`` (default
+        :data:`repro.core.autotune.DEFAULT_PRECISION_RTOL`).
     """
 
     def __init__(
@@ -72,9 +85,17 @@ class FmmEvaluator:
         m2l_mode: str = "fft",
         rcond: float | None = None,
         eval_kernel: Kernel | None = None,
+        precision: str = "fp64",
+        precision_rtol: float | None = None,
     ):
+        from repro.core.plan import VALID_PRECISIONS, PrecisionError
+
         if m2l_mode not in ("fft", "dense"):
             raise ValueError("m2l_mode must be 'fft' or 'dense'")
+        if precision not in VALID_PRECISIONS:
+            raise PrecisionError(
+                f"precision must be one of {VALID_PRECISIONS}, got {precision!r}"
+            )
         self.kernel = kernel
         self.eval_kernel = kernel if eval_kernel is None else eval_kernel
         if self.eval_kernel.source_dim != kernel.source_dim:
@@ -83,6 +104,8 @@ class FmmEvaluator:
             )
         self.order = int(order)
         self.m2l_mode = m2l_mode
+        self.precision = precision
+        self.precision_rtol = precision_rtol
         self.ops = OperatorCache(kernel, order, rcond=rcond)
         self.fft = FftM2L(kernel, order) if m2l_mode == "fft" else None
         self.ns = self.ops.n_surf
@@ -95,29 +118,93 @@ class FmmEvaluator:
         self._plan_calls = 0
         self._plan_obj = None
         self._plan_lock = threading.Lock()
+        # "auto" resolves once per evaluator (first workload wins) under
+        # its own lock — _cached_plan holds _plan_lock, so the probe must
+        # not nest inside it.
+        self._auto_choice = None
+        self._auto_result = None
+        self._auto_lock = threading.Lock()
 
     # -- plans -------------------------------------------------------------
 
-    def compile_plan(self, tree, lists, scopes=None, **kwargs):
+    def compile_plan(self, tree, lists, scopes=None, precision=None, **kwargs):
         """Compile an :class:`~repro.core.plan.EvalPlan` for this evaluator.
 
         ``scopes`` (a :class:`~repro.core.plan.PlanScopes`) bakes
         distributed ownership masks into the plan; ``kwargs`` forward to
         :func:`repro.core.plan.compile_plan` (e.g. ``cache_matrices``,
-        ``matrix_budget``).
+        ``matrix_budget``).  ``precision`` defaults to the evaluator's
+        own; ``"auto"`` is resolved here via the calibration probe.
         """
         from repro.core.plan import compile_plan
 
-        return compile_plan(self, tree, lists, scopes=scopes, **kwargs)
+        precision = self.precision if precision is None else precision
+        if precision == "auto":
+            precision = self._resolve_auto(tree, PhaseProfile())
+        return compile_plan(
+            self, tree, lists, scopes=scopes, precision=precision, **kwargs
+        )
+
+    def _resolve_auto(self, tree, profile):
+        """Resolve ``"auto"`` to a concrete precision, once per evaluator.
+
+        The calibration probe (charged to the ``setup:precision`` span)
+        subsamples the tree's points, so the first workload seen decides
+        for the evaluator's lifetime — matching the plan cache, which is
+        also per-(tree, lists).
+        """
+        with self._auto_lock:
+            if self._auto_choice is None:
+                from repro.core.autotune import autotune_precision
+
+                with profile.phase("setup:precision"):
+                    res = autotune_precision(
+                        tree.points,
+                        kernel=self.kernel,
+                        order=self.order,
+                        rtol=self.precision_rtol,
+                        m2l_mode=self.m2l_mode,
+                        eval_kernel=(
+                            None
+                            if self.eval_kernel is self.kernel
+                            else self.eval_kernel
+                        ),
+                    )
+                    self._auto_result = res
+                    self._auto_choice = res.best
+            return self._auto_choice
+
+    def _effective_precision(self, tree, profile, override=None):
+        """Concrete precision for one evaluate call.
+
+        ``override`` (a per-call ``precision=`` argument) beats the
+        evaluator default; ``"auto"`` triggers the one-time probe.
+        """
+        from repro.core.plan import VALID_PRECISIONS, PrecisionError
+
+        prec = self.precision if override is None else override
+        if prec not in VALID_PRECISIONS:
+            raise PrecisionError(
+                f"precision must be one of {VALID_PRECISIONS}, got {prec!r}"
+            )
+        if prec == "auto":
+            prec = self._resolve_auto(tree, profile)
+        return prec
 
     #: Whether lazily compiled plans cache kernel-matrix blocks.  The GPU
     #: evaluator turns this off: its device kernels regenerate geometry on
     #: chip, so host-side matrix caches would only burn memory.
     PLAN_CACHE_MATRICES = True
 
-    def _cached_plan(self, tree, lists, profile):
+    def _cached_plan(self, tree, lists, profile, precision="fp64"):
         """Plan for ``(tree, lists)``, compiled on the second consecutive
         evaluate that sees the pair (one-shot calls stay plan-free).
+
+        fp32 plans compile eagerly on the *first* call instead: float32
+        arithmetic only exists as a plan, so deferring would silently run
+        the first call in fp64 — a precision the caller did not ask for.
+        A cached plan at a different precision is discarded and
+        recompiled (per-call overrides flip precision mid-stream).
 
         Compilation is charged to the ``setup:plan`` span so traces and
         the perf model can separate amortisable setup from apply work.
@@ -131,16 +218,25 @@ class FmmEvaluator:
             lr = self._plan_lists() if self._plan_lists is not None else None
             if tr is tree and lr is lists:
                 self._plan_calls += 1
-                if self._plan_obj is None and self._plan_calls >= 2:
-                    with profile.phase("setup:plan"):
-                        self._plan_obj = self.compile_plan(
-                            tree, lists, cache_matrices=self.PLAN_CACHE_MATRICES
-                        )
             else:
                 self._plan_tree = weakref.ref(tree)
                 self._plan_lists = weakref.ref(lists)
                 self._plan_calls = 1
                 self._plan_obj = None
+            if (
+                self._plan_obj is not None
+                and self._plan_obj.precision != precision
+            ):
+                self._plan_obj = None
+            need_at = 1 if precision == "fp32" else 2
+            if self._plan_obj is None and self._plan_calls >= need_at:
+                with profile.phase("setup:plan"):
+                    self._plan_obj = self.compile_plan(
+                        tree,
+                        lists,
+                        cache_matrices=self.PLAN_CACHE_MATRICES,
+                        precision=precision,
+                    )
             return self._plan_obj
 
     #: Whether this evaluator can push a multi-RHS ``(n, q)`` density
@@ -148,6 +244,37 @@ class FmmEvaluator:
     #: this off (its device kernels stage one density at a time), falling
     #: back to a bit-identical per-column loop.
     SUPPORTS_MULTI_RHS = True
+
+    def _resolve_plan(self, tree, lists, profile, plan, use_plan, precision):
+        """Shared plan/precision resolution for the evaluate entry points.
+
+        Returns the plan to apply (or ``None`` for the fp64 legacy
+        path), enforcing the precision contract: an explicit plan's own
+        precision wins unless an explicit override contradicts it, and
+        fp32 without a plan is an error (there is no fp32 legacy path).
+        """
+        from repro.core.plan import PrecisionError
+
+        if plan is not None:
+            plan.check(tree)
+            if precision is not None:
+                eff = self._effective_precision(tree, profile, precision)
+                if eff != plan.precision:
+                    raise PrecisionError(
+                        f"explicit plan was compiled at {plan.precision!r} "
+                        f"but the call requested {eff!r}; recompile the "
+                        f"plan or drop the override"
+                    )
+            return plan
+        eff = self._effective_precision(tree, profile, precision)
+        if use_plan:
+            plan = self._cached_plan(tree, lists, profile, eff)
+        if plan is None and eff == "fp32":
+            raise PrecisionError(
+                "fp32 evaluation is plan-only (the legacy per-call path "
+                "is float64); enable use_plan or pass a compiled fp32 plan"
+            )
+        return plan
 
     # -- public API -------------------------------------------------------
 
@@ -159,6 +286,7 @@ class FmmEvaluator:
         profile: PhaseProfile | None = None,
         plan=None,
         use_plan: bool = True,
+        precision: str | None = None,
     ) -> np.ndarray:
         """Potentials at the tree's (Morton-sorted) points.
 
@@ -175,18 +303,25 @@ class FmmEvaluator:
         lazily on the second consecutive call with the same
         ``(tree, lists)`` and reused from then on; ``use_plan=False``
         forces the per-call legacy path.
+
+        ``precision`` overrides the evaluator default for this call.  An
+        explicit ``plan`` carries its own precision; combining it with a
+        *conflicting* explicit override raises
+        :class:`~repro.core.plan.PrecisionError`, as does requesting
+        fp32 on the plan-free path (fp32 is plan-only).
         """
         profile = profile if profile is not None else PhaseProfile()
         expected = tree.n_points * self.kernel.source_dim
         arr = np.asarray(densities)
         if arr.ndim == 2 and arr.shape[0] == expected:
             return self.evaluate_multi(
-                tree, lists, arr, profile, plan=plan, use_plan=use_plan
+                tree, lists, arr, profile, plan=plan, use_plan=use_plan,
+                precision=precision,
             )
-        if plan is not None:
-            plan.check(tree)
-        elif use_plan:
-            plan = self._cached_plan(tree, lists, profile)
+        plan = self._resolve_plan(
+            tree, lists, profile, plan, use_plan, precision
+        )
+        profile.precision = plan.precision if plan is not None else "fp64"
         state = self.allocate(tree)
         dens = np.ascontiguousarray(arr, dtype=np.float64).reshape(-1)
         if dens.size != expected:
@@ -222,6 +357,7 @@ class FmmEvaluator:
         profile: PhaseProfile | None = None,
         plan=None,
         use_plan: bool = True,
+        precision: str | None = None,
     ) -> np.ndarray:
         """Potentials for a ``(n_points * source_dim, q)`` density block.
 
@@ -231,7 +367,8 @@ class FmmEvaluator:
         a plan; without one (or when the subclass sets
         ``SUPPORTS_MULTI_RHS = False``) columns run through
         :meth:`evaluate` one at a time — identical by construction, just
-        without the GEMM batching win.
+        without the GEMM batching win.  ``precision`` behaves as in
+        :meth:`evaluate`.
         """
         profile = profile if profile is not None else PhaseProfile()
         dens = np.ascontiguousarray(dens_block, dtype=np.float64)
@@ -245,13 +382,14 @@ class FmmEvaluator:
         q = dens.shape[1]
         if q == 1:
             pot = self.evaluate(
-                tree, lists, dens[:, 0], profile, plan=plan, use_plan=use_plan
+                tree, lists, dens[:, 0], profile, plan=plan,
+                use_plan=use_plan, precision=precision,
             )
             return pot.reshape(-1, 1)
-        if plan is not None:
-            plan.check(tree)
-        elif use_plan:
-            plan = self._cached_plan(tree, lists, profile)
+        plan = self._resolve_plan(
+            tree, lists, profile, plan, use_plan, precision
+        )
+        profile.precision = plan.precision if plan is not None else "fp64"
         if plan is None or not self.SUPPORTS_MULTI_RHS:
             cols = [
                 self.evaluate(

@@ -99,20 +99,22 @@ class FftM2L:
 
     # -- grid embeddings --------------------------------------------------------
 
-    def forward(self, u: np.ndarray) -> np.ndarray:
+    def forward(self, u: np.ndarray, dtype=np.float64) -> np.ndarray:
         """Surface densities -> frequency grids.
 
         ``u`` has shape ``(n_boxes, ns * source_dim)`` with dof interleaved
         per point; output is ``(n_boxes, source_dim, n, n, nf)`` complex.
+        ``dtype`` sets the grid precision: float32 grids yield complex64
+        transforms (the fp32 plans), float64 the historical complex128.
         """
         nb = u.shape[0]
         ks = self.kernel.source_dim
-        grids = np.zeros((nb, ks, self.n**3), dtype=np.float64)
+        grids = np.zeros((nb, ks, self.n**3), dtype=dtype)
         grids[:, :, self._surf_n] = u.reshape(nb, self.ns, ks).transpose(0, 2, 1)
         grids = grids.reshape(nb, ks, self.n, self.n, self.n)
         return np.fft.rfftn(grids, axes=(-3, -2, -1))
 
-    def forward_multi(self, u: np.ndarray) -> np.ndarray:
+    def forward_multi(self, u: np.ndarray, dtype=np.float64) -> np.ndarray:
         """Multi-RHS :meth:`forward`: ``(n_boxes, q, ns * source_dim)`` in,
         ``(n_boxes, q, source_dim, n, n, nf)`` out.
 
@@ -122,7 +124,7 @@ class FftM2L:
         """
         nb, q = u.shape[0], u.shape[1]
         ks = self.kernel.source_dim
-        grids = np.zeros((nb, q, ks, self.n**3), dtype=np.float64)
+        grids = np.zeros((nb, q, ks, self.n**3), dtype=dtype)
         grids[:, :, :, self._surf_n] = u.reshape(nb, q, self.ns, ks).transpose(
             0, 1, 3, 2
         )

@@ -89,6 +89,15 @@ class Fmm:
         building lists.  The FMM does not need it (the paper's trees span
         20+ levels unbalanced), but balanced trees bound U/W/X list sizes
         per box, which some downstream uses prefer.
+    precision:
+        Plan arithmetic precision — ``"fp64"`` (default, bit-identical
+        to the pre-precision engine), ``"fp32"`` (float32 GEMM phases,
+        ~2x BLAS throughput at a float32 accuracy floor), or ``"auto"``
+        (one-time calibration probe picks the cheapest precision meeting
+        ``precision_rtol``; see
+        :func:`repro.core.autotune.autotune_precision`).
+    precision_rtol:
+        Relative-error target for ``precision="auto"``.
     """
 
     def __init__(
@@ -101,6 +110,8 @@ class Fmm:
         rcond: float | None = None,
         eval_kernel: Kernel | None = None,
         balance_tree: bool = False,
+        precision: str = "fp64",
+        precision_rtol: float | None = None,
     ):
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
         self.order = int(order)
@@ -113,6 +124,8 @@ class Fmm:
             m2l_mode=m2l_mode,
             rcond=rcond,
             eval_kernel=eval_kernel,
+            precision=precision,
+            precision_rtol=precision_rtol,
         )
 
     def plan(self, points: np.ndarray, profile: PhaseProfile | None = None) -> FmmPlan:
@@ -152,6 +165,7 @@ class Fmm:
         profile: PhaseProfile | None = None,
         eval_plan=None,
         use_plan: bool = True,
+        precision: str | None = None,
     ) -> np.ndarray:
         """Potential at every point, in the input point order.
 
@@ -167,6 +181,10 @@ class Fmm:
         the evaluator compiles an :class:`~repro.core.plan.EvalPlan` on the
         second call and reuses it from then on (``use_plan=False`` opts
         out; ``eval_plan=`` supplies a precompiled one).
+
+        ``precision`` overrides the constructor's precision for this call
+        (``"fp64"`` / ``"fp32"`` / ``"auto"``); fp32 requires the plan
+        path (see :class:`~repro.core.evaluator.FmmEvaluator`).
         """
         points = np.asarray(points, dtype=np.float64)
         profile = profile if profile is not None else PhaseProfile()
@@ -185,7 +203,7 @@ class Fmm:
             )
             pot_sorted = self.evaluator.evaluate_multi(
                 tree, plan.lists, sorted_dens, profile,
-                plan=eval_plan, use_plan=use_plan,
+                plan=eval_plan, use_plan=use_plan, precision=precision,
             )
             pot = np.empty_like(pot_sorted)
             pot.reshape(-1, kt, q)[tree.order] = pot_sorted.reshape(-1, kt, q)
@@ -193,7 +211,7 @@ class Fmm:
         sorted_dens = dens.reshape(-1, ks)[tree.order].reshape(-1)
         pot_sorted = self.evaluator.evaluate(
             tree, plan.lists, sorted_dens, profile,
-            plan=eval_plan, use_plan=use_plan,
+            plan=eval_plan, use_plan=use_plan, precision=precision,
         )
         pot = np.empty_like(pot_sorted)
         pot.reshape(-1, kt)[tree.order] = pot_sorted.reshape(-1, kt)

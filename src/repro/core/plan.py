@@ -35,6 +35,15 @@ Design rules:
   (U-list first — it dominates), turning those phases into pure
   GEMM + scatter.  Blocks that do not fit fall back to evaluating
   the kernel per apply, bit-identically either way.
+* **Precision is a compile-time axis.**  ``compile_plan(precision="fp32")``
+  stores float32 kernel matrices, complex64 FFT translation hats and
+  float32 scratch tables, so the GEMM / FFT-translate phases run in
+  single precision (the paper ran exactly these phases in fp32 on the
+  GPU, §5).  The *accumulation* state stays float64 throughout: the
+  ``up``/``dcheck``/``dequiv``/potential arrays, the U2U/D2D operator
+  chains (roundoff there compounds with tree depth) and multi-RHS
+  column sums.  ``precision="fp64"`` (the default) takes exactly the
+  historical code path, bit for bit.
 
 A plan is bound to one ``(tree, lists, kernel, order, m2l_mode, scope)``
 configuration; :func:`tree_fingerprint` rejects accidental reuse against a
@@ -56,12 +65,30 @@ __all__ = [
     "EvalPlan",
     "PlanScopes",
     "PlanMismatchError",
+    "PrecisionError",
+    "VALID_PRECISIONS",
     "compile_plan",
     "tree_fingerprint",
 ]
 
 #: Default byte budget for cached kernel-matrix blocks (see compile_plan).
 MATRIX_BUDGET = 512 * 2**20
+
+#: Accepted values for every ``precision=`` parameter in the stack.
+#: ``"auto"`` is resolved to a concrete precision by the callers that own
+#: a calibration context (evaluator / distributed driver / serve engine);
+#: :func:`compile_plan` itself only accepts the concrete two.
+VALID_PRECISIONS = ("fp64", "fp32", "auto")
+
+
+class PrecisionError(ValueError):
+    """An invalid or unsatisfiable precision request.
+
+    Raised for unknown precision strings, for ``fp32`` requests on paths
+    that cannot honour them (the plan-less legacy evaluator is
+    float64-only), and by the serving engine when a request overrides a
+    model to a precision the model does not allow.
+    """
 
 
 class PlanMismatchError(ValueError):
@@ -222,6 +249,10 @@ class EvalPlan:
     kt: int  # base-kernel target dim (check surfaces)
     kt_eval: int  # eval-kernel target dim (potential layout)
     scoped: bool
+    #: Arithmetic precision of the GEMM / FFT-translate phases: "fp64"
+    #: (historical, bit-identical default) or "fp32" (float32 matrices,
+    #: complex64 hats, float32 gather tables; accumulators stay float64).
+    precision: str = "fp64"
     s2u: list = field(default_factory=list)
     u2u: list = field(default_factory=list)
     vli_fft: list = field(default_factory=list)
@@ -302,6 +333,26 @@ class EvalPlan:
 
     # -- shared helpers ----------------------------------------------------
 
+    @property
+    def rdtype(self):
+        """Real working dtype of the GEMM phases (float32 / float64)."""
+        return np.float32 if self.precision == "fp32" else np.float64
+
+    @property
+    def cdtype(self):
+        """Complex dtype of the FFT V-list phase (complex64 / complex128)."""
+        return np.complex64 if self.precision == "fp32" else np.complex128
+
+    def _cast(self, a: np.ndarray) -> np.ndarray:
+        """Stage a float64 accumulator slice into the plan's working dtype.
+
+        Identity (same object, no copy) for fp64 plans, so the default
+        path is untouched; one rounding to float32 for fp32 plans.
+        """
+        if self.precision == "fp32":
+            return a.astype(np.float32)
+        return a
+
     def _dens_table(self, dens: np.ndarray) -> np.ndarray:
         """Density rows extended by one all-zero sentinel row.
 
@@ -309,7 +360,7 @@ class EvalPlan:
         assembling a padded per-box density block is a single fancy index.
         The buffer is reused across phases and applies.
         """
-        table = self._buffer("dens", (self.n_points + 1, self.ks), np.float64)
+        table = self._buffer("dens", (self.n_points + 1, self.ks), self.rdtype)
         table[: self.n_points] = np.asarray(dens).reshape(self.n_points, self.ks)
         table[self.n_points] = 0.0
         return table
@@ -345,7 +396,7 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+                else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
             )
             q = gemm_cols(k, den[:, :, None])[:, :, 0]
             up[blk.group] = q @ blk.mat.T
@@ -362,11 +413,11 @@ class EvalPlan:
         fft = ev.fft
         step_flops = fft.translate_flops_per_pair()
         for ch in self.vli_fft:
-            uhat = fft.forward(up[ch.usrc])
+            uhat = fft.forward(up[ch.usrc], dtype=self.rdtype)
             acc = self._buffer(
                 "vli_acc",
                 (ch.utgt.size, self.kt, fft.n, fft.n, fft.nf),
-                np.complex128,
+                self.cdtype,
             )
             acc.fill(0.0)
             for _off, that, tpos, spos, npairs in ch.steps:
@@ -381,7 +432,7 @@ class EvalPlan:
     def apply_vli_dense(self, ev, state, profile) -> None:
         up, dcheck = state["up"], state["dcheck"]
         for st in self.vli_dense:
-            dcheck[st.dst] += up[st.src] @ st.mat.T
+            dcheck[st.dst] += self._cast(up[st.src]) @ st.mat.T
             profile.add_flops(st.flops)
 
     def apply_xli(self, ev, dens, state, profile) -> None:
@@ -394,7 +445,7 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+                else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
             )
             vals = gemm_cols(k, den[:, :, None])[:, :, 0]
             dcheck[blk.seg] += np.add.reduceat(vals[blk.order], blk.starts, axis=0)
@@ -444,9 +495,9 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                else self._cast(ev.eval_kernel.matrix_batch(blk.pts, blk.surf))
             )
-            vals = gemm_cols(k, up[blk.cols][:, :, None])[:, :, 0]
+            vals = gemm_cols(k, self._cast(up[blk.cols])[:, :, None])[:, :, 0]
             sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
             potr[blk.pot_rows] += sums.reshape(blk.seg.size, blk.pad, kt)
             profile.add_flops(blk.flops)
@@ -459,9 +510,9 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                else self._cast(ev.eval_kernel.matrix_batch(blk.pts, blk.surf))
             )
-            vals = gemm_cols(k, dequiv[blk.group][:, :, None])[:, :, 0]
+            vals = gemm_cols(k, self._cast(dequiv[blk.group])[:, :, None])[:, :, 0]
             potr[blk.pot_rows] += vals.reshape(blk.group.size, blk.pad, kt)
             profile.add_flops(blk.flops)
 
@@ -476,7 +527,9 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+                else self._cast(
+                    ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+                )
             )
             vals = gemm_cols(k, den[:, :, None])[:, :, 0]
             potr[blk.pot_rows] += vals.reshape(blk.boxes.size, blk.tp, kt)
@@ -530,7 +583,7 @@ class EvalPlan:
         padded gather reshapes straight to gemm_cols's ``(b, pad*ks, q)``."""
         q = dens.shape[1]
         table = self._buffer(
-            "dens_multi", (self.n_points + 1, self.ks, q), np.float64
+            "dens_multi", (self.n_points + 1, self.ks, q), self.rdtype
         )
         table[: self.n_points] = dens.reshape(self.n_points, self.ks, q)
         table[self.n_points] = 0.0
@@ -554,7 +607,7 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+                else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
             )
             qv = gemm_cols(k, den)
             for j in range(q):
@@ -587,17 +640,21 @@ class EvalPlan:
         q = up.shape[1]
         fft = ev.fft
         step_flops = fft.translate_flops_per_pair()
-        per_col = 16 * self.kt * fft.n * fft.n * fft.nf
+        # Accumulator bytes per column: the complex itemsize halves under
+        # fp32, so the cache-resident column group doubles for free.
+        per_col = np.dtype(self.cdtype).itemsize * self.kt * fft.n * fft.n * fft.nf
         for ch in self.vli_fft:
             src_up = up[ch.usrc]
             qc = max(1, int(self.VLI_MULTI_BYTES // max(ch.utgt.size * per_col, 1)))
             for q0 in range(0, q, qc):
                 q1 = min(q0 + qc, q)
-                uhat = fft.forward_multi(np.ascontiguousarray(src_up[:, q0:q1]))
+                uhat = fft.forward_multi(
+                    np.ascontiguousarray(src_up[:, q0:q1]), dtype=self.rdtype
+                )
                 acc = self._buffer(
                     "vli_acc_multi",
                     (ch.utgt.size, q1 - q0, self.kt, fft.n, fft.n, fft.nf),
-                    np.complex128,
+                    self.cdtype,
                 )
                 acc.fill(0.0)
                 for _off, that, tpos, spos, npairs in ch.steps:
@@ -618,7 +675,7 @@ class EvalPlan:
         q = up.shape[1]
         for st in self.vli_dense:
             for j in range(q):
-                dcheck[st.dst, j] += up[st.src, j] @ st.mat.T
+                dcheck[st.dst, j] += self._cast(up[st.src, j]) @ st.mat.T
             profile.add_flops(st.flops * q)
 
     def apply_xli_multi(self, ev, dens, state, profile) -> None:
@@ -632,7 +689,7 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.kernel.matrix_batch(blk.surf, blk.pts)
+                else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
             )
             vals = gemm_cols(k, den)  # (b, ns*kt, q)
             sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
@@ -666,9 +723,9 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                else self._cast(ev.eval_kernel.matrix_batch(blk.pts, blk.surf))
             )
-            vals = gemm_cols(k, up[blk.cols].transpose(0, 2, 1))
+            vals = gemm_cols(k, self._cast(up[blk.cols]).transpose(0, 2, 1))
             sums = np.add.reduceat(vals[blk.order], blk.starts, axis=0)
             potr[blk.pot_rows] += sums.reshape(
                 blk.seg.size, blk.pad, kt, q
@@ -684,9 +741,9 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                else self._cast(ev.eval_kernel.matrix_batch(blk.pts, blk.surf))
             )
-            vals = gemm_cols(k, dequiv[blk.group].transpose(0, 2, 1))
+            vals = gemm_cols(k, self._cast(dequiv[blk.group]).transpose(0, 2, 1))
             potr[blk.pot_rows] += vals.reshape(
                 blk.group.size, blk.pad, kt, q
             ).transpose(0, 1, 3, 2)
@@ -704,7 +761,9 @@ class EvalPlan:
             k = (
                 blk.kmat
                 if blk.kmat is not None
-                else ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+                else self._cast(
+                    ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+                )
             )
             vals = gemm_cols(k, den)
             potr[blk.pot_rows] += vals.reshape(
@@ -747,15 +806,22 @@ def _scatter_schedule(targets: np.ndarray):
 
 
 def _maybe_kmat(plan: EvalPlan, kernel, a: np.ndarray, b: np.ndarray):
-    """Materialise a kernel block if the matrix budget allows, else None."""
+    """Materialise a kernel block if the matrix budget allows, else None.
+
+    The estimate and the charge both use the plan's working itemsize (the
+    old code hard-wired 8-byte reals, which would double-count an fp32
+    plan's footprint), and fp32 plans store the block rounded to float32 —
+    half the bytes, so the same budget fits twice the near field.
+    """
     if not plan._cache_matrices:
         return None
-    est = 8 * a.shape[0] * (a.shape[1] * kernel.target_dim) * (
+    itemsize = np.dtype(plan.rdtype).itemsize
+    est = itemsize * a.shape[0] * (a.shape[1] * kernel.target_dim) * (
         b.shape[1] * kernel.source_dim
     )
     if est > plan._mat_left:
         return None
-    k = kernel.matrix_batch(a, b)
+    k = plan._cast(kernel.matrix_batch(a, b))
     plan._mat_left -= k.nbytes
     return k
 
@@ -800,6 +866,7 @@ def compile_plan(
     scopes: PlanScopes | None = None,
     cache_matrices: bool = True,
     matrix_budget: int = MATRIX_BUDGET,
+    precision: str = "fp64",
 ) -> EvalPlan:
     """Compile an :class:`EvalPlan` for evaluator ``ev`` on ``(tree, lists)``.
 
@@ -807,7 +874,17 @@ def compile_plan(
     unrestricted).  ``cache_matrices`` materialises leaf/pair kernel
     blocks up to ``matrix_budget`` bytes, U-list first (it dominates the
     near field); disable it to trade apply speed for memory.
+    ``precision`` is ``"fp64"`` (default; bit-identical to the
+    pre-precision engine) or ``"fp32"`` (float32 matrices / complex64
+    hats / float32 tables; see the module docstring for what stays
+    float64).  ``"auto"`` must be resolved by the caller first —
+    resolution needs a calibration workload this function does not have.
     """
+    if precision not in ("fp64", "fp32"):
+        raise PrecisionError(
+            f"compile_plan precision must be 'fp64' or 'fp32', got "
+            f"{precision!r} (resolve 'auto' via the evaluator first)"
+        )
     scopes = scopes if scopes is not None else PlanScopes()
     ks, kt = ev.kernel.source_dim, ev.kernel.target_dim
     counts = tree.point_counts()
@@ -819,6 +896,7 @@ def compile_plan(
         kt=kt,
         kt_eval=ev.eval_kernel.target_dim,
         scoped=scopes.any_set(),
+        precision=precision,
     )
     plan._tree = tree
     plan._cache_matrices = bool(cache_matrices)
@@ -865,6 +943,13 @@ def compile_plan(
     for lev, pad, group in ev._leaf_batches(tree, sel):
         if lev not in base_uc:
             base_uc[lev] = ev.ops.uc_points(lev)
+            # The uc2ue pseudoinverse stays float64 at BOTH precisions:
+            # its entries are huge and cancelling (|m| ~ 1/rcond), so a
+            # float32 copy loses the cancellation and the up densities
+            # with it.  Under an fp32 plan the float32 check potentials
+            # feed this float64 GEMM — the per-level mats are tiny, the
+            # heavy leaf-kernel GEMMs stay float32, and the fp32 error
+            # stays at the float32 floor instead of the pinv's.
             mats[lev] = ev.ops.uc2ue(lev)
         pts = _padded_points(tree, group, pad)
         uc = base_uc[lev][None, :, :] + tree.centers[group][:, None, :]
@@ -971,6 +1056,21 @@ def compile_plan(
     # -- VLI ---------------------------------------------------------------
     if ev.m2l_mode == "fft":
         fft = ev.fft
+        # fp32 plans store each translation hat rounded to complex64 once
+        # per (level, offset) — chunks at the same level share the cast.
+        hat_c64: dict[tuple, np.ndarray] = {}
+
+        def _hat(lev, off):
+            that = fft.kernel_hat(lev, off)
+            if precision != "fp32":
+                return that
+            key = (lev, off)
+            h32 = hat_c64.get(key)
+            if h32 is None:
+                h32 = hat_c64[key] = that.astype(np.complex64)
+                h32.setflags(write=False)
+            return h32
+
         for lev, usrc, utgt, steps in ev._vli_chunks(tree, lists, scopes.vli):
             plan.vli_fft.append(
                 _VChunk(
@@ -978,7 +1078,7 @@ def compile_plan(
                     usrc=usrc,
                     utgt=utgt,
                     steps=[
-                        (off, fft.kernel_hat(lev, off), tpos, spos, npairs)
+                        (off, _hat(lev, off), tpos, spos, npairs)
                         for off, tpos, spos, npairs in steps
                     ],
                 )
@@ -989,7 +1089,7 @@ def compile_plan(
             for c in np.unique(code):
                 cs = code == c
                 off = tuple(offs[cs][0])
-                m = ev.ops.m2l_dense(lev, off)
+                m = plan._cast(ev.ops.m2l_dense(lev, off))
                 plan.vli_dense.append(
                     _MatStep(
                         mat=m,

@@ -67,6 +67,15 @@ class DistributedFmm:
         it for every subsequent call on the same setup — including
         resilient retries and checkpoint resumes, which rebind
         communicators but keep the LET, and with it the plan.
+    precision:
+        Plan precision (``"fp64"`` / ``"fp32"`` / ``"auto"``; see
+        :class:`repro.core.Fmm`).  With ``"auto"``, every rank probes its
+        own subsample and the decision is made *collectively* (allgather
+        of the per-rank votes; fp32 only if every rank voted fp32), so
+        ranks never evaluate at disagreeing precisions.  fp32 requires
+        ``use_plan=True``.
+    precision_rtol:
+        Relative-error target for ``precision="auto"``.
     """
 
     def __init__(
@@ -83,9 +92,18 @@ class DistributedFmm:
         gpu=None,
         gpu_wx: bool = False,
         use_plan: bool = True,
+        precision: str = "fp64",
+        precision_rtol: float | None = None,
     ):
+        from repro.core.plan import PrecisionError
+
         if comm_scheme not in ("hypercube", "owner"):
             raise ValueError("comm_scheme must be 'hypercube' or 'owner'")
+        if not use_plan and precision != "fp64":
+            raise PrecisionError(
+                f"precision={precision!r} requires use_plan=True: the "
+                "plan-free distributed path is float64-only"
+            )
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
         self.order = int(order)
         self.max_points_per_box = int(max_points_per_box)
@@ -102,10 +120,17 @@ class DistributedFmm:
                 m2l_mode=m2l_mode,
                 rcond=rcond,
                 accelerate_wx=gpu_wx,
+                precision=precision,
+                precision_rtol=precision_rtol,
             )
         else:
             self.evaluator = FmmEvaluator(
-                self.kernel, self.order, m2l_mode=m2l_mode, rcond=rcond
+                self.kernel,
+                self.order,
+                m2l_mode=m2l_mode,
+                rcond=rcond,
+                precision=precision,
+                precision_rtol=precision_rtol,
             )
         self.use_plan = bool(use_plan)
         self.comm: SimComm | None = None
@@ -288,6 +313,24 @@ class DistributedFmm:
         if self.use_plan and plan is None:
             from repro.core.plan import PlanScopes
 
+            precision = ev.precision
+            if precision == "auto":
+                # Every rank probes its own subsample, then the decision is
+                # made collectively: one disagreeing rank would otherwise
+                # evaluate a different plan and break bitwise determinism
+                # across partitionings.  fp32 only on a unanimous vote.
+                local = ev._resolve_auto(tree, profile)
+                if comm.size > 1:
+                    with profile.phase("setup:precision"):
+                        votes = comm.allgather(local)
+                    precision = (
+                        "fp32" if all(v == "fp32" for v in votes) else "fp64"
+                    )
+                else:
+                    precision = local
+                # pin the collective choice so lazy evaluator paths agree
+                ev._auto_choice = precision
+
             # Compiled once per setup(): the ownership masks are baked in,
             # and the plan survives rebind()/resume, so retried attempts
             # and every later evaluate() skip straight to the apply.
@@ -306,8 +349,10 @@ class DistributedFmm:
                         uli=own_leaf,
                     ),
                     cache_matrices=ev.PLAN_CACHE_MATRICES,
+                    precision=precision,
                 )
 
+        profile.precision = plan.precision if plan is not None else "fp64"
         if resumable:
             dens = self._ckpt["dens"].copy()
             state["up"] = self._ckpt["up"].copy()

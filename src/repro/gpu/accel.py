@@ -45,8 +45,17 @@ class GpuFmmEvaluator(FmmEvaluator):
         m2l_mode: str = "fft",
         rcond: float | None = None,
         accelerate_wx: bool = False,
+        precision: str = "fp64",
+        precision_rtol: float | None = None,
     ):
-        super().__init__(kernel, order, m2l_mode=m2l_mode, rcond=rcond)
+        super().__init__(
+            kernel,
+            order,
+            m2l_mode=m2l_mode,
+            rcond=rcond,
+            precision=precision,
+            precision_rtol=precision_rtol,
+        )
         self.gpu = gpu if gpu is not None else VirtualGpu()
         self.accelerate_wx = bool(accelerate_wx)
         # the dual-kernel (gradient) evaluation path is CPU-only
@@ -177,8 +186,12 @@ class GpuFmmEvaluator(FmmEvaluator):
         up, dcheck = state["up"], state["dcheck"]
         fft = self.fft
         kt, ks = self.kernel.target_dim, self.kernel.source_dim
+        fp32_plan = plan is not None and plan.precision == "fp32"
         if plan is not None:
-            that32 = plan.gpu.setdefault("vli_that32", {})
+            # fp32 plans already carry complex64 kernel transforms — the
+            # device consumes the plan's shared buffers directly, with no
+            # side cache and no per-apply narrowing casts.
+            that32 = None if fp32_plan else plan.gpu.setdefault("vli_that32", {})
             chunks = (
                 (ch.level, ch.usrc, ch.utgt, ch.steps) for ch in plan.vli_fft
             )
@@ -191,8 +204,12 @@ class GpuFmmEvaluator(FmmEvaluator):
                 for lev, usrc, utgt, steps in self._vli_chunks(tree, lists, scope)
             )
         for lev, usrc, utgt, steps in chunks:
-            # CPU: forward FFTs
-            uhat = fft.forward(up[usrc]).astype(np.complex64)
+            # CPU: forward FFTs (float32 grids under an fp32 plan, so the
+            # rfft emits complex64 directly instead of narrowing after)
+            if fp32_plan:
+                uhat = fft.forward(up[usrc], dtype=np.float32)
+            else:
+                uhat = fft.forward(up[usrc]).astype(np.complex64)
             profile.add_flops(usrc.size * ks * fft.fft_flops_per_box())
             nbytes_grid = uhat[0].nbytes if usrc.size else 0
             self.gpu.ledger.charge_transfer(
@@ -206,9 +223,12 @@ class GpuFmmEvaluator(FmmEvaluator):
             flops = 0.0
             gbytes = 0.0
             for off, that, tpos, spos, npairs in steps:
-                t32 = that32.get((lev, off))
-                if t32 is None:
-                    t32 = that32[(lev, off)] = that.astype(np.complex64)
+                if that32 is None:
+                    t32 = that  # already complex64, owned by the plan
+                else:
+                    t32 = that32.get((lev, off))
+                    if t32 is None:
+                        t32 = that32[(lev, off)] = that.astype(np.complex64)
                 acc[tpos] += fft.translate(t32, uhat[spos])
                 flops += npairs * fft.translate_flops_per_pair()
                 # low arithmetic intensity: every pair streams a grid

@@ -150,9 +150,15 @@ def setup_seconds(
     ``setup:plan`` / ``setup:wli`` are the evaluation-plan compilation
     spans (see :mod:`repro.core.plan`): one-time work that amortises
     across repeated applies, so it belongs with setup, not evaluation.
+    ``setup:precision`` is the one-time ``precision="auto"`` calibration
+    probe (plus the distributed precision vote; see
+    :func:`repro.core.autotune.autotune_precision`).
     """
     out = {}
-    for ph in ("tree", "let", "lists", "balance", "setup:plan", "setup:wli"):
+    for ph in (
+        "tree", "let", "lists", "balance",
+        "setup:plan", "setup:wli", "setup:precision",
+    ):
         secs, _ = _phase_values(profiles, machine, [ph])
         out[ph] = float(secs.max())
     return out

@@ -28,7 +28,13 @@ JSONL schema (one object per line, field order not significant)::
      "t_lat": float, "t_bw": float, "seq": int}
     {"kind": "span", "rank": int, "phase": str, "wall_s": float,
      "flops": float, "comm_messages": int, "comm_bytes": float,
-     "comm_s": float, "aborted": bool}
+     "comm_s": float, "aborted": bool, "precision": str}
+
+``precision`` (schema addition, defaulting to ``"fp64"`` when absent so
+older traces still load) records the arithmetic precision the emitting
+profile was evaluating at — spans of an fp32 plan apply carry
+``"fp32"``, setup and communication spans inherit whatever the profile
+was bound to.
 
 ``aborted`` marks spans that were closed by an exception unwinding
 through the phase or force-flushed at abort time for a wedged rank
@@ -97,6 +103,9 @@ class SpanEvent:
     #: True when the span was closed by an exception unwinding through the
     #: phase, or force-flushed for a wedged rank at abort time.
     aborted: bool = False
+    #: Arithmetic precision of the evaluation the span belongs to
+    #: ("fp64" / "fp32"); defaults keep pre-precision traces loadable.
+    precision: str = "fp64"
 
 
 class TraceRecorder:
@@ -155,6 +164,7 @@ class TraceRecorder:
         comm_bytes: float,
         comm_s: float,
         aborted: bool = False,
+        precision: str = "fp64",
     ) -> None:
         ev = SpanEvent(
             "span",
@@ -166,6 +176,7 @@ class TraceRecorder:
             comm_bytes,
             comm_s,
             aborted,
+            precision,
         )
         with self._lock:
             self.events.append(ev)
@@ -240,7 +251,7 @@ class TraceRecorder:
             else:
                 key = (
                     ev.kind, ev.phase, ev.flops, ev.comm_messages,
-                    ev.comm_bytes, ev.comm_s, ev.aborted,
+                    ev.comm_bytes, ev.comm_s, ev.aborted, ev.precision,
                 )
             out.setdefault(ev.rank, []).append(key)
         return out

@@ -65,7 +65,11 @@ class MicroBatcher:
             flush_at = min(flush_at, head.deadline)
         while len(batch) < self.max_batch:
             batch.extend(
-                self.queue.take_matching(head.model, self.max_batch - len(batch))
+                self.queue.take_matching(
+                    head.model,
+                    self.max_batch - len(batch),
+                    precision=head.precision,
+                )
             )
             if len(batch) >= self.max_batch:
                 break

@@ -9,9 +9,11 @@ vectors from any thread and get potentials back.
 The engine composes four pieces, each its own module:
 
 * a **plan cache** (here): compiled :class:`~repro.core.plan.EvalPlan`
-  objects per model, LRU-evicted under a byte budget (``plan.nbytes``),
-  recompiled transparently on miss.  Warm plans are what make serving
-  cheap — an apply on a warm plan skips all setup.
+  objects keyed by ``model@precision``, LRU-evicted under a byte budget
+  (the plan's actual, dtype-honest ``plan.nbytes`` — an fp32 plan
+  charges roughly half an fp64 one), recompiled transparently on miss.
+  Warm plans are what make serving cheap — an apply on a warm plan
+  skips all setup.
 * a **micro-batcher** (:mod:`repro.serve.batcher`): concurrent
   single-density requests for the same model coalesce into one
   multi-RHS apply.  Each column of the batched result is bit-identical
@@ -42,6 +44,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.core.plan import PrecisionError
 from repro.mpi.faults import ChaosFabric, FaultPlan, RetryPolicy, TRANSIENT_ERRORS
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
@@ -62,16 +65,55 @@ PLAN_BUDGET = 2 * 2**30
 
 
 class RegisteredModel:
-    """One served model: geometry, kernel configuration, built tree."""
+    """One served model: geometry, kernel configuration, built tree.
 
-    __slots__ = ("name", "fmm", "points", "plan", "expected")
+    ``precision`` is the model's default plan precision; ``"auto"`` is
+    resolved to a concrete choice at registration time (one calibration
+    probe on the model's own tree), so every submit sees ``"fp64"`` or
+    ``"fp32"``.  ``allowed`` is the set of precisions per-request
+    overrides may pick; anything else is rejected at submit with a typed
+    :class:`~repro.core.plan.PrecisionError`.
+    """
 
-    def __init__(self, name, fmm, points):
+    __slots__ = ("name", "fmm", "points", "plan", "expected", "precision",
+                 "allowed")
+
+    def __init__(self, name, fmm, points, precision="fp64", allowed=None):
+        if precision not in ("fp64", "fp32", "auto"):
+            raise PrecisionError(
+                f"model {name!r}: precision must be 'fp64', 'fp32' or "
+                f"'auto', got {precision!r}"
+            )
+        self.allowed = (
+            frozenset(("fp64", "fp32")) if allowed is None
+            else frozenset(allowed)
+        )
+        if not self.allowed or not self.allowed <= {"fp64", "fp32"}:
+            raise PrecisionError(
+                f"model {name!r}: allowed must be a non-empty subset of "
+                f"{{'fp64', 'fp32'}}, got {sorted(self.allowed)}"
+            )
         self.name = name
         self.fmm = fmm
         self.points = np.asarray(points, dtype=np.float64)
         self.plan = fmm.plan(self.points)  # tree + interaction lists
         self.expected = self.plan.tree.n_points * fmm.kernel.source_dim
+        if precision == "auto":
+            from repro.util.timer import PhaseProfile
+
+            precision = fmm.evaluator._resolve_auto(
+                self.plan.tree, PhaseProfile()
+            )
+            if precision not in self.allowed:
+                # the calibrated pick is disallowed: snap to what is
+                # (fp64 wins ties — it always meets the error target)
+                precision = "fp64" if "fp64" in self.allowed else "fp32"
+        elif precision not in self.allowed:
+            raise PrecisionError(
+                f"model {name!r}: default precision {precision!r} is not "
+                f"in allowed {sorted(self.allowed)}"
+            )
+        self.precision = precision
 
 
 class PlanCache:
@@ -105,6 +147,11 @@ class PlanCache:
     def nbytes(self) -> int:
         with self._lock:
             return sum(nb for _, nb in self._entries.values())
+
+    def entries(self) -> dict[str, int]:
+        """Charged bytes per cached key (a point-in-time snapshot)."""
+        with self._lock:
+            return {k: nb for k, (_, nb) in self._entries.items()}
 
     def invalidate(self, name: str) -> None:
         with self._lock:
@@ -245,13 +292,30 @@ class ServeEngine:
 
     # -- models ------------------------------------------------------------
 
-    def register(self, name: str, fmm, points, warm: bool = True):
+    def register(
+        self,
+        name: str,
+        fmm,
+        points,
+        warm: bool = True,
+        precision: str = "fp64",
+        allowed=None,
+    ):
         """Register ``name`` as (kernel config, geometry); builds the tree
         now and, with ``warm``, compiles its evaluation plan into the
-        cache so the first request already runs at amortised speed."""
-        model = RegisteredModel(name, fmm, points)
+        cache so the first request already runs at amortised speed.
+
+        ``precision`` sets the model's default plan precision (``"auto"``
+        calibrates once, now); ``allowed`` restricts the per-request
+        overrides (e.g. ``{"fp32"}`` for an fp32-only model — fp64
+        requests then fail typed at submit)."""
+        model = RegisteredModel(
+            name, fmm, points, precision=precision, allowed=allowed
+        )
         with self._models_lock:
             self._models[name] = model
+        for prec in ("fp64", "fp32"):  # stale plans of a replaced model
+            self.plans.invalidate(f"{name}@{prec}")
         if warm:
             self._plan_for(model)
         return model
@@ -269,15 +333,38 @@ class ServeEngine:
             )
         return model
 
-    def _plan_for(self, model: RegisteredModel):
+    def _plan_for(self, model: RegisteredModel, precision: str | None = None):
         kwargs = (
             {} if self.matrix_budget is None
             else {"matrix_budget": self.matrix_budget}
         )
+        precision = model.precision if precision is None else precision
+        # plans of the same model at different precisions are distinct
+        # cache entries, each charged its own (dtype-honest) byte count
         return self.plans.get(
-            model.name,
-            lambda: model.fmm.compile_eval_plan(model.plan, **kwargs),
+            f"{model.name}@{precision}",
+            lambda: model.fmm.compile_eval_plan(
+                model.plan, precision=precision, **kwargs
+            ),
         )
+
+    def plan_stats(self) -> dict:
+        """Per-model precision and cached plan bytes (for metrics export)."""
+        with self._models_lock:
+            models = dict(self._models)
+        cached = self.plans.entries()
+        out = {}
+        for name, model in models.items():
+            out[name] = {
+                "precision": model.precision,
+                "allowed": sorted(model.allowed),
+                "plan_bytes": {
+                    prec: cached[f"{name}@{prec}"]
+                    for prec in ("fp64", "fp32")
+                    if f"{name}@{prec}" in cached
+                },
+            }
+        return out
 
     # -- submission --------------------------------------------------------
 
@@ -287,6 +374,7 @@ class ServeEngine:
         density: np.ndarray,
         tenant: str = "default",
         timeout_s: float | None = None,
+        precision: str | None = None,
     ) -> Request:
         """Enqueue one density vector; returns a :class:`Request` future.
 
@@ -294,8 +382,27 @@ class ServeEngine:
         and :class:`Overloaded` when the queue is full.  ``timeout_s``
         sets the request deadline: requests a worker cannot reach in time
         fail with :class:`DeadlineExceeded` instead of completing late.
+
+        ``precision`` overrides the model's default plan precision for
+        this request (``"auto"`` defers to the model's calibrated
+        choice); a precision outside the model's ``allowed`` set raises
+        :class:`~repro.core.plan.PrecisionError` at submit — e.g. an
+        fp64 request against an fp32-only model is rejected typed, never
+        silently evaluated at the wrong precision.
         """
         m = self._model(model)
+        if precision is None or precision == "auto":
+            precision = m.precision
+        elif precision not in ("fp64", "fp32"):
+            raise PrecisionError(
+                f"precision must be 'fp64', 'fp32' or 'auto', "
+                f"got {precision!r}"
+            )
+        if precision not in m.allowed:
+            raise PrecisionError(
+                f"model {model!r} does not allow precision {precision!r} "
+                f"(allowed: {sorted(m.allowed)})"
+            )
         dens = np.asarray(density, dtype=np.float64).reshape(-1)
         if dens.size != m.expected:
             raise ValueError(
@@ -304,7 +411,9 @@ class ServeEngine:
                 f"expected n_points*source_dim = {m.expected}"
             )
         deadline = None if timeout_s is None else time.monotonic() + timeout_s
-        req = Request(model, dens, tenant=tenant, deadline=deadline)
+        req = Request(
+            model, dens, tenant=tenant, deadline=deadline, precision=precision
+        )
         try:
             self.queue.push(req)
         except Overloaded:
@@ -319,11 +428,12 @@ class ServeEngine:
         density: np.ndarray,
         tenant: str = "default",
         timeout_s: float | None = None,
+        precision: str | None = None,
     ) -> np.ndarray:
         """Blocking :meth:`submit` + result."""
-        return self.submit(model, density, tenant, timeout_s).result(
-            timeout=None if timeout_s is None else timeout_s + 60.0
-        )
+        return self.submit(
+            model, density, tenant, timeout_s, precision=precision
+        ).result(timeout=None if timeout_s is None else timeout_s + 60.0)
 
     # -- workers -----------------------------------------------------------
 
@@ -347,6 +457,7 @@ class ServeEngine:
         if not live:
             return
         model = self._model(live[0].model)
+        precision = live[0].precision  # batches never mix precisions
         profile = self._profiles[worker_id]
         q = len(live)
         for req in live:
@@ -357,7 +468,7 @@ class ServeEngine:
         while True:
             attempts += 1
             try:
-                eval_plan = self._plan_for(model)
+                eval_plan = self._plan_for(model, precision)
                 with profile.phase(f"SERVE:apply:{model.name}"):
                     pot = model.fmm.evaluate(
                         model.points,

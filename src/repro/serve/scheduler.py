@@ -68,6 +68,7 @@ class Request:
         "density",
         "tenant",
         "deadline",
+        "precision",
         "enqueued",
         "attempts",
         "batch_size",
@@ -77,12 +78,18 @@ class Request:
         "_error",
     )
 
-    def __init__(self, model, density, tenant="default", deadline=None):
+    def __init__(
+        self, model, density, tenant="default", deadline=None,
+        precision="fp64",
+    ):
         self.model = model
         self.density = density
         self.tenant = tenant
         #: Absolute ``time.monotonic()`` deadline (``None`` = no deadline).
         self.deadline = deadline
+        #: Concrete plan precision this request evaluates at ("fp64" /
+        #: "fp32"); resolved at submit time, batched only with equals.
+        self.precision = precision
         self.enqueued = time.monotonic()
         self.attempts = 0
         self.batch_size = 0
@@ -201,15 +208,25 @@ class FairQueue:
             self._depth -= 1
             return self._queues[tenant].popleft()
 
-    def take_matching(self, model, limit: int) -> list[Request]:
+    def take_matching(
+        self, model, limit: int, precision: str | None = None
+    ) -> list[Request]:
         """Dequeue up to ``limit`` queued requests for ``model``.
 
         Used by the batcher to coalesce a multi-RHS batch: tenants are
         visited in pass order and charged their stride per taken request,
         so batching still respects the weighted shares; within a tenant
         only the *head* run of matching requests is taken (per-tenant
-        FIFO order is never reordered).
+        FIFO order is never reordered).  ``precision`` additionally
+        restricts matches — requests at different plan precisions cannot
+        share one multi-RHS apply.
         """
+
+        def _match(req: Request) -> bool:
+            return req.model == model and (
+                precision is None or req.precision == precision
+            )
+
         taken: list[Request] = []
         with self._lock:
             while len(taken) < limit:
@@ -217,14 +234,14 @@ class FairQueue:
                     (
                         (self._passes[t], t)
                         for t, dq in self._queues.items()
-                        if dq and dq[0].model == model
+                        if dq and _match(dq[0])
                     ),
                 )
                 if not candidates:
                     break
                 _, tenant = candidates[0]
                 dq = self._queues[tenant]
-                while len(taken) < limit and dq and dq[0].model == model:
+                while len(taken) < limit and dq and _match(dq[0]):
                     taken.append(dq.popleft())
                     self._depth -= 1
                     self._passes[tenant] += self._stride(tenant)

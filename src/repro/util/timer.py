@@ -54,6 +54,11 @@ class PhaseProfile:
     """
 
     events: dict[str, PhaseEvent] = field(default_factory=dict)
+    #: Arithmetic precision of the evaluation this profile is tracking
+    #: ("fp64" / "fp32").  Set by the evaluator at the top of each
+    #: evaluate call and stamped onto every emitted span, so traces can
+    #: attribute wall time and flops to a precision.
+    precision: str = "fp64"
     #: Open phases, innermost last: (name, start perf_counter, counter snapshot).
     _open: list[tuple[str, float, tuple]] = field(default_factory=list)
     #: Optional :class:`repro.perf.trace.TraceRecorder` (duck-typed so the
@@ -107,6 +112,7 @@ class PhaseProfile:
             ev.comm_bytes - snap[2],
             ev.comm_seconds - snap[3],
             aborted=aborted,
+            precision=self.precision,
         )
 
     @contextmanager
