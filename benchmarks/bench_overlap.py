@@ -1,0 +1,170 @@
+"""Comm/compute overlap: achieved vs modelled, pipelined vs sequential.
+
+The paper lists overlapping communication with computation as the main
+unexploited optimisation ("we do not thoroughly overlap computation and
+communication").  PR 6's nonblocking runtime actually pipelines the
+distributed evaluation: the ghost-density exchange flies behind
+S2U + U2U and the shared-density reduce-scatter behind the X-list.
+This bench quantifies what that buys, per rank count:
+
+* ``sequential_s``  — modelled max-over-ranks eval seconds, no overlap
+* ``modelled_s``    — the dependency-legal overlap bound
+                      (:func:`repro.perf.model.overlapped_eval_seconds`)
+* ``achieved_s``    — what the pipelined schedule *actually* hid, read
+                      from the ``INFLIGHT:*`` trace spans
+                      (:func:`repro.perf.model.overlap_report`)
+* ``bit_identical`` — pipelined potentials equal the sequential ones
+                      bit for bit
+* ``ledger_equal``  — per-rank message/byte ledgers unchanged between
+                      the two schedules (same traffic, earlier)
+
+Results are written to ``BENCH_overlap.json`` at the repo root.  Run
+standalone for the paper-scale numbers::
+
+    PYTHONPATH=src python benchmarks/bench_overlap.py
+
+or via pytest at smoke scale (used by CI's overlap-smoke step)::
+
+    pytest benchmarks/bench_overlap.py --benchmark-only -s
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from common import density, make_points, run_distributed
+
+from repro.mpi import KRAKEN
+from repro.perf.model import overlap_report, overlapped_eval_seconds
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_overlap.json"
+
+
+def _collect(res):
+    pots = np.concatenate([v[1] for v in res.values])
+    ledger = [(c.messages_sent, c.bytes_sent) for c in res.comms]
+    return pots, ledger
+
+
+def run_bench(
+    n: int = 12_000,
+    ranks=(4, 8),
+    order: int = 4,
+    q: int = 50,
+    machine=KRAKEN,
+) -> dict:
+    points = make_points("uniform", n)
+    result = {"n": n, "order": order, "q": q, "machine": machine.name}
+    for p in ranks:
+        seq = run_distributed(
+            points, p, density, trace=True, order=order,
+            max_points_per_box=q, pipeline=False,
+        )
+        pip = run_distributed(
+            points, p, density, trace=True, order=order,
+            max_points_per_box=q, pipeline=True,
+        )
+        pot_s, led_s = _collect(seq)
+        pot_p, led_p = _collect(pip)
+        rep = overlap_report(pip.profiles, machine, trace=pip.trace)
+        # the ledgers are schedule-independent, so the modelled times of
+        # the pipelined run must equal the sequential run's: any drift
+        # means the pipeline moved different traffic
+        ovl_seq_ledger, seq_seq_ledger = overlapped_eval_seconds(
+            seq.profiles, machine
+        )
+        inflight = [
+            ev for ev in pip.trace.span_events()
+            if ev.phase.startswith("INFLIGHT:")
+        ]
+        result[f"p{p}"] = {
+            "sequential_s": rep["sequential"],
+            "modelled_s": rep["modelled_overlapped"],
+            "achieved_s": rep["achieved"],
+            "hidden_s": rep["hidden_max"],
+            "modelled_saving_pct": 100.0
+            * (1.0 - rep["modelled_overlapped"] / rep["sequential"]),
+            "achieved_saving_pct": 100.0
+            * (1.0 - rep["achieved"] / rep["sequential"]),
+            "bit_identical": bool(np.array_equal(pot_s, pot_p)),
+            "ledger_equal": bool(led_s == led_p),
+            "modelled_ratio_vs_sequential_schedule": rep["sequential"]
+            / seq_seq_ledger,
+            "inflight_spans": len(inflight),
+            "inflight_hidden_flops": float(sum(ev.flops for ev in inflight)),
+        }
+        assert ovl_seq_ledger > 0.0
+    return result
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def _print(result: dict) -> None:
+    print(
+        f"N={result['n']} order={result['order']} q={result['q']} "
+        f"machine={result['machine']} (modelled seconds):"
+    )
+    for key, row in result.items():
+        if not key.startswith("p"):
+            continue
+        print(
+            f"  p={key[1:]:>2}  seq {row['sequential_s']:8.4f}s  "
+            f"modelled {row['modelled_s']:8.4f}s "
+            f"({row['modelled_saving_pct']:5.1f}%)  "
+            f"achieved {row['achieved_s']:8.4f}s "
+            f"({row['achieved_saving_pct']:5.1f}%)  "
+            f"bitwise={'OK' if row['bit_identical'] else 'FAIL'}  "
+            f"ledger={'OK' if row['ledger_equal'] else 'FAIL'}"
+        )
+
+
+def test_overlap(benchmark):
+    """Smoke-scale overlap check (CI's overlap-smoke gate).
+
+    Asserts, at p in {4, 8}: the pipelined schedule is bit-identical to
+    the sequential one and moved the same per-rank traffic; the modelled
+    overlapped bound is strictly below sequential; the pipelined run's
+    modelled eval time stays within 1.05x of the sequential schedule's
+    (the ledgers are schedule-independent, so any excess means the
+    pipeline added traffic); and the trace shows real hidden overlap.
+    """
+    result = benchmark.pedantic(
+        lambda: run_bench(n=3_000, ranks=(4, 8), order=4, q=40),
+        rounds=1,
+        iterations=1,
+    )
+    _print(result)
+    write_result(result)
+    for p in (4, 8):
+        row = result[f"p{p}"]
+        assert row["bit_identical"], f"p={p}: pipelined result diverged"
+        assert row["ledger_equal"], f"p={p}: pipelined ledger drifted"
+        assert row["modelled_s"] < row["sequential_s"], (
+            f"p={p}: modelled overlap {row['modelled_s']:.4f}s not below "
+            f"sequential {row['sequential_s']:.4f}s"
+        )
+        assert row["modelled_ratio_vs_sequential_schedule"] <= 1.05, (
+            f"p={p}: pipelined modelled eval "
+            f"{row['modelled_ratio_vs_sequential_schedule']:.3f}x the "
+            "sequential schedule's"
+        )
+        assert row["inflight_spans"] > 0
+        assert row["hidden_s"] > 0.0, f"p={p}: nothing actually overlapped"
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=12_000)
+    ap.add_argument("--order", type=int, default=4)
+    ap.add_argument("--q", type=int, default=50)
+    ap.add_argument("--ranks", type=int, nargs="+", default=[4, 8])
+    args = ap.parse_args()
+    out = run_bench(n=args.n, ranks=tuple(args.ranks), order=args.order, q=args.q)
+    _print(out)
+    write_result(out)
+    print(f"wrote {RESULT_PATH}")

@@ -748,11 +748,21 @@ class FmmEvaluator:
         surfaces are regenerated from target centres, the coarse-leaf
         source points padded with zero-density centre points.
         """
+        self.xli_apply(state, self.xli_compute(tree, lists, dens, profile, scope, plan))
+
+    def xli_compute(self, tree, lists, dens, profile, scope=None, plan=None) -> list:
+        """The GEMM stage of :meth:`xli`, decoupled from state mutation.
+
+        X-list values depend only on ``dens`` — never on ``up`` or
+        ``dcheck`` — so they can be computed while the shared-density
+        reduction is still in flight.  Returns deferred ``(targets,
+        sums)`` adds; :meth:`xli_apply` replays them in the same order
+        and with the same values the fused :meth:`xli` would have added,
+        so the split is bit-identical to running X-list in place.
+        """
         if plan is not None:
-            plan.apply_xli(self, dens, state, profile)
-            return
+            return plan.compute_xli(self, dens, profile)
         ks = self.kernel.source_dim
-        dcheck = state["dcheck"]
         counts = tree.point_counts()
         x = lists.x
         sel = x.counts > 0
@@ -762,8 +772,9 @@ class FmmEvaluator:
         cols = x.indices[np.repeat(sel, x.counts)] if x.indices.size else x.indices
         keep = counts[cols] > 0
         rows, cols = rows[keep], cols[keep]
+        out = []
         if rows.size == 0:
-            return
+            return out
         base = {}
         for lev, pad, ri, ci in self._pair_batches(
             tree, rows, cols, tree.levels[rows], counts[cols]
@@ -780,8 +791,23 @@ class FmmEvaluator:
             starts = np.flatnonzero(
                 np.concatenate([[True], sorted_ri[1:] != sorted_ri[:-1]])
             )
-            dcheck[sorted_ri[starts]] += np.add.reduceat(vals[order], starts, axis=0)
+            out.append(
+                (sorted_ri[starts], np.add.reduceat(vals[order], starts, axis=0))
+            )
             profile.add_flops(self.kernel.pair_flops(self.ns, counts[ci].sum()))
+        return out
+
+    @staticmethod
+    def xli_apply(state, deferred) -> None:
+        """Add deferred X-list segment sums into the check densities."""
+        dcheck = state["dcheck"]
+        for seg, sums in deferred:
+            dcheck[seg] += sums
+
+    def xli_deferrable(self) -> bool:
+        """Whether :meth:`xli_compute`/:meth:`xli_apply` may replace
+        :meth:`xli` (the GPU evaluator's device path cannot defer)."""
+        return True
 
     def _gather_leaf_points_for(self, tree, dens, nodes, pad, ks):
         """Padded (points, densities) for arbitrary (possibly repeated)

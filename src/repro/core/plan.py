@@ -439,7 +439,20 @@ class EvalPlan:
         if not self.xli:
             return
         dcheck = state["dcheck"]
-        table = self._dens_table(dens)
+        for seg, sums in self.compute_xli(ev, dens, profile):
+            dcheck[seg] += sums
+
+    def compute_xli(self, ev, dens, profile) -> list:
+        """The GEMM stage of :meth:`apply_xli`, without touching state.
+
+        X-list values depend only on the input densities, so the matrix
+        products can run while the shared-density reduction is still in
+        flight; the returned ``(targets, sums)`` segments are added into
+        ``dcheck`` later (same values, same per-block order as the fused
+        apply — the split is bit-identical).
+        """
+        out = []
+        table = self._dens_table(dens) if self.xli else None
         for blk in self.xli:
             den = table[blk.den_rows].reshape(blk.rows.size, blk.pad * self.ks)
             k = (
@@ -448,8 +461,9 @@ class EvalPlan:
                 else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
             )
             vals = gemm_cols(k, den[:, :, None])[:, :, 0]
-            dcheck[blk.seg] += np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            out.append((blk.seg, np.add.reduceat(vals[blk.order], blk.starts, axis=0)))
             profile.add_flops(blk.flops)
+        return out
 
     def apply_d2d(self, ev, state, profile) -> None:
         dcheck, dequiv = state["dcheck"], state["dequiv"]

@@ -76,6 +76,18 @@ class DistributedFmm:
         ``use_plan=True``.
     precision_rtol:
         Relative-error target for ``precision="auto"``.
+    pipeline:
+        Overlap communication with computation during ``evaluate`` (the
+        paper's own "asynchronous communication" future-work item): the
+        ghost-density exchange stays in flight through S2U/U2U, and the
+        first (largest) round of the shared-density reduction stays in
+        flight through the X-list GEMMs.  Bit-identical to the sequential
+        schedule — the overlapped work never reads what the in-flight
+        messages deliver, and the X-list adds are deferred to their
+        sequential position — with identical per-rank ledgers.  Active
+        only at ``comm.size > 1`` on non-resumed evaluations; the X-list
+        half is skipped when the evaluator cannot defer it (device WX
+        path).
     """
 
     def __init__(
@@ -94,6 +106,7 @@ class DistributedFmm:
         use_plan: bool = True,
         precision: str = "fp64",
         precision_rtol: float | None = None,
+        pipeline: bool = True,
     ):
         from repro.core.plan import PrecisionError
 
@@ -133,6 +146,7 @@ class DistributedFmm:
                 precision_rtol=precision_rtol,
             )
         self.use_plan = bool(use_plan)
+        self.pipeline = bool(pipeline)
         self.comm: SimComm | None = None
         self.let: LocalEssentialTree | None = None
         self.lists = None
@@ -265,7 +279,10 @@ class DistributedFmm:
     # -- evaluation --------------------------------------------------------------
 
     def evaluate(
-        self, densities_owned: np.ndarray, resume: bool = False
+        self,
+        densities_owned: np.ndarray,
+        resume: bool = False,
+        pipeline: bool | None = None,
     ) -> np.ndarray:
         """Potentials at this rank's owned points (same layout as input).
 
@@ -280,6 +297,14 @@ class DistributedFmm:
         trace.  ``resume=True`` without a matching checkpoint silently
         runs the full pipeline (so a retry loop can pass it
         unconditionally).
+
+        ``pipeline`` overrides the constructor's overlap setting for this
+        call (``None`` keeps it).  The schedule choice must be uniform
+        across ranks — both schedules move the same messages, but the
+        overlapped one posts them earlier.  A resumed evaluation skips
+        the communication-bearing phases entirely, so it runs sequential
+        regardless (and stays bit-identical: the deferred X-list adds
+        land in the same order as the sequential schedule's).
         """
         if self.let is None:
             raise RuntimeError("call setup() before evaluate()")
@@ -353,6 +378,12 @@ class DistributedFmm:
                 )
 
         profile.precision = plan.precision if plan is not None else "fp64"
+        pipelined = (
+            (self.pipeline if pipeline is None else bool(pipeline))
+            and comm.size > 1
+            and not resumable
+        )
+        xli_deferred: list | None = None
         if resumable:
             dens = self._ckpt["dens"].copy()
             state["up"] = self._ckpt["up"].copy()
@@ -360,14 +391,47 @@ class DistributedFmm:
                 pass  # span marks the phases skipped via the checkpoint
         else:
             dens = let.scatter_own_densities(dens_owned, ks)
-            with profile.phase("COMM_exchange"):
-                let.exchange_densities(comm, dens, ks)
+            if pipelined:
+                # Post the ghost exchange and let it fly through S2U/U2U:
+                # the upward pass is scoped to owned leaves/contributors
+                # and never reads the ghost density slots being filled.
+                with profile.phase("COMM_exchange"):
+                    inflight = let.exchange_densities_start(comm, dens, ks)
+            else:
+                with profile.phase("COMM_exchange"):
+                    let.exchange_densities(comm, dens, ks)
             with profile.phase("S2U"):
                 ev.s2u(tree, dens, state, profile, scope=own_leaf, plan=plan)
             with profile.phase("U2U"):
                 ev.u2u(tree, state, profile, scope=contrib, plan=plan)
-            with profile.phase("COMM_reduce"):
-                self._reduce_shared(state)
+            if pipelined:
+                # Complete before the reduce: charges land in this phase,
+                # and ghost densities must be in place for X/U-lists.
+                with profile.phase("COMM_exchange"):
+                    inflight.finish()
+            if pipelined and ev.xli_deferrable():
+                # X-list reads only input densities (now complete) and
+                # writes nothing yet, so its GEMMs hide behind the first
+                # reduce round; the adds replay at the sequential XLI
+                # position below, keeping bit-identity.
+                deferred: list = []
+
+                def _overlap() -> None:
+                    with profile.phase("XLI"):
+                        deferred.append(
+                            ev.xli_compute(
+                                tree, lists, dens, profile,
+                                scope=let.owned_contrib, plan=plan,
+                            )
+                        )
+
+                with profile.phase("COMM_reduce"):
+                    self._reduce_shared(state, overlap=_overlap)
+                if deferred:
+                    xli_deferred = deferred[0]
+            else:
+                with profile.phase("COMM_reduce"):
+                    self._reduce_shared(state)
             self._ckpt = {
                 "dens_owned": dens_owned.copy(),
                 "dens": dens.copy(),
@@ -389,10 +453,13 @@ class DistributedFmm:
         with profile.phase("VLI"):
             ev.vli(tree, lists, state, profile, scope=let.owned_contrib, plan=plan)
         with profile.phase("XLI"):
-            ev.xli(
-                tree, lists, dens, state, profile,
-                scope=let.owned_contrib, plan=plan,
-            )
+            if xli_deferred is not None:
+                ev.xli_apply(state, xli_deferred)
+            else:
+                ev.xli(
+                    tree, lists, dens, state, profile,
+                    scope=let.owned_contrib, plan=plan,
+                )
         with profile.phase("D2D"):
             ev.d2d(tree, state, profile, scope=let.owned_contrib, plan=plan)
         with profile.phase("WLI"):
@@ -403,11 +470,18 @@ class DistributedFmm:
             ev.uli(tree, lists, dens, state, profile, scope=own_leaf, plan=plan)
         return let.gather_own_values(state["pot"], kt)
 
-    def _reduce_shared(self, state: dict) -> None:
-        """Communication steps 2+3: complete the shared upward densities."""
+    def _reduce_shared(self, state: dict, overlap=None) -> None:
+        """Communication steps 2+3: complete the shared upward densities.
+
+        ``overlap`` (optional zero-arg callback) runs once while the
+        largest exchange of the reduction is in flight; it must not read
+        or write upward densities.
+        """
         comm, let = self.comm, self.let
         tree, geometry = let.tree, let.geometry
         if comm.size == 1:
+            if overlap is not None:
+                overlap()
             return
         shared = geometry.is_shared(tree.keys, comm.rank)
         mine = shared & let.owned_contrib & (self._own_counts > 0)
@@ -422,7 +496,7 @@ class DistributedFmm:
             if self.comm_scheme == "hypercube" and pow2
             else owner_reduce_scatter
         )
-        rkeys, rdens = reduce_fn(comm, geometry, keys, dens)
+        rkeys, rdens = reduce_fn(comm, geometry, keys, dens, overlap=overlap)
         idx = tree.find(rkeys)
         ok = idx >= 0
         state["up"][idx[ok]] = rdens[ok]

@@ -190,16 +190,25 @@ class FairQueue:
         return best
 
     def pop(self, timeout: float | None = None) -> Request | None:
-        """Next request by weighted fairness, or ``None`` on timeout/close."""
+        """Next request by weighted fairness, or ``None`` on timeout/close.
+
+        ``timeout`` may be zero or negative — callers compute it as
+        ``deadline - time.monotonic()`` and the deadline may already have
+        passed — in which case the pop returns immediately (queued work is
+        still served; only the *wait* is skipped).
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while self._depth == 0:
                 if self._closed:
                     return None
-                remaining = (
-                    None if deadline is None else deadline - time.monotonic()
-                )
-                if remaining is not None and remaining <= 0:
+                if deadline is None:
+                    self._arrived.wait(None)
+                    continue
+                # clamp at zero: Condition.wait must never see a negative
+                # timeout, and an expired deadline means give up now
+                remaining = max(0.0, deadline - time.monotonic())
+                if remaining == 0.0:
                     return None
                 self._arrived.wait(remaining)
             tenant = self._pick_tenant()

@@ -19,6 +19,7 @@ from repro.mpi import (
     SpmdError,
     run_spmd,
     run_spmd_resilient,
+    wait_all,
 )
 from repro.mpi.comm import _TAG_COLL
 from repro.mpi.faults import (
@@ -432,3 +433,66 @@ class TestDeterminism:
             return res.trace.signature()
 
         assert sig() == sig()
+
+
+class TestCrashMidWaitAll:
+    """Crashes landing *inside* an in-flight ``wait_all``.
+
+    The matrix requirement: for every victim rank at p in {2, 5, 8} a
+    crash fired at a nonblocking-request completion (``op="wait"``) must
+    surface as a typed :class:`SpmdError` caused by :class:`RankCrash` —
+    zero hangs — because ``abort_all`` wakes every peer still blocked in
+    ``Request.wait``.
+    """
+
+    @staticmethod
+    def _ring_body(comm):
+        r, p = comm.rank, comm.size
+        sreq = comm.isend(("dens", r), (r + 1) % p, tag=4)
+        rreq = comm.irecv((r - 1) % p, tag=4)
+        wait_all([sreq, rreq])  # injected crash fires at a completion here
+        comm.barrier()
+        return rreq.wait()
+
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_crash_matrix_typed_never_hangs(self, p):
+        for victim in range(p):
+            plan = FaultPlan([Fault("crash", victim, op="wait", index=0)])
+            t0 = time.monotonic()
+            with pytest.raises(SpmdError) as ei:
+                run_spmd(p, self._ring_body, faults=plan, timeout=30)
+            assert time.monotonic() - t0 < 30  # aborted, not timed out
+            assert ei.value.rank == victim
+            assert isinstance(ei.value.__cause__, RankCrash)
+            assert "wait" in str(ei.value.__cause__)
+
+    def test_abort_wakes_ranks_blocked_in_wait_all(self):
+        """Peers parked in ``Request.wait`` on never-sent messages wake."""
+        plan = FaultPlan([Fault("crash", 0, op="wait", index=0)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                # crash at own completion, before serving anyone else
+                comm.isend("x", 1, tag=1).wait()
+                return None
+            # these messages are never sent: only abort_all can end this
+            wait_all([comm.irecv(0, tag=2), comm.irecv(0, tag=3)])
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(4, fn, faults=plan, timeout=30)
+        assert time.monotonic() - t0 < 25  # woke well before the deadline
+        assert ei.value.rank == 0
+        assert ei.value.wedged == ()
+
+    def test_resilient_retry_converges_after_wait_crash(self):
+        plan = FaultPlan(
+            [Fault("crash", 1, op="wait", index=0, attempts=1)]
+        )
+        res = run_spmd_resilient(
+            4, self._ring_body, faults=plan, timeout=30,
+            policy=RetryPolicy(max_attempts=3),
+        )
+        assert res.attempts == 2
+        assert [v for v in res.values] == [("dens", 3), ("dens", 0),
+                                           ("dens", 1), ("dens", 2)]

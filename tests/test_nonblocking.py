@@ -1,0 +1,313 @@
+"""Nonblocking point-to-point: requests, charging semantics, integrity.
+
+The contract under test (see ``repro.mpi.comm``):
+
+* ``isend``/``irecv`` return :class:`Request` handles; ``wait`` / ``test``
+  / ``wait_all`` complete them.  The wire is eager (posted sends never
+  deadlock) but the **ledger and trace are charged at completion**, in
+  whatever phase is open then.
+* Integrity frames are verified at ``wait`` — a bit-flip or drop on an
+  in-flight message surfaces as a typed :class:`CorruptMessage` when the
+  receiver completes the request, with the channel resynchronised so one
+  anomaly yields exactly one error (the poisoning regression).
+* Round-stamped collective tags keep back-to-back barriers/allgathers
+  correct even with unrelated ``irecv`` s outstanding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import LOCAL, run_spmd, wait_all
+from repro.mpi.comm import CorruptMessage
+from repro.mpi.faults import Fault, FaultPlan
+from repro.mpi.runtime import SpmdError
+
+
+class TestRequestBasics:
+    def test_isend_irecv_roundtrip(self):
+        def fn(comm):
+            r, p = comm.rank, comm.size
+            sreq = comm.isend(("ping", r), (r + 1) % p, tag=3)
+            rreq = comm.irecv((r - 1) % p, tag=3)
+            val = rreq.wait()
+            sreq.wait()
+            assert rreq.wait() == val  # idempotent
+            return val
+
+        res = run_spmd(4, fn, timeout=60)
+        assert [v[1] for v in res.values] == [3, 0, 1, 2]
+
+    def test_wait_all_and_out_of_order_completion(self):
+        def fn(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(k, 1, tag=k) for k in range(4)]
+                wait_all(reqs)
+                return None
+            # complete in reverse posting order: tags select the channel
+            reqs = [comm.irecv(0, tag=k) for k in range(4)]
+            return [r.wait() for r in reversed(reqs)]
+
+        res = run_spmd(2, fn, timeout=60)
+        assert res.values[1] == [3, 2, 1, 0]
+
+    def test_test_polls_without_blocking(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.isend("late", 1, tag=7).wait()
+                return None
+            req = comm.irecv(0, tag=7)
+            assert req.test() is False  # nothing posted yet
+            comm.barrier()
+            while not req.test():
+                pass
+            assert req.test() is True
+            return req.wait()
+
+        res = run_spmd(2, fn, timeout=60)
+        assert res.values[1] == "late"
+
+    def test_send_request_test_is_immediately_true(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", 1, tag=1)
+                assert req.test() is True
+                return None
+            return comm.recv(0, tag=1)
+
+        res = run_spmd(2, fn, timeout=60)
+        assert res.values[1] == "x"
+
+    def test_internal_tags_rejected(self):
+        def fn(comm):
+            comm.isend("x", (comm.rank + 1) % 2, tag=1 << 20)
+
+        with pytest.raises(RuntimeError, match="reserved"):
+            run_spmd(2, fn, timeout=60)
+
+    def test_blocking_recv_matches_isend(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(5), 1, tag=2)
+                req.wait()
+                return None
+            return comm.recv(0, tag=2)
+
+        res = run_spmd(2, fn, timeout=60)
+        np.testing.assert_array_equal(res.values[1], np.arange(5))
+
+
+class TestChargeAtCompletion:
+    def test_ledger_unchanged_until_wait(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.zeros(1000), 1, tag=1)
+                posted = (comm.messages_sent, comm.bytes_sent)
+                req.wait()
+                completed = (comm.messages_sent, comm.bytes_sent)
+                return posted, completed
+            comm.recv(0, tag=1)
+            return None
+
+        res = run_spmd(2, fn, machine=LOCAL, timeout=60)
+        posted, completed = res.values[0]
+        assert posted == (0, 0)
+        assert completed[0] == 1 and completed[1] > 8000
+
+    def test_charge_lands_in_completing_phase(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with comm.profile.phase("post"):
+                    req = comm.isend(np.zeros(100), 1, tag=1)
+                with comm.profile.phase("complete"):
+                    req.wait()
+            else:
+                with comm.profile.phase("complete"):
+                    comm.irecv(0, tag=1).wait()
+            return None
+
+        res = run_spmd(2, fn, machine=LOCAL, timeout=60)
+        post = res.profiles[0].events["post"]
+        done = res.profiles[0].events["complete"]
+        assert post.comm_messages == 0 and post.comm_seconds == 0.0
+        assert done.comm_messages == 1 and done.comm_seconds > 0.0
+        assert res.profiles[1].events["complete"].comm_messages == 1
+
+    def test_trace_events_recorded_at_completion(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with comm.profile.phase("late"):
+                    comm.isend("x", 1, tag=1).wait()
+            else:
+                comm.recv(0, tag=1)
+            return None
+
+        res = run_spmd(2, fn, machine=LOCAL, timeout=60, trace=True)
+        sends = res.trace.message_events(kind="send")
+        assert len(sends) == 1 and sends[0].phase == "late"
+
+
+class TestIalltoall:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_blocking_alltoall(self, p):
+        def fn(comm):
+            blocks = [(comm.rank, k) for k in range(comm.size)]
+            got = comm.ialltoall(blocks).wait()
+            ref = comm.alltoall(blocks)
+            return got, ref, comm.messages_sent, comm.bytes_sent
+
+        res = run_spmd(p, fn, machine=LOCAL, timeout=120)
+        for got, ref, msgs, nbytes in res.values:
+            assert got == ref
+            # identical schedule: the nonblocking and blocking exchanges
+            # charged the same number of messages and bytes each
+            assert msgs == 2 * (p - 1)
+            if p > 1:
+                assert nbytes % 2 == 0
+
+
+class TestIntegrityAtWait:
+    def test_bitflip_detected_at_wait(self):
+        plan = FaultPlan([Fault("bitflip", 0, op="send", index=0, bit=11)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.isend(np.arange(64), 1, tag=1).wait()
+                return None
+            req = comm.irecv(0, tag=1)
+            with pytest.raises(CorruptMessage, match="CRC"):
+                req.wait()
+            return "detected"
+
+        res = run_spmd(2, fn, timeout=60, faults=plan, integrity=True)
+        assert res.values[1] == "detected"
+
+    def test_drop_resync_regression(self):
+        """One dropped delivery must poison exactly one receive.
+
+        Regression for the off-by-one where a sequence gap advanced the
+        expected rx sequence by one instead of resyncing to the observed
+        frame, so every later in-order message also raised.
+        """
+        plan = FaultPlan([Fault("drop", 0, op="send", index=0)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                for k in range(4):
+                    comm.send(f"msg{k}", 1, tag=5)
+                return None
+            # delivery of msg0 was dropped: the first recv pops msg1's
+            # frame and reports the gap; msg2/msg3 then verify clean.
+            with pytest.raises(CorruptMessage, match="sequence"):
+                comm.recv(0, tag=5)
+            return [comm.recv(0, tag=5) for _ in range(2)]
+
+        res = run_spmd(2, fn, timeout=60, faults=plan, integrity=True)
+        assert res.values[1] == ["msg2", "msg3"]
+
+    def test_duplicate_single_error(self):
+        plan = FaultPlan([Fault("duplicate", 0, op="send", index=0)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=5)
+                comm.send("b", 1, tag=5)
+                return None
+            first = comm.recv(0, tag=5)  # original delivery of "a"
+            with pytest.raises(CorruptMessage, match="sequence"):
+                comm.recv(0, tag=5)  # the stale duplicate
+            return first, comm.recv(0, tag=5)
+
+        res = run_spmd(2, fn, timeout=60, faults=plan, integrity=True)
+        assert res.values[1] == ("a", "b")
+
+    def test_drop_on_inflight_isend_detected_at_wait(self):
+        plan = FaultPlan([Fault("drop", 0, op="send", index=0)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                wait_all([comm.isend(m, 1, tag=5) for m in ("lost", "k1", "k2")])
+                return None
+            # the drop eats one delivery: the first completion pops "k1"'s
+            # frame and reports the gap, the next verifies "k2" clean
+            req = comm.irecv(0, tag=5)
+            with pytest.raises(CorruptMessage, match="sequence"):
+                req.wait()
+            return comm.irecv(0, tag=5).wait()
+
+        res = run_spmd(2, fn, timeout=60, faults=plan, integrity=True)
+        assert res.values[1] == "k2"
+
+
+class TestCollectiveTagStress:
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_collectives_with_outstanding_irecvs(self, p):
+        """Back-to-back barriers/allgathers while user irecvs stay posted.
+
+        Round-stamped collective tags keep each round on its own channel,
+        so a fast rank's next-round traffic can never be consumed by a
+        peer still draining the previous round — even with unrelated
+        nonblocking receives outstanding across the whole sequence.
+        """
+
+        def fn(comm):
+            r, psz = comm.rank, comm.size
+            peer = (r + 1) % psz
+            pending = comm.irecv((r - 1) % psz, tag=9)
+            out = []
+            for it in range(6):
+                comm.barrier()
+                out.append(comm.allgather((r, it)))
+                comm.barrier()
+            comm.isend(f"from{r}", peer, tag=9).wait()
+            tail = pending.wait()
+            return out, tail
+
+        res = run_spmd(p, fn, timeout=120)
+        for r, (rounds, tail) in enumerate(res.values):
+            assert tail == f"from{(r - 1) % p}"
+            for it, got in enumerate(rounds):
+                assert got == [(k, it) for k in range(p)]
+
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_skewed_collective_sequences(self, p):
+        """Rank-dependent point-to-point skew around back-to-back collectives.
+
+        Eager user sends land before/after the collectives depending on
+        rank parity; the drain at the end must see them all in order, and
+        no collective round may have swallowed one.
+        """
+
+        def fn(comm):
+            r, psz = comm.rank, comm.size
+            peer = r ^ 1 if (r ^ 1) < psz else r
+            acc = []
+            for it in range(4):
+                # skew: even ranks post before the collective, odd after
+                if r % 2 == 0:
+                    comm.send((r, it), peer, tag=11)
+                acc.append(comm.allreduce(it + r))
+                if r % 2 == 1:
+                    comm.send((r, it), peer, tag=11)
+                comm.barrier()
+            drained = [comm.recv(peer, tag=11) for _ in range(4)]
+            return acc, drained
+
+        res = run_spmd(p, fn, timeout=120)
+        for r, (acc, drained) in enumerate(res.values):
+            peer = r ^ 1 if (r ^ 1) < p else r
+            assert drained == [(peer, it) for it in range(4)]
+            for it in range(4):
+                assert acc[it] == p * it + p * (p - 1) // 2
+
+
+class TestAbortWakesWait:
+    def test_abort_all_wakes_blocked_request_wait(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            # blocked forever unless abort_all notifies the condition
+            comm.irecv(0, tag=1).wait()
+
+        with pytest.raises(SpmdError, match="boom"):
+            run_spmd(3, fn, timeout=60)

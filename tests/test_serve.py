@@ -170,6 +170,28 @@ class TestAdmission:
                 req.result(timeout=30.0)
         assert eng.metrics.snapshot()["expired"] == 1
 
+    def test_already_expired_deadline_typed(self, engine):
+        """A deadline in the past at submit time must fail typed, fast.
+
+        Regression for the dequeue wait: ``deadline - now`` is negative
+        for such a request, and the queue's timed wait must clamp it to
+        zero (never hand ``Condition.wait`` a negative timeout) and give
+        up immediately.
+        """
+        req = engine.submit("m", np.zeros(N), timeout_s=-1.0)
+        with pytest.raises(DeadlineExceeded):
+            req.result(timeout=30.0)
+
+    @pytest.mark.parametrize("timeout", [0.0, -5.0])
+    def test_pop_clamps_nonpositive_timeout(self, timeout):
+        q = FairQueue(max_depth=4)
+        t0 = time.monotonic()
+        assert q.pop(timeout=timeout) is None  # empty: no wait at all
+        assert time.monotonic() - t0 < 1.0
+        q.push(Request("m", np.zeros(1)))
+        got = q.pop(timeout=timeout)  # queued work is still served
+        assert got is not None and got.model == "m"
+
     def test_weighted_fair_dequeue(self):
         q = FairQueue(max_depth=64, weights={"heavy": 2.0, "light": 1.0})
         for i in range(6):
