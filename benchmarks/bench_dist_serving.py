@@ -1,0 +1,50 @@
+"""Distributed serving smoke: the CLI bench at tiny scale, gated.
+
+CI's ``dist-serve-smoke`` job runs the real thing::
+
+    PYTHONPATH=src python -m repro serve --dist --bench --chaos --seed 0
+
+which stands up the router + rank-sharded/replicated models, drives
+closed-loop load clean and under a seeded chaos plan (crash, wait-crash,
+in-flight corruption, straggler), probes bit-identity under a fresh
+crash plan, runs the GPU degrade drill, and gates on typed-only errors
+plus a bounded chaos-p99 factor (``BENCH_dist_serving.json``).
+
+This pytest wrapper invokes the same CLI entry point at a smaller scale
+so the whole chain — argument plumbing, gates, JSON output — is
+exercised by ``pytest benchmarks/ --benchmark-only`` too.
+"""
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_dist_serving_smoke(benchmark, tmp_path):
+    from repro.__main__ import main
+
+    out = tmp_path / "BENCH_dist_serving.json"
+    rc = benchmark.pedantic(
+        lambda: main([
+            "serve", "--dist", "--bench", "--chaos", "--seed", "0",
+            "--n", "800", "--duration", "2", "--clients", "4",
+            "--out", str(out),
+        ]),
+        rounds=1,
+        iterations=1,
+    )
+    assert rc == 0, "dist serving bench gates failed"
+    data = json.loads(out.read_text())["dist_serving"]
+    assert data["probe_bit_identical"]
+    assert data["gpu_degrade_bit_identical"]
+    assert data["chaos"]["loadgen"]["errors"] == 0
+    assert data["clean"]["failed"] == 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.__main__ import main
+
+    sys.exit(main(["serve", "--dist", "--bench", "--chaos", "--seed", "0"]))

@@ -289,6 +289,235 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+#: `serve` flag defaults; the distributed plane runs whole SPMD FMM
+#: evaluations per request, so its defaults are one notch smaller.
+_SERVE_DEFAULTS = {"n": 8_000, "order": 6, "q": 400, "duration": 5.0,
+                   "clients": 8}
+_DIST_SERVE_DEFAULTS = {"n": 2_000, "order": 4, "q": 64, "duration": 4.0,
+                        "clients": 6}
+
+
+def _cmd_serve_dist(args) -> int:
+    """Distributed serving bench: router + rank-sharded/replicated models.
+
+    Registers one rank-sharded model (with a fallback replica, on the
+    simulated GPU so device faults are exercised) and one replicated
+    model, runs closed-loop load twice — clean, then under a seeded
+    fault plan covering crash / wait-crash / straggler / in-flight
+    corruption / GPU device fault — and gates (``--bench``):
+
+    * zero untyped errors in both runs (faults surface only as typed
+      rejections or recovered answers),
+    * a probe request evaluated under a fresh crash plan returns the
+      **bit-identical** answer of the fault-free reference,
+    * chaos p99 stays within a bounded factor of the clean p99 (recovery
+      costs retries, not meltdowns).
+
+    Writes both summaries plus the fabric-wide merged metrics snapshot
+    to ``BENCH_dist_serving.json``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.datasets import make_distribution
+    from repro.mpi.faults import Fault, FaultPlan, RetryPolicy
+    from repro.serve.dist_engine import DistServeEngine
+    from repro.serve.loadgen import run_load
+    from repro.serve.metrics import ServeMetrics
+    from repro.serve.router import Router
+
+    p = args.shards
+    engine = DistServeEngine(
+        nranks=p,
+        retry=RetryPolicy(max_attempts=3, backoff=0.05, seed=args.seed),
+        integrity=True,
+        run_timeout_s=args.timeout,
+    )
+    print(
+        f"registering 3 models on {p} ranks: N={args.n} {args.kernel} "
+        f"order={args.order} box={args.q} (m0 sharded+fallback, "
+        f"m1 replicated x{args.replicas}, g0 sharded on gpu) ..."
+    )
+    pts0 = make_distribution(args.distribution, args.n, seed=args.seed)
+    engine.register(
+        "m0", pts0, placement="sharded", fallback_replica=True,
+        kernel=args.kernel, order=args.order, max_points_per_box=args.q,
+    )
+    pts1 = make_distribution(args.distribution, args.n, seed=args.seed + 1)
+    engine.register(
+        "m1", pts1, placement="replicated", replicas=args.replicas,
+        kernel=args.kernel, order=args.order, max_points_per_box=args.q,
+    )
+    # g0 shares m0's geometry and parameters but runs on the simulated
+    # GPU: the device-fault drill degrades it to the CPU path, which
+    # must then match m0's (CPU) answer bitwise (the PR 2 contract)
+    engine.register(
+        "g0", pts0, placement="sharded",
+        kernel=args.kernel, order=args.order, max_points_per_box=args.q,
+        use_gpu=True,
+    )
+    names = ["m0", "m1"]
+
+    rng = np.random.default_rng(args.seed)
+    probes = {m: rng.standard_normal(engine._model(m).expected)
+              for m in names}
+    refs = {m: engine.evaluate(m, probes[m]) for m in names}
+
+    def drive(label):
+        with Router(engine, n_dispatchers=args.dispatchers,
+                    max_queue=args.max_queue) as router:
+            print(
+                f"{label} load: {args.clients} closed-loop clients for "
+                f"{args.duration:.0f}s ..."
+            )
+            summary = run_load(
+                router, names,
+                duration_s=args.duration, clients=args.clients,
+                timeout_s=args.timeout, seed=args.seed,
+            )
+        return summary
+
+    clean = drive("clean")
+
+    # the chaos drill: one representative of every fault class the plane
+    # must absorb, spread over the rank space, each with a bounded budget
+    faults = FaultPlan(
+        [
+            Fault("crash", rank=1 % p, op="phase", phase="D2T", attempts=1),
+            Fault("crash", rank=0, op="wait", attempts=1),
+            Fault("bitflip", rank=(p - 1) % p, op="send", index=3,
+                  attempts=1),
+            Fault("straggle", rank=2 % p, op="phase", phase="S2U",
+                  seconds=1.0, sleep=True, attempts=1),
+        ],
+        seed=args.seed,
+    )
+    engine.set_faults(faults)
+    chaos = drive("chaos")
+    engine.set_faults(None)
+
+    # bit-identity probe: a fresh crash plan against a single request —
+    # the recovered answer must equal the fault-free reference bitwise
+    engine.set_faults(FaultPlan(
+        [Fault("crash", rank=0, op="phase", phase="D2T", attempts=1)],
+        seed=args.seed,
+    ))
+    probe_ok = all(
+        np.array_equal(engine.evaluate(m, probes[m]), refs[m])
+        for m in names
+    )
+    engine.set_faults(None)
+
+    # GPU drill: device faults on every rank of g0's group at the first
+    # accelerated phase degrade the whole evaluation to the CPU path —
+    # which must match m0's (same geometry, CPU) answer bit-for-bit
+    engine.set_faults(FaultPlan(
+        [Fault("gpu", rank=r, op="launch", phase="*", attempts=1)
+         for r in range(p)],
+        seed=args.seed,
+    ))
+    gpu_ok = np.array_equal(
+        engine.evaluate("g0", probes["m0"]), refs["m0"]
+    )
+    engine.set_faults(None)
+
+    fabric = {
+        "rank_metrics": ServeMetrics.merge(engine.rank_metrics),
+        "health": engine.health.snapshot(),
+        "breakers": engine.breaker_snapshot(),
+        "suspect_ranks": engine.health.suspect_ranks(),
+    }
+
+    def report(label, s):
+        lg = s["loadgen"]
+        print(
+            f"{label}: {lg['ok']} ok, {lg['overloaded']} overloaded, "
+            f"{lg['deadline']} deadline, {lg['shard_unavailable']} "
+            f"shard-unavailable, {lg['errors']} untyped errors "
+            f"({s.get('throughput_rps', 0.0):.1f} req/s); "
+            f"retries {s['retried']}"
+        )
+        for m in names:
+            mm = s["models"].get(m)
+            if mm and mm["completed"]:
+                lat = mm["latency_s"]
+                print(
+                    f"  {m}: {mm['completed']} done, {mm['failed']} failed "
+                    f"| latency p50 {lat['p50'] * 1e3:.0f} "
+                    f"p95 {lat['p95'] * 1e3:.0f} p99 {lat['p99'] * 1e3:.0f} ms"
+                )
+
+    report("clean", clean)
+    report("chaos", chaos)
+    retried_by_cause = fabric["rank_metrics"]["retried_by_cause"]
+    print(f"fabric retries by cause: {retried_by_cause or '{}'}")
+    print(f"breakers: { {k: v['state'] for k, v in fabric['breakers'].items()} }")
+    print(f"bit-identity probe under crash plan: "
+          f"{'PASS' if probe_ok else 'FAIL'}")
+    print(f"gpu device fault -> bit-identical CPU degrade: "
+          f"{'PASS' if gpu_ok else 'FAIL'}")
+
+    out = Path(args.out) if args.out else Path("BENCH_dist_serving.json")
+    data = {}
+    if out.exists():
+        try:
+            data = json.loads(out.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["dist_serving"] = {
+        "config": {
+            "n": args.n, "order": args.order, "q": args.q,
+            "kernel": args.kernel, "shards": p,
+            "replicas": args.replicas, "dispatchers": args.dispatchers,
+            "clients": args.clients, "duration_s": args.duration,
+            "timeout_s": args.timeout, "seed": args.seed,
+            "chaos_factor": args.chaos_factor,
+        },
+        "clean": clean,
+        "chaos": chaos,
+        "fabric": fabric,
+        "probe_bit_identical": probe_ok,
+        "gpu_degrade_bit_identical": gpu_ok,
+    }
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.bench:
+        clean_p99s = [clean["models"][m]["latency_s"]["p99"] for m in names
+                      if clean["models"].get(m, {}).get("completed")]
+        chaos_p99s = [chaos["models"][m]["latency_s"]["p99"] for m in names
+                      if chaos["models"].get(m, {}).get("completed")]
+        clean_p99 = max(clean_p99s) if clean_p99s else float("inf")
+        chaos_p99 = max(chaos_p99s) if chaos_p99s else float("inf")
+        # recovery costs bounded retries (backoff + re-evaluation + the
+        # injected straggle), never a meltdown: the chaos p99 must stay
+        # within --chaos-factor of clean (with a small absolute floor so
+        # tiny clean p99s don't make the gate spuriously tight)
+        p99_bound = max(args.chaos_factor * clean_p99, 3.0)
+        checks = [
+            ("clean: 0 failed requests",
+             clean["failed"] == 0 and clean["loadgen"]["errors"] == 0),
+            ("clean: every model completed requests",
+             len(clean_p99s) == len(names)),
+            ("chaos: 0 untyped errors (typed-only contract)",
+             chaos["loadgen"]["errors"] == 0),
+            ("chaos: requests still complete", chaos["completed"] > 0),
+            ("chaos: faults actually injected + retried",
+             sum(retried_by_cause.values()) > 0),
+            ("probe under crash plan is bit-identical", probe_ok),
+            ("gpu device fault degrades to the bit-identical CPU path",
+             gpu_ok),
+            (f"chaos p99 {chaos_p99:.2f}s within bound {p99_bound:.2f}s",
+             chaos_p99 < p99_bound),
+        ]
+        ok = True
+        for label, passed in checks:
+            print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+            ok = ok and passed
+        return 0 if ok else 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Serving smoke/bench: register models, run closed-loop load, report.
 
@@ -297,7 +526,18 @@ def _cmd_serve(args) -> int:
     request timeout, and the mean batch size must exceed 1 (batching
     actually engaged); the metrics snapshot lands under the ``serving``
     key of ``BENCH_serving.json``.
+
+    With ``--dist`` the distributed serving plane runs instead: a router
+    in front of rank-sharded / replicated models (see
+    :func:`_cmd_serve_dist`).
     """
+    defaults = _DIST_SERVE_DEFAULTS if args.dist else _SERVE_DEFAULTS
+    for key, val in defaults.items():
+        if getattr(args, key) is None:
+            setattr(args, key, val)
+    if args.dist:
+        return _cmd_serve_dist(args)
+
     import json
     from pathlib import Path
 
@@ -560,19 +800,24 @@ def main(argv=None) -> int:
     ps.add_argument("--distribution", default="uniform",
                     choices=["uniform", "ellipsoid", "plummer",
                              "two_spheres", "filament"])
-    ps.add_argument("--n", type=int, default=8_000,
-                    help="points per registered model")
-    ps.add_argument("--order", type=int, default=6)
-    ps.add_argument("--q", type=int, default=400,
+    ps.add_argument("--n", type=int, default=None,
+                    help="points per registered model "
+                         "(default 8000; 2000 with --dist)")
+    ps.add_argument("--order", type=int, default=None,
+                    help="expansion order (default 6; 4 with --dist)")
+    ps.add_argument("--q", type=int, default=None,
                     help="max points per box (large: shifts work into the "
-                         "GEMM-batched U-list, where batching pays)")
+                         "GEMM-batched U-list, where batching pays; "
+                         "default 400; 64 with --dist)")
     ps.add_argument("--models", type=int, default=1,
                     help="number of models to register (m0..mK-1)")
     ps.add_argument("--workers", type=int, default=2)
-    ps.add_argument("--clients", type=int, default=8,
-                    help="closed-loop client threads")
-    ps.add_argument("--duration", type=float, default=5.0,
-                    help="load-generation window in seconds")
+    ps.add_argument("--clients", type=int, default=None,
+                    help="closed-loop client threads "
+                         "(default 8; 6 with --dist)")
+    ps.add_argument("--duration", type=float, default=None,
+                    help="load-generation window in seconds "
+                         "(default 5; 4 with --dist)")
     ps.add_argument("--timeout", type=float, default=30.0,
                     help="per-request deadline in seconds")
     ps.add_argument("--max-batch", type=int, default=8)
@@ -587,6 +832,18 @@ def main(argv=None) -> int:
     ps.add_argument("--chaos", action="store_true",
                     help="inject one phase-crash per worker; accepted "
                          "requests must still complete via retry")
+    ps.add_argument("--dist", action="store_true",
+                    help="run the distributed serving plane: router + "
+                         "rank-sharded/replicated models, chaos failover")
+    ps.add_argument("--shards", type=int, default=4,
+                    help="virtual rank count of the serving fabric (--dist)")
+    ps.add_argument("--replicas", type=int, default=2,
+                    help="replica count of the replicated model (--dist)")
+    ps.add_argument("--dispatchers", type=int, default=2,
+                    help="router dispatcher threads (--dist)")
+    ps.add_argument("--chaos-factor", type=float, default=10.0,
+                    help="bound: chaos p99 must stay within this factor "
+                         "of the clean p99 (--dist --bench)")
     ps.add_argument("--bench", action="store_true",
                     help="gate the run (0 failed, p99 < timeout, batching "
                          "engaged) and write BENCH_serving.json")

@@ -40,7 +40,28 @@ from repro.octree.build import leaf_point_counts
 from repro.util import morton
 from repro.util.timer import PhaseProfile
 
-__all__ = ["DistributedFmm", "distributed_fmm_rank"]
+__all__ = ["DistributedFmm", "distributed_fmm_rank", "match_owned_rows"]
+
+
+def match_owned_rows(all_points: np.ndarray, owned_points: np.ndarray) -> np.ndarray:
+    """Row indices of ``owned_points`` inside ``all_points`` (exact match).
+
+    Setup redistributes points by Morton order, losing their original
+    positions; this recovers them by coordinate identity so callers can
+    route global density rows to the owning rank and scatter owned
+    potentials back into global order (the serving plane computes this
+    once per shard at registration).  Coincident points would be matched
+    arbitrarily; a missing point raises ``ValueError``.
+    """
+    dt = np.dtype([("x", "f8"), ("y", "f8"), ("z", "f8")])
+    glob = np.ascontiguousarray(all_points, dtype=np.float64).view(dt).ravel()
+    own = np.ascontiguousarray(owned_points, dtype=np.float64).view(dt).ravel()
+    glob_order = np.argsort(glob)
+    pos = np.searchsorted(glob[glob_order], own)
+    src = glob_order[np.clip(pos, 0, len(glob) - 1)]
+    if not np.array_equal(all_points[src], owned_points):
+        raise ValueError("owned points not found among the global points")
+    return src
 
 
 class DistributedFmm:
@@ -187,6 +208,16 @@ class DistributedFmm:
         if self.let is not None:
             return "setup"
         return None
+
+    def clear_checkpoint(self) -> None:
+        """Drop the post-upward checkpoint (keeps the LET and the plan).
+
+        The serving plane cuts one checkpoint per request (densities
+        change every request, so a stale checkpoint can never be resumed
+        from anyway); clearing it after the request completes bounds the
+        memory a long-lived shard holds to the setup state.
+        """
+        self._ckpt = None
 
     def rebind(self, comm: SimComm) -> None:
         """Attach a fresh communicator to already-built setup state.
@@ -523,16 +554,7 @@ def distributed_fmm_rank(
     if callable(densities):
         dens_owned = np.asarray(densities(own_pts), dtype=np.float64).reshape(-1)
     else:
-        # match density rows to redistributed points by exact coordinates
-        # (coincident points would be matched arbitrarily)
-        dt = np.dtype([("x", "f8"), ("y", "f8"), ("z", "f8")])
-        glob = np.ascontiguousarray(all_points, dtype=np.float64).view(dt).ravel()
-        own = np.ascontiguousarray(own_pts, dtype=np.float64).view(dt).ravel()
-        glob_order = np.argsort(glob)
-        pos = np.searchsorted(glob[glob_order], own)
-        src = glob_order[np.clip(pos, 0, len(glob) - 1)]
-        if not np.array_equal(all_points[src], own_pts):
-            raise ValueError("owned points not found among the global points")
+        src = match_owned_rows(all_points, own_pts)
         dens_rows = np.asarray(densities, dtype=np.float64).reshape(-1, ks)
         dens_owned = dens_rows[src].reshape(-1)
     pot = fmm.evaluate(dens_owned)

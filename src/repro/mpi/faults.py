@@ -194,6 +194,28 @@ class FaultPlan:
             attempt=self.attempt,
         )
 
+    def remapped(self, mapping: dict) -> "FaultPlan":
+        """Keep only faults targeting a key of ``mapping``, re-targeted.
+
+        The distributed serving plane places replicas of a model on
+        distinct fabric ranks but runs each replica on its own
+        single-rank communicator; ``plan.remapped({i: 0})`` projects the
+        fabric-wide plan onto replica ``i``'s local rank space so a
+        fault aimed at "the replica on rank i" fires inside that
+        replica's run and nowhere else.
+        """
+        from dataclasses import replace
+
+        return FaultPlan(
+            (
+                replace(f, rank=int(mapping[f.rank]))
+                for f in self.faults
+                if f.rank in mapping
+            ),
+            seed=self.seed,
+            attempt=self.attempt,
+        )
+
     @classmethod
     def random(
         cls,
@@ -257,19 +279,58 @@ class RetryPolicy:
 
     ``run_spmd_resilient`` retries a failed run while the *primary* rank
     error (or the launcher error itself) is an instance of ``retry_on``,
-    up to ``max_attempts`` total attempts, sleeping ``backoff * attempt``
-    seconds between attempts.  Anything not in ``retry_on`` — an
-    assertion, a ValueError, real logic bugs — re-raises immediately:
-    retrying can only help faults that are transient *by type*.
+    up to ``max_attempts`` total attempts.  Anything not in ``retry_on``
+    — an assertion, a ValueError, real logic bugs — re-raises
+    immediately: retrying can only help faults that are transient *by
+    type*.
+
+    Between attempts the caller sleeps :meth:`delay` seconds —
+    exponential backoff with *seeded deterministic jitter*: the ``k``-th
+    retry waits ``backoff * backoff_factor**(k-1)`` seconds (capped at
+    ``max_backoff``), stretched by up to ``jitter`` of itself using a
+    uniform draw from ``Random(seed, k)``.  Jitter decorrelates a
+    thundering herd of retrying clients, and seeding it keeps replays
+    (and trace signatures) deterministic: same policy, same attempt,
+    same delay — always.
     """
 
     max_attempts: int = 3
     retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS
+    #: Base delay before the first retry (seconds; 0 = no backoff).
     backoff: float = 0.0
+    #: Exponential growth of the delay per subsequent retry.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single delay (pre-jitter), seconds.
+    max_backoff: float = 30.0
+    #: Jitter fraction in ``[0, 1]``: each delay is stretched by up to
+    #: this fraction of itself (deterministic, derived from ``seed``).
+    jitter: float = 0.1
+    #: Seed of the deterministic jitter stream.
+    seed: int = 0
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0.0 or self.max_backoff < 0.0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, retry: int) -> float:
+        """Seconds to sleep before retry number ``retry`` (1-based).
+
+        Deterministic: the jitter draw depends only on ``(seed, retry)``,
+        so identical policies replay identical backoff histories.
+        """
+        if retry < 1 or self.backoff <= 0.0:
+            return 0.0
+        base = min(
+            self.max_backoff, self.backoff * self.backoff_factor ** (retry - 1)
+        )
+        u = _random.Random(self.seed * 1_000_003 + retry).random()
+        return base * (1.0 + self.jitter * u)
 
 
 def _flip_bit(payload: bytes, bit: int) -> bytes:

@@ -291,19 +291,26 @@ def run_spmd_resilient(
             if not transient or attempt == policy.max_attempts - 1:
                 raise
             past_events.extend(getattr(exc, "fault_events", ()))
+            delay = policy.delay(attempt + 1)
             if trace is not None:
+                # the span name carries the whole retry decision — attempt
+                # number, typed cause, deterministic backoff — so the
+                # recovery history is readable straight off the trace (and
+                # stable under TraceRecorder.signature(): the jitter is
+                # seeded, the wall clock is not part of the name)
                 rank = getattr(exc, "rank", 0) or 0
                 trace.record_span(
                     rank,
-                    f"RECOVERY:retry#{attempt + 1}",
+                    f"RECOVERY:retry#{attempt + 1}:{type(cause).__name__}"
+                    f":backoff={delay:.3f}s",
                     time.monotonic() - t0,
                     0.0,
                     0,
                     0.0,
-                    0.0,
+                    delay,
                 )
-            if policy.backoff > 0.0:
-                time.sleep(policy.backoff * (attempt + 1))
+            if delay > 0.0:
+                time.sleep(delay)
             continue
         result.attempts = attempt + 1
         # injections of the failed attempts, then the successful one's

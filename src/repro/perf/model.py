@@ -28,6 +28,7 @@ __all__ = [
     "aggregate",
     "achieved_overlap_seconds",
     "overlap_report",
+    "serve_span_summary",
 ]
 
 #: Fine-grained evaluation phases, in execution order.  The two
@@ -223,3 +224,64 @@ def setup_seconds(
         secs, _ = _phase_values(profiles, machine, [ph])
         out[ph] = float(secs.max())
     return out
+
+
+def serve_span_summary(trace) -> dict:
+    """Aggregate the serving plane's trace spans into one health report.
+
+    The distributed serving plane narrates itself through three span
+    families on the shared :class:`~repro.perf.trace.TraceRecorder`:
+
+    * ``SERVE:heartbeat:<model>`` — one per rank per completed dispatch
+      (liveness: a silent rank under traffic is a wedged rank),
+    * ``SERVE:dispatch:<model>`` — the router rank's per-request spans,
+    * ``RECOVERY:retry#K:<cause>:backoff=<s>s`` — one per failover retry
+      (the span's ``comm_s`` carries the backoff actually slept), plus
+      ``RECOVERY:resume`` / ``RECOVERY:gpu_fallback:*`` from the
+      checkpoint and device-degrade machinery, and ``CHAOS:*`` spans
+      marking the injections themselves.
+
+    Returns a JSON-friendly dict: per-model heartbeat counts per rank,
+    per-model dispatch count and wall-time sum, retries by cause with
+    total backoff, and raw counts of resume / fallback / chaos spans.
+    """
+    heartbeats: dict[str, dict[int, int]] = {}
+    dispatches: dict[str, dict] = {}
+    retries: dict[str, int] = {}
+    backoff_s = 0.0
+    resumes = 0
+    gpu_fallbacks = 0
+    chaos: dict[str, int] = {}
+    for ev in trace.span_events():
+        ph = ev.phase
+        if ph.startswith("SERVE:heartbeat:"):
+            model = ph.split(":", 2)[2]
+            per_rank = heartbeats.setdefault(model, {})
+            per_rank[ev.rank] = per_rank.get(ev.rank, 0) + 1
+        elif ph.startswith("SERVE:dispatch:"):
+            model = ph.split(":", 2)[2]
+            d = dispatches.setdefault(model, {"count": 0, "wall_s": 0.0})
+            d["count"] += 1
+            d["wall_s"] += ev.wall_s
+        elif ph.startswith("RECOVERY:retry"):
+            # RECOVERY:retry#K:<cause>:backoff=<s>s
+            parts = ph.split(":")
+            cause = parts[2] if len(parts) > 2 else "unknown"
+            retries[cause] = retries.get(cause, 0) + 1
+            backoff_s += ev.comm_s
+        elif ph == "RECOVERY:resume":
+            resumes += 1
+        elif ph.startswith("RECOVERY:gpu_fallback"):
+            gpu_fallbacks += 1
+        elif ph.startswith("CHAOS:"):
+            kind = ph.split(":", 1)[1]
+            chaos[kind] = chaos.get(kind, 0) + 1
+    return {
+        "heartbeats": heartbeats,
+        "dispatches": dispatches,
+        "retries_by_cause": retries,
+        "backoff_s": backoff_s,
+        "checkpoint_resumes": resumes,
+        "gpu_fallbacks": gpu_fallbacks,
+        "injections": chaos,
+    }

@@ -12,26 +12,38 @@ See :mod:`repro.serve.engine` for the architecture overview and
 TUTORIAL.md §11 for a walkthrough.
 """
 
+from repro.serve.dist_engine import (
+    CircuitBreaker,
+    DistServeEngine,
+    RankHealth,
+)
 from repro.serve.engine import PlanCache, RegisteredModel, ServeEngine
 from repro.serve.metrics import ServeMetrics
+from repro.serve.router import Router
 from repro.serve.scheduler import (
     DeadlineExceeded,
     FairQueue,
     Overloaded,
     Request,
+    ShardUnavailable,
     UnknownModel,
     WorkerPool,
 )
 
 __all__ = [
+    "CircuitBreaker",
     "DeadlineExceeded",
+    "DistServeEngine",
     "FairQueue",
     "Overloaded",
     "PlanCache",
+    "RankHealth",
     "RegisteredModel",
     "Request",
+    "Router",
     "ServeEngine",
     "ServeMetrics",
+    "ShardUnavailable",
     "UnknownModel",
     "WorkerPool",
 ]

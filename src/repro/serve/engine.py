@@ -55,6 +55,7 @@ from repro.serve.scheduler import (
     Request,
     UnknownModel,
     WorkerPool,
+    retry_after_hint,
 )
 from repro.util.timer import PhaseProfile
 
@@ -232,6 +233,8 @@ class ServeEngine:
         matrix_budget: int | None = None,
     ):
         self.metrics = ServeMetrics()
+        self.n_workers = int(n_workers)
+        self.max_batch = int(max_batch)
         self.queue = FairQueue(max_depth=max_queue, weights=tenant_weights)
         self.plans = PlanCache(plan_budget, metrics=self.metrics)
         self.batcher = MicroBatcher(
@@ -416,8 +419,15 @@ class ServeEngine:
         )
         try:
             self.queue.push(req)
-        except Overloaded:
+        except Overloaded as err:
             self.metrics.record_rejected()
+            # annotate the rejection with a backpressure estimate: queued
+            # depth x observed p95 service time / (workers x batch width)
+            err.retry_after_s = retry_after_hint(
+                self.queue.depth,
+                self.metrics.service_p95(),
+                self.n_workers * self.max_batch,
+            )
             raise
         self.metrics.record_queue_depth(self.queue.depth)
         return req
@@ -465,6 +475,7 @@ class ServeEngine:
             req.wait_s = now - req.enqueued
         dens_block = np.stack([r.density for r in live], axis=1)
         attempts = 0
+        causes: list[str] = []
         while True:
             attempts += 1
             try:
@@ -487,16 +498,18 @@ class ServeEngine:
                         self.metrics.record_failed(req.model)
                         req.set_error(err)
                     return
-                if self.retry.backoff:
-                    time.sleep(self.retry.backoff * attempts)
+                causes.append(type(err).__name__)
+                delay = self.retry.delay(attempts)
+                if delay > 0.0:
+                    time.sleep(delay)
             except Exception as err:  # non-transient: fail fast, typed
                 for req in live:
                     self.metrics.record_failed(req.model)
                     req.set_error(err)
                 return
         done = time.monotonic()
-        for _ in range(attempts - 1):
-            self.metrics.record_retry()
+        for cause in causes:
+            self.metrics.record_retry(cause)
         for j, req in enumerate(live):
             req.set_result(np.ascontiguousarray(pot[:, j]))
             self.metrics.record_completed(

@@ -4,11 +4,13 @@ The serving engine is judged on tail latency and batching efficiency, so
 :class:`ServeMetrics` keeps exactly the counters needed to see both:
 
 * per-model **latency samples** (end-to-end: enqueue to completion) with
-  p50 / p95 / p99 quantiles,
+  p50 / p95 / p99 quantiles, plus queue-wait and service-time samples
+  (service = latency minus wait: the time actually spent applying),
 * per-model **batch-size distribution** — the mean is the direct measure
   of how much multi-RHS coalescing the batcher achieved,
-* engine-wide counters: completed / rejected / failed / retried requests,
-  plan-cache hits and misses, and a queue-depth gauge sampled at submit.
+* engine-wide counters: completed / rejected / failed / retried requests
+  (retries broken down by typed cause), plan-cache hits and misses, and
+  a queue-depth gauge sampled at submit.
 
 Everything is a plain counter under one lock — cheap enough to update per
 request — and exports to a JSON-friendly dict (``python -m repro serve``
@@ -16,6 +18,14 @@ writes it as ``BENCH_serving.json``).  Workers additionally emit
 ``SERVE:*`` spans through the existing :class:`~repro.perf.trace.
 TraceRecorder` machinery, so serving runs are inspectable with the same
 ``python -m repro trace`` tooling as SPMD runs.
+
+**Merge safety.**  The distributed serving plane keeps one
+:class:`ServeMetrics` per fabric rank plus one on the router.  Percentiles
+do not compose — the mean of per-rank p95s is not the fabric p95 — so
+each instance keeps its raw (bounded) sample reservoirs and
+:meth:`ServeMetrics.merge` concatenates the reservoirs *at snapshot time*
+and computes the quantiles over the union.  Counters sum; the queue-depth
+peak is the max of peaks.
 """
 
 from __future__ import annotations
@@ -33,11 +43,13 @@ MAX_SAMPLES = 100_000
 
 
 class _ModelStats:
-    __slots__ = ("latencies", "waits", "batch_sizes", "completed", "failed")
+    __slots__ = ("latencies", "waits", "services", "batch_sizes",
+                 "completed", "failed")
 
     def __init__(self):
         self.latencies: list[float] = []
         self.waits: list[float] = []
+        self.services: list[float] = []
         self.batch_sizes: list[int] = []
         self.completed = 0
         self.failed = 0
@@ -57,7 +69,7 @@ def _quantiles(samples: list[float]) -> dict:
 
 
 class ServeMetrics:
-    """Thread-safe counters for one :class:`~repro.serve.engine.ServeEngine`."""
+    """Thread-safe counters for one serving engine (or one fabric rank)."""
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -65,6 +77,7 @@ class ServeMetrics:
         self.rejected = 0  # Overloaded at admission
         self.expired = 0  # DeadlineExceeded at dequeue
         self.retried = 0  # transient-fault retries that later succeeded
+        self.retried_by_cause: dict[str, int] = {}
         self.plan_hits = 0
         self.plan_misses = 0
         self.queue_depth_sum = 0
@@ -87,10 +100,12 @@ class ServeMetrics:
             st.completed += 1
             st.latencies.append(latency_s)
             st.waits.append(wait_s)
+            st.services.append(max(latency_s - wait_s, 0.0))
             st.batch_sizes.append(int(batch_size))
             if len(st.latencies) > MAX_SAMPLES:
                 del st.latencies[: MAX_SAMPLES // 2]
                 del st.waits[: MAX_SAMPLES // 2]
+                del st.services[: MAX_SAMPLES // 2]
                 del st.batch_sizes[: MAX_SAMPLES // 2]
 
     def record_failed(self, model: str) -> None:
@@ -106,9 +121,12 @@ class ServeMetrics:
             self.expired += 1
             self._stats(model).failed += 1
 
-    def record_retry(self) -> None:
+    def record_retry(self, cause: str = "unknown") -> None:
         with self._lock:
             self.retried += 1
+            self.retried_by_cause[cause] = (
+                self.retried_by_cause.get(cause, 0) + 1
+            )
 
     def record_plan_lookup(self, hit: bool) -> None:
         with self._lock:
@@ -123,59 +141,149 @@ class ServeMetrics:
             self.queue_depth_samples += 1
             self.queue_depth_peak = max(self.queue_depth_peak, depth)
 
+    # -- queries -----------------------------------------------------------
+
+    def service_p95(self, model: str | None = None) -> float | None:
+        """Observed p95 service time (seconds) — the retry-after basis."""
+        with self._lock:
+            if model is not None:
+                samples = list(self._models[model].services) \
+                    if model in self._models else []
+            else:
+                samples = [
+                    s for st in self._models.values() for s in st.services
+                ]
+        if not samples:
+            return None
+        return float(np.percentile(np.asarray(samples), 95.0))
+
     # -- export ------------------------------------------------------------
 
-    def snapshot(self, elapsed_s: float | None = None) -> dict:
-        """JSON-friendly summary of everything recorded so far."""
+    def raw(self) -> dict:
+        """A point-in-time copy of reservoirs and counters, for merging.
+
+        Raw samples — not precomputed percentiles — travel to the
+        merge point, so fabric-wide quantiles are computed over the
+        union of per-rank reservoirs (percentiles of percentiles would
+        be wrong; see the module docstring).
+        """
         with self._lock:
-            total_completed = sum(st.completed for st in self._models.values())
-            total_failed = sum(st.failed for st in self._models.values())
-            lookups = self.plan_hits + self.plan_misses
-            out = {
-                "completed": total_completed,
-                "failed": total_failed,
+            return {
+                "models": {
+                    name: {
+                        "latencies": list(st.latencies),
+                        "waits": list(st.waits),
+                        "services": list(st.services),
+                        "batch_sizes": list(st.batch_sizes),
+                        "completed": st.completed,
+                        "failed": st.failed,
+                    }
+                    for name, st in self._models.items()
+                },
                 "rejected": self.rejected,
                 "expired": self.expired,
                 "retried": self.retried,
-                "plan_cache": {
-                    "hits": self.plan_hits,
-                    "misses": self.plan_misses,
-                    "hit_rate": (
-                        self.plan_hits / lookups if lookups else None
-                    ),
-                },
-                "queue_depth": {
-                    "mean": (
-                        self.queue_depth_sum / self.queue_depth_samples
-                        if self.queue_depth_samples
-                        else None
-                    ),
-                    "peak": self.queue_depth_peak,
-                },
-                "models": {},
+                "retried_by_cause": dict(self.retried_by_cause),
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "queue_depth_sum": self.queue_depth_sum,
+                "queue_depth_samples": self.queue_depth_samples,
+                "queue_depth_peak": self.queue_depth_peak,
             }
-            if elapsed_s is not None and elapsed_s > 0:
-                out["throughput_rps"] = total_completed / elapsed_s
-            for name, st in self._models.items():
-                bs = np.asarray(st.batch_sizes) if st.batch_sizes else None
-                out["models"][name] = {
-                    "completed": st.completed,
-                    "failed": st.failed,
-                    "latency_s": _quantiles(st.latencies),
-                    "queue_wait_s": _quantiles(st.waits),
-                    "batch_size": {
-                        "mean": float(bs.mean()) if bs is not None else None,
-                        "max": int(bs.max()) if bs is not None else None,
-                        "hist": (
-                            {
-                                int(v): int(c)
-                                for v, c in zip(
-                                    *np.unique(bs, return_counts=True)
-                                )
-                            }
-                            if bs is not None
-                            else {}
-                        ),
-                    },
-                }
-            return out
+
+    @classmethod
+    def merge(cls, parts, elapsed_s: float | None = None) -> dict:
+        """One snapshot over many instances (or :meth:`raw` dicts).
+
+        Sample reservoirs concatenate per model, counters sum, the
+        queue-depth peak is the max of peaks — so the merged p99 is the
+        p99 of the union of per-rank samples, exactly what a single
+        engine observing all the traffic would have reported.
+        """
+        raws = [p.raw() if isinstance(p, ServeMetrics) else p for p in parts]
+        models: dict[str, dict] = {}
+        counters = {
+            "rejected": 0, "expired": 0, "retried": 0,
+            "plan_hits": 0, "plan_misses": 0,
+            "queue_depth_sum": 0, "queue_depth_samples": 0,
+            "queue_depth_peak": 0,
+        }
+        by_cause: dict[str, int] = {}
+        for raw in raws:
+            for key in ("rejected", "expired", "retried", "plan_hits",
+                        "plan_misses", "queue_depth_sum",
+                        "queue_depth_samples"):
+                counters[key] += raw[key]
+            counters["queue_depth_peak"] = max(
+                counters["queue_depth_peak"], raw["queue_depth_peak"]
+            )
+            for cause, n in raw.get("retried_by_cause", {}).items():
+                by_cause[cause] = by_cause.get(cause, 0) + n
+            for name, st in raw["models"].items():
+                acc = models.setdefault(name, {
+                    "latencies": [], "waits": [], "services": [],
+                    "batch_sizes": [], "completed": 0, "failed": 0,
+                })
+                for key in ("latencies", "waits", "services", "batch_sizes"):
+                    acc[key].extend(st[key])
+                acc["completed"] += st["completed"]
+                acc["failed"] += st["failed"]
+
+        total_completed = sum(st["completed"] for st in models.values())
+        total_failed = sum(st["failed"] for st in models.values())
+        lookups = counters["plan_hits"] + counters["plan_misses"]
+        out = {
+            "completed": total_completed,
+            "failed": total_failed,
+            "rejected": counters["rejected"],
+            "expired": counters["expired"],
+            "retried": counters["retried"],
+            "retried_by_cause": by_cause,
+            "plan_cache": {
+                "hits": counters["plan_hits"],
+                "misses": counters["plan_misses"],
+                "hit_rate": (
+                    counters["plan_hits"] / lookups if lookups else None
+                ),
+            },
+            "queue_depth": {
+                "mean": (
+                    counters["queue_depth_sum"]
+                    / counters["queue_depth_samples"]
+                    if counters["queue_depth_samples"]
+                    else None
+                ),
+                "peak": counters["queue_depth_peak"],
+            },
+            "models": {},
+        }
+        if elapsed_s is not None and elapsed_s > 0:
+            out["throughput_rps"] = total_completed / elapsed_s
+        for name, st in models.items():
+            bs = np.asarray(st["batch_sizes"]) if st["batch_sizes"] else None
+            out["models"][name] = {
+                "completed": st["completed"],
+                "failed": st["failed"],
+                "latency_s": _quantiles(st["latencies"]),
+                "queue_wait_s": _quantiles(st["waits"]),
+                "service_s": _quantiles(st["services"]),
+                "batch_size": {
+                    "mean": float(bs.mean()) if bs is not None else None,
+                    "max": int(bs.max()) if bs is not None else None,
+                    "hist": (
+                        {
+                            int(v): int(c)
+                            for v, c in zip(
+                                *np.unique(bs, return_counts=True)
+                            )
+                        }
+                        if bs is not None
+                        else {}
+                    ),
+                },
+            }
+        return out
+
+    def snapshot(self, elapsed_s: float | None = None) -> dict:
+        """JSON-friendly summary of everything recorded so far."""
+        return ServeMetrics.merge([self], elapsed_s=elapsed_s)

@@ -34,8 +34,10 @@ __all__ = [
     "FairQueue",
     "Overloaded",
     "Request",
+    "ShardUnavailable",
     "UnknownModel",
     "WorkerPool",
+    "retry_after_hint",
 ]
 
 #: Stride normalisation constant (any positive value works; this keeps
@@ -44,7 +46,20 @@ _STRIDE_K = 1024.0
 
 
 class Overloaded(RuntimeError):
-    """The queue is full: the request was rejected at admission."""
+    """The queue is full: the request was rejected at admission.
+
+    ``retry_after_s``, when set, is the engine's estimate of how long the
+    caller should wait before retrying — the queued work ahead of the
+    rejected request divided by the engine's observed service rate (queue
+    depth x p95 service time / parallelism).  Load generators honour it
+    instead of hammering a saturated engine (see
+    :func:`repro.serve.loadgen.run_load`).
+    """
+
+    def __init__(self, message: str = "queue full",
+                 retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class DeadlineExceeded(TimeoutError):
@@ -53,6 +68,37 @@ class DeadlineExceeded(TimeoutError):
 
 class UnknownModel(KeyError):
     """The request names a model the engine has not registered."""
+
+
+class ShardUnavailable(RuntimeError):
+    """The model's shard group (and any fallback replica) cannot serve.
+
+    Raised by the distributed serving plane when a sharded model's
+    circuit breaker is open — its rank group failed repeatedly or wedged
+    — and no surviving replica can take the request.  A typed rejection,
+    never a hang: callers may retry after the breaker's cooldown.
+    """
+
+
+def retry_after_hint(
+    depth: int,
+    service_p95_s: float | None,
+    parallelism: int,
+    floor_s: float = 0.01,
+    cap_s: float = 60.0,
+) -> float:
+    """Backpressure hint: seconds until the queue likely has room.
+
+    ``depth`` requests are ahead, each costing ~``service_p95_s`` (the
+    observed p95 service time; a conservative default is assumed before
+    any request completed), served ``parallelism`` at a time (workers x
+    max batch).  Clamped to ``[floor_s, cap_s]`` so the hint is never
+    zero (busy-loop) nor absurd (one straggler's p95).
+    """
+    if service_p95_s is None:
+        service_p95_s = 0.05
+    est = (depth + 1) * service_p95_s / max(parallelism, 1)
+    return float(min(cap_s, max(floor_s, est)))
 
 
 class Request:
