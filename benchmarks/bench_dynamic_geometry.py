@@ -1,0 +1,151 @@
+"""Dynamic geometry: incremental plan patching vs from-scratch recompile.
+
+Moving-source workloads (sedimentation, N-body dynamics) change only a
+small, spatially compact subset of points per step.  The incremental
+geometry path — Morton delta-sort (:mod:`repro.sort.delta`), dirty-
+subtree rebuild (:mod:`repro.octree.diff`), localized list rebuild and
+:func:`repro.core.plan.patch_plan` — recompiles only the plan sections
+whose inputs changed and is required to stay *bit-identical* to a fresh
+``compile_plan``.  This bench drives ``python -m repro evaluate
+--steps K`` in-process: each step moves a localized blob of sources,
+times patch vs recompile, and bit-compares the two evaluations.
+
+Results land in ``BENCH_dynamic_geometry.json`` (flat schema written by
+the CLI; see ``_cmd_evaluate_dynamic`` in :mod:`repro.__main__`).  Run
+standalone for the paper-scale numbers (acceptance gate is >= 5x at
+N=20k, order 6, 5% motion on the adaptive plummer cluster)::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_geometry.py --assert-speedup 5
+
+or via pytest at smoke scale (CI's dynamic-geometry-smoke job)::
+
+    pytest benchmarks/bench_dynamic_geometry.py --benchmark-only -s
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_dynamic_geometry.json"
+
+
+def run_bench(
+    n: int = 20_000,
+    order: int = 6,
+    q: int = 64,
+    kernel: str = "laplace",
+    distribution: str = "plummer",
+    steps: int = 5,
+    perturb: float = 0.01,
+    moved_frac: float = 0.05,
+    p: int = 0,
+    seed: int = 1234,
+    out: Path = RESULT_PATH,
+    gate: bool = False,
+) -> dict:
+    """Run the CLI dynamic-geometry bench in-process; return its JSON.
+
+    The default distribution is the adaptive ``plummer`` cluster: deep
+    nonuniform trees are the regime the paper's adaptive pipeline (and
+    this patching path) exists for, and a compact 5% blob there touches
+    far fewer near-capacity leaves than on a uniform cloud.
+    """
+    from repro.__main__ import main
+
+    argv = [
+        "evaluate", "--kernel", kernel, "--n", str(n),
+        "--order", str(order), "--q", str(q), "--seed", str(seed),
+        "--distribution", distribution,
+        "--steps", str(steps), "--perturb", str(perturb),
+        "--moved-frac", str(moved_frac), "--p", str(p),
+        "--out", str(out),
+    ]
+    if gate:
+        argv.append("--gate")
+    rc = main(argv)
+    result = json.loads(Path(out).read_text())
+    result["gate_rc"] = rc
+    return result
+
+
+def _print(result: dict) -> None:
+    cfg = result["config"]
+    print(
+        f"N={cfg['n']} order={cfg['order']} q={cfg['q']} {cfg['kernel']} "
+        f"steps={cfg['steps']} moved={cfg['moved_frac']:.0%}:"
+    )
+    print(f"  initial compile        {result['initial_compile_s'] * 1e3:9.1f} ms")
+    print(f"  median patch           {result['median_patch_s'] * 1e3:9.1f} ms")
+    print(f"  median recompile       {result['median_recompile_s'] * 1e3:9.1f} ms")
+    print(f"  median speedup         {result['median_speedup']:9.2f}x")
+    print(f"  bit-identical          {result['bit_identical']}")
+    if result.get("dist_bit_identical") is not None:
+        print(f"  sharded bit-identical  {result['dist_bit_identical']}")
+
+
+def test_dynamic_geometry_smoke(benchmark, tmp_path):
+    """Smoke-scale patching check (CI's dynamic-geometry-smoke gate).
+
+    Asserts every step's patched plan evaluates bit-identically to the
+    from-scratch rebuild and that patching beats recompiling even at
+    tiny N (0.9x tolerance against timer noise; the >= 5x acceptance
+    gate runs at paper scale via ``--assert-speedup``).
+    """
+    result = benchmark.pedantic(
+        lambda: run_bench(
+            n=4_000, order=4, q=64, steps=3, perturb=0.005,
+            moved_frac=0.05, distribution="plummer",
+            out=tmp_path / "bench.json",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(result)
+    assert result["bit_identical"], "patched plan diverged from recompile"
+    assert all(s["kmat_slots_reused"] > 0 for s in result["steps"]), (
+        "no kernel-matrix slots reused — patching degenerated to recompile"
+    )
+    assert result["median_patch_s"] < 0.9 * result["median_recompile_s"], (
+        f"patch {result['median_patch_s']:.3f}s not faster than recompile "
+        f"{result['median_recompile_s']:.3f}s"
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--n", type=int, default=20_000)
+    ap.add_argument("--order", type=int, default=6)
+    ap.add_argument("--q", type=int, default=64, help="max points per box")
+    ap.add_argument("--kernel", default="laplace")
+    ap.add_argument("--distribution", default="plummer")
+    ap.add_argument("--steps", type=int, default=5)
+    ap.add_argument("--perturb", type=float, default=0.01)
+    ap.add_argument("--moved-frac", type=float, default=0.05)
+    ap.add_argument("--p", type=int, default=0,
+                    help="also verify a p-rank sharded update_geometry")
+    ap.add_argument("--seed", type=int, default=1234)
+    ap.add_argument("--assert-speedup", type=float, default=None,
+                    metavar="X", help="fail unless median speedup >= X")
+    args = ap.parse_args()
+    result = run_bench(
+        n=args.n, order=args.order, q=args.q, kernel=args.kernel,
+        distribution=args.distribution, steps=args.steps,
+        perturb=args.perturb, moved_frac=args.moved_frac,
+        p=args.p, seed=args.seed,
+    )
+    _print(result)
+    print(f"wrote {RESULT_PATH}")
+    if not result["bit_identical"]:
+        print("FAIL: patched plan is not bit-identical to recompile")
+        return 1
+    if (args.assert_speedup is not None
+            and result["median_speedup"] < args.assert_speedup):
+        print(f"FAIL: speedup {result['median_speedup']:.2f}x "
+              f"< {args.assert_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

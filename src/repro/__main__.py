@@ -37,6 +37,8 @@ def _cmd_evaluate(args) -> int:
 
     fmm = Fmm(kernel, order=args.order, max_points_per_box=args.q,
               precision=args.precision)
+    if args.steps:
+        return _cmd_evaluate_dynamic(args, fmm, kernel, points, dens)
     profile = PhaseProfile()
     recorder = None
     if args.trace:
@@ -73,6 +75,138 @@ def _cmd_evaluate(args) -> int:
         got = pot.reshape(-1, kt)[sample].reshape(-1)
         err = np.linalg.norm(got - ref) / np.linalg.norm(ref)
         print(f"spot check ({len(sample)} targets): rel err {err:.2e}")
+    return 0
+
+
+def _blob_step(rng, pts, frac, eps):
+    """One localized motion step: drift the ``frac`` fraction of points
+    nearest a random center by ``eps`` (plus jitter).  Spatially compact
+    motion stays compact in Morton order — the regime the incremental
+    geometry path targets (uniform random motion dirties nearly every
+    leaf and degenerates to a recompile)."""
+    n = len(pts)
+    m = max(1, int(round(frac * n)))
+    center = pts[rng.integers(n)]
+    d2 = ((pts - center) ** 2).sum(axis=1)
+    moved = np.argpartition(d2, m - 1)[:m] if m < n else np.arange(n)
+    new_pts = pts.copy()
+    new_pts[moved] = np.clip(
+        new_pts[moved]
+        + rng.normal(scale=eps, size=3)
+        + rng.normal(scale=eps / 4.0, size=(m, 3)),
+        1e-9, 1.0 - 1e-9,
+    )
+    return new_pts, moved
+
+
+def _cmd_evaluate_dynamic(args, fmm, kernel, points, dens) -> int:
+    """``evaluate --steps K``: the dynamic-geometry patch-vs-recompile bench.
+
+    Each step moves a Morton-localized blob of sources, rebuilds the
+    geometry incrementally (delta-sort + dirty-subtree rebuild + plan
+    patch) and from scratch, and bit-compares the two evaluations.  With
+    ``--p`` the final geometry is additionally pushed through a p-rank
+    sharded :class:`~repro.serve.dist_engine.DistServeEngine` via its
+    ``update_geometry`` and checked against a freshly registered engine.
+    """
+    import json
+
+    rng = np.random.default_rng(args.seed + 1)
+    pts = points
+    plan = fmm.plan(pts)
+    t0 = time.perf_counter()
+    eplan = fmm.compile_eval_plan(plan)
+    compile0_s = time.perf_counter() - t0
+    print(f"dynamic geometry: N={args.n} order={args.order} q={args.q} "
+          f"{args.kernel}; initial plan compile {compile0_s:.2f}s")
+
+    steps, all_bit = [], True
+    for k in range(args.steps):
+        new_pts, moved = _blob_step(rng, pts, args.moved_frac, args.perturb)
+
+        t0 = time.perf_counter()
+        new_plan, delta = fmm.update_plan(plan, new_pts, moved=moved)
+        pe = fmm.patch_eval_plan(eplan, plan, new_plan, delta=delta)
+        t_patch = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ref_plan = fmm.plan(new_pts)
+        fe = fmm.compile_eval_plan(ref_plan)
+        t_full = time.perf_counter() - t0
+
+        out_p = fmm.evaluate(new_pts, dens, plan=new_plan, eval_plan=pe)
+        out_f = fmm.evaluate(new_pts, dens, plan=ref_plan, eval_plan=fe)
+        bit = bool(np.array_equal(out_p, out_f))
+        all_bit &= bit
+        st = pe.patch_stats
+        reused = st.get("slots_reused", 0)
+        fresh = st.get("slots_fresh", 0)
+        steps.append({
+            "step": k + 1,
+            "n_moved": int(len(moved)),
+            "patch_s": t_patch,
+            "recompile_s": t_full,
+            "speedup": t_full / t_patch if t_patch > 0 else None,
+            "bit_identical": bit,
+            "kmat_slots_reused": int(reused),
+            "kmat_slots_fresh": int(fresh),
+            "refinement_changed": bool(delta.refinement_changed),
+        })
+        print(f"  step {k + 1}: patch {t_patch:.3f}s vs recompile "
+              f"{t_full:.3f}s ({t_full / max(t_patch, 1e-12):.1f}x), "
+              f"kmat reuse {reused}/{reused + fresh}, "
+              f"bit-identical={bit}")
+        pts, plan, eplan = new_pts, new_plan, pe
+
+    dist_bit = None
+    if args.p > 0:
+        from repro.serve.dist_engine import DistServeEngine
+
+        eng = DistServeEngine(nranks=args.p)
+        eng.register("dyn", points, placement="sharded", group=args.p,
+                     kernel=kernel, order=args.order,
+                     max_points_per_box=args.q)
+        eng.update_geometry("dyn", pts)  # initial -> final geometry
+        out_p = eng.evaluate("dyn", dens)
+        ref = DistServeEngine(nranks=args.p)
+        ref.register("dyn", pts, placement="sharded", group=args.p,
+                     kernel=kernel, order=args.order,
+                     max_points_per_box=args.q)
+        dist_bit = bool(np.array_equal(out_p, ref.evaluate("dyn", dens)))
+        all_bit &= dist_bit
+        print(f"  sharded p={args.p} update_geometry bit-identical: "
+              f"{dist_bit}")
+
+    med_patch = float(np.median([s["patch_s"] for s in steps]))
+    med_full = float(np.median([s["recompile_s"] for s in steps]))
+    speedup = med_full / med_patch if med_patch > 0 else None
+    result = {
+        "bench": "dynamic_geometry",
+        "config": {
+            "kernel": args.kernel, "n": args.n, "order": args.order,
+            "q": args.q, "precision": args.precision,
+            "distribution": args.distribution, "steps": args.steps,
+            "perturb": args.perturb, "moved_frac": args.moved_frac,
+            "seed": args.seed, "p": args.p,
+        },
+        "initial_compile_s": compile0_s,
+        "median_patch_s": med_patch,
+        "median_recompile_s": med_full,
+        "median_speedup": speedup,
+        "bit_identical": all_bit,
+        "dist_bit_identical": dist_bit,
+        "steps": steps,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print(f"median: patch {med_patch:.3f}s vs recompile {med_full:.3f}s "
+          f"-> {speedup:.1f}x; bit-identical={all_bit} -> {args.out}")
+    if args.gate:
+        ok = all_bit and med_patch < 0.5 * med_full
+        if not ok:
+            print("GATE FAILED: need bit-identity and patch < 0.5x recompile")
+            return 1
+        print("gate passed: bit-identical and patch < 0.5x recompile")
     return 0
 
 
@@ -736,6 +870,24 @@ def main(argv=None) -> int:
                     help="plan precision: fp64 (bit-identical baseline), "
                          "fp32 (float32 GEMM/FFT phases), or auto "
                          "(calibrated pick meeting the error target)")
+    pe.add_argument("--steps", type=int, default=0, metavar="K",
+                    help="dynamic-geometry mode: perturb a localized blob "
+                         "of sources K times, patching the plan each step "
+                         "and comparing against a full recompile "
+                         "(writes BENCH_dynamic_geometry.json)")
+    pe.add_argument("--perturb", type=float, default=0.01, metavar="EPS",
+                    help="per-step displacement scale for --steps")
+    pe.add_argument("--moved-frac", type=float, default=0.05,
+                    help="fraction of points moved per --steps step")
+    pe.add_argument("--p", type=int, default=0, metavar="RANKS",
+                    help="with --steps: also verify a p-rank sharded "
+                         "geometry update bit-identically (0 = skip)")
+    pe.add_argument("--out", default="BENCH_dynamic_geometry.json",
+                    help="result file for --steps mode")
+    pe.add_argument("--gate", action="store_true",
+                    help="with --steps: exit nonzero unless every step is "
+                         "bit-identical and the median patch time beats "
+                         "0.5x the median recompile time")
     pe.set_defaults(fn=_cmd_evaluate)
 
     pr = sub.add_parser(

@@ -145,6 +145,30 @@ class FmmEvaluator:
             self, tree, lists, scopes=scopes, precision=precision, **kwargs
         )
 
+    def patch_plan(
+        self, old_plan, old_tree, old_lists, tree, lists,
+        delta=None, scopes=None, precision=None, **kwargs,
+    ):
+        """Recompile only the dirty sections of ``old_plan`` for ``tree``.
+
+        Produces a plan bit-identical to ``compile_plan(tree, lists)``
+        while reusing every kernel-matrix block whose source/target boxes
+        survived the geometry change untouched (see
+        :func:`repro.core.plan.patch_plan`).  ``delta`` is the
+        :class:`~repro.core.tree.TreeDelta` from
+        :func:`~repro.core.tree.update_tree`/``diff_trees``; omitted, it
+        is derived by content diffing.  ``precision`` defaults to the old
+        plan's own (``"auto"`` resolves via the calibration probe).
+        """
+        from repro.core.plan import patch_plan
+
+        if precision == "auto":
+            precision = self._resolve_auto(tree, PhaseProfile())
+        return patch_plan(
+            self, old_plan, old_tree, old_lists, tree, lists,
+            delta=delta, scopes=scopes, precision=precision, **kwargs,
+        )
+
     def _resolve_auto(self, tree, profile):
         """Resolve ``"auto"`` to a concrete precision, once per evaluator.
 
@@ -960,7 +984,13 @@ class FmmEvaluator:
             grp = np.flatnonzero(code == c)
             tp = int(tpad[grp[0]])
             sp = int(spad[grp[0]])
-            chunk = max(1, int(6e6 / max(tp * sp, 1)))
+            # bounded chunks keep batched GEMMs large enough to amortise
+            # dispatch while keeping each compiled kmat block small
+            # enough that a localized geometry update leaves most blocks
+            # untouched — whole-block reuse in patch_plan shares those by
+            # reference instead of copying (blocks sit in leaf Morton
+            # order, so a moving cluster dirties a few contiguous chunks)
+            chunk = max(1, int(1.5e6 / max(tp * sp, 1)))
             for s in range(0, grp.size, chunk):
                 part = grp[s : s + chunk]
                 yield tp, sp, leaves[part], src_total[part]

@@ -157,6 +157,55 @@ class Fmm:
         """
         return self.evaluator.compile_plan(plan.tree, plan.lists, **kwargs)
 
+    def update_plan(
+        self,
+        plan: FmmPlan,
+        new_points: np.ndarray,
+        moved: np.ndarray | None = None,
+        profile: PhaseProfile | None = None,
+    ):
+        """Incrementally rebuild ``plan`` after a point-motion step.
+
+        ``new_points`` is the full point array in the original order
+        (same shape as before; rebuild from scratch for insertions or
+        deletions).  Returns ``(new_plan, delta)`` where ``new_plan`` is
+        identical to ``self.plan(new_points)`` and the
+        :class:`~repro.core.tree.TreeDelta` feeds
+        :meth:`patch_eval_plan`.  Balanced trees fall back to a full
+        rebuild (2:1 refinement is global) but still produce the delta.
+        """
+        from repro.core.tree import diff_trees, update_tree
+
+        profile = profile if profile is not None else PhaseProfile()
+        if self.balance_tree:
+            new_plan = self.plan(new_points, profile=profile)
+            with profile.phase("tree"):
+                delta = diff_trees(plan.tree, new_plan.tree)
+            return new_plan, delta
+        with profile.phase("tree"):
+            tree, delta = update_tree(
+                plan.tree, new_points, self.max_points_per_box,
+                moved=moved, max_depth=self.max_depth,
+            )
+        with profile.phase("lists"):
+            from repro.core.lists import update_lists
+
+            lists = update_lists(tree, plan.tree, plan.lists, delta)
+        return FmmPlan(tree, lists), delta
+
+    def patch_eval_plan(self, old_eval_plan, old_plan: FmmPlan,
+                        new_plan: FmmPlan, delta=None, **kwargs):
+        """Patch a compiled :class:`~repro.core.plan.EvalPlan` onto
+        ``new_plan``'s geometry, reusing clean kernel-matrix blocks.
+
+        The result is bit-identical to
+        ``self.compile_eval_plan(new_plan)``; pass it as ``eval_plan=``.
+        """
+        return self.evaluator.patch_plan(
+            old_eval_plan, old_plan.tree, old_plan.lists,
+            new_plan.tree, new_plan.lists, delta=delta, **kwargs,
+        )
+
     def evaluate(
         self,
         points: np.ndarray,

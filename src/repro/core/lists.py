@@ -29,11 +29,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.tree import FmmTree
+from repro.core.tree import FmmTree, TreeDelta, _concat_ranges
 from repro.octree import linear
 from repro.util import morton
 
-__all__ = ["CsrList", "InteractionLists", "build_lists"]
+__all__ = ["CsrList", "InteractionLists", "build_lists", "update_lists"]
 
 
 @dataclass
@@ -94,22 +94,39 @@ class InteractionLists:
         }
 
 
-def _colleague_table(tree: FmmTree, chunk: int = 16384) -> np.ndarray:
-    """(n_nodes, 26) node indices of same-level adjacent octants (-1 absent)."""
+def _colleague_table(
+    tree: FmmTree, chunk: int = 16384, nodes: np.ndarray | None = None
+) -> np.ndarray:
+    """(n_nodes, 26) node indices of same-level adjacent octants (-1 absent).
+
+    With ``nodes`` given, only those rows are resolved (the rest stay -1)
+    — the localized list rebuild needs colleague rows only for the dirty
+    neighbourhood.
+    """
     n = tree.n_nodes
     out = np.full((n, 26), -1, dtype=np.int64)
-    for s in range(0, n, chunk):
-        e = min(s + chunk, n)
-        ids, valid = morton.neighbors(tree.keys[s:e])
+    idx = np.arange(n) if nodes is None else np.asarray(nodes, dtype=np.int64)
+    for s in range(0, idx.size, chunk):
+        sel = idx[s : s + chunk]
+        ids, valid = morton.neighbors(tree.keys[sel])
         found = tree.find(ids.ravel()).reshape(ids.shape)
-        out[s:e] = np.where(valid, found, -1)
+        out[sel] = np.where(valid, found, -1)
     return out
 
 
-def _build_v(tree: FmmTree, coll: np.ndarray, chunk: int = 8192):
+def _build_v(
+    tree: FmmTree,
+    coll: np.ndarray,
+    chunk: int = 8192,
+    nodes: np.ndarray | None = None,
+):
     """V-list pairs: children of parent's colleagues, not adjacent."""
     rows_parts, cols_parts = [], []
-    cand_nodes = np.flatnonzero(tree.levels >= 2)
+    if nodes is None:
+        cand_nodes = np.flatnonzero(tree.levels >= 2)
+    else:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        cand_nodes = nodes[tree.levels[nodes] >= 2]
     for s in range(0, cand_nodes.size, chunk):
         nodes = cand_nodes[s : s + chunk]
         pc = coll[tree.parent[nodes]]  # (m, 26)
@@ -154,9 +171,9 @@ def _adjacent_candidates(tree: FmmTree, nodes: np.ndarray):
     )
 
 
-def _build_u_w(tree: FmmTree):
+def _build_u_w(tree: FmmTree, leaves: np.ndarray | None = None):
     """U and W pairs via a frontier sweep from each leaf's colleagues."""
-    leaves = tree.leaf_indices
+    leaves = tree.leaf_indices if leaves is None else np.asarray(leaves, np.int64)
     en_rows, en_nodes, cv_rows, cv_leaves = _adjacent_candidates(tree, leaves)
 
     u_rows = [leaves, cv_rows]  # self + coarser adjacent leaves
@@ -196,9 +213,15 @@ def _build_u_w(tree: FmmTree):
     )
 
 
-def _build_x(tree: FmmTree):
+def _build_x(tree: FmmTree, nodes: np.ndarray | None = None):
     """X pairs: leaves adjacent to the parent but not to the node itself."""
-    nodes = np.flatnonzero(tree.levels >= 1)
+    if nodes is None:
+        nodes = np.flatnonzero(tree.levels >= 1)
+    else:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        nodes = nodes[tree.levels[nodes] >= 1]
+    if nodes.size == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
     parents = tree.parent[nodes]
     uniq_parents, inv = np.unique(parents, return_inverse=True)
     en_rows, en_nodes, cv_rows, cv_leaves = _adjacent_candidates(tree, uniq_parents)
@@ -248,3 +271,108 @@ def build_lists(tree: FmmTree) -> InteractionLists:
         x=CsrList.from_pairs(x_rows, x_cols, n),
         colleagues=CsrList.from_pairs(coll_rows, coll_cols, n),
     )
+
+
+# -- incremental updates ------------------------------------------------------
+
+#: Above this (node x root) product, or this affected fraction, a full
+#: rebuild is cheaper than the localized merge.
+_AFFECT_PAIR_LIMIT = 50_000_000
+_AFFECT_FRACTION_LIMIT = 0.5
+
+
+def _affected_nodes(tree: FmmTree, roots: np.ndarray) -> np.ndarray | None:
+    """Nodes whose interaction lists may differ after rebuilding ``roots``.
+
+    Every member of U(B)/V(B)/W(B)/X(B)/colleagues(B) lives inside the
+    closure of the 3x-expanded box of ``P(B)`` (the parent's colleague
+    shell; W members reach at most ``side(B)`` past B's faces, which that
+    shell contains).  A list can therefore only change when some rebuilt
+    subtree's box intersects that shell — an integer interval-overlap
+    test per axis, like :func:`repro.util.morton.closures_touch`.
+    Returns None when the candidate product is too large to test cheaply.
+    """
+    n = tree.n_nodes
+    if int(roots.size) * n > _AFFECT_PAIR_LIMIT:
+        return None
+    pk = tree.keys[tree.parent]
+    pk[0] = tree.keys[0]  # the root's shell is its own expanded box
+    ax, ay, az = (c.astype(np.int64) for c in morton.anchor(pk))
+    s = morton.box_side_int(morton.level(pk)).astype(np.int64)
+    rx, ry, rz = (c.astype(np.int64) for c in morton.anchor(roots))
+    rs = morton.box_side_int(morton.level(roots)).astype(np.int64)
+    touch = np.ones((n, roots.size), dtype=bool)
+    for c, rc in ((ax, rx), (ay, ry), (az, rz)):
+        c = c[:, None]
+        rc = rc[None, :]
+        touch &= (rc <= c + 2 * s[:, None]) & (c - s[:, None] <= rc + rs[None, :])
+    return touch.any(axis=1)
+
+
+class _ListReuseError(Exception):
+    """A reused row referenced a vanished node — fall back to full build."""
+
+
+def update_lists(
+    new_tree: FmmTree,
+    old_tree: FmmTree,
+    old_lists: InteractionLists,
+    delta: TreeDelta,
+) -> InteractionLists:
+    """Interaction lists for ``new_tree``, reusing rows from ``old_lists``.
+
+    The lists depend only on the octant key set, so when the refinement
+    did not change the old lists are returned as-is (node indices are
+    identical).  Otherwise only nodes whose interaction neighbourhood
+    intersects a rebuilt subtree get fresh rows; every other row is the
+    old row with node indices remapped.  Identical to
+    ``build_lists(new_tree)`` in all cases.
+    """
+    if not delta.refinement_changed or delta.changed_roots.size == 0:
+        return old_lists
+    n = new_tree.n_nodes
+    affected = _affected_nodes(new_tree, delta.changed_roots)
+    if affected is None or affected.mean() > _AFFECT_FRACTION_LIMIT:
+        return build_lists(new_tree)
+    un = np.flatnonzero(~affected)
+    if np.any(delta.old_index[un] < 0):
+        return build_lists(new_tree)
+
+    aff = np.flatnonzero(affected)
+    need_coll = np.unique(np.concatenate([aff, new_tree.parent[aff].clip(0)]))
+    coll = _colleague_table(new_tree, nodes=need_coll)
+    v_rows, v_cols = _build_v(new_tree, coll, nodes=aff)
+    u_rows, u_cols, w_rows, w_cols = _build_u_w(
+        new_tree, leaves=aff[new_tree.is_leaf[aff]]
+    )
+    x_rows, x_cols = _build_x(new_tree, nodes=aff)
+    coll_aff = coll[aff]
+    coll_rows = np.repeat(aff, (coll_aff >= 0).sum(axis=1))
+    coll_cols = coll_aff[coll_aff >= 0]
+
+    old_to_new = new_tree.find(old_tree.keys)
+    old_of_un = delta.old_index[un]
+
+    def merged(old_csr: CsrList, fresh_r, fresh_c) -> CsrList:
+        cnts = old_csr.counts[old_of_un]
+        rows = np.repeat(un, cnts)
+        cols_old = old_csr.indices[_concat_ranges(old_csr.offsets[old_of_un], cnts)]
+        cols = old_to_new[cols_old]
+        if cols.size and cols.min() < 0:
+            raise _ListReuseError
+        return CsrList.from_pairs(
+            np.concatenate([np.asarray(fresh_r, np.int64), rows]),
+            np.concatenate([np.asarray(fresh_c, np.int64), cols]),
+            n,
+        )
+
+    try:
+        return InteractionLists(
+            u=merged(old_lists.u, u_rows, u_cols),
+            v=merged(old_lists.v, v_rows, v_cols),
+            w=merged(old_lists.w, w_rows, w_cols),
+            x=merged(old_lists.x, x_rows, x_cols),
+            colleagues=merged(old_lists.colleagues, coll_rows, coll_cols),
+        )
+    except _ListReuseError:  # pragma: no cover - conservative safety net
+        return build_lists(new_tree)

@@ -59,7 +59,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.contract import gemm_cols
-from repro.core.tree import FmmTree
+from repro.core.tree import FmmTree, TreeDelta, diff_trees
 
 __all__ = [
     "EvalPlan",
@@ -68,6 +68,7 @@ __all__ = [
     "PrecisionError",
     "VALID_PRECISIONS",
     "compile_plan",
+    "patch_plan",
     "tree_fingerprint",
 ]
 
@@ -264,6 +265,9 @@ class EvalPlan:
     d2t: list = field(default_factory=list)
     uli: list = field(default_factory=list)
     gpu: dict = field(default_factory=dict)
+    #: Populated by :func:`patch_plan`: how much of the kernel-matrix
+    #: state was reused vs recomputed (empty for fresh compiles).
+    patch_stats: dict = field(default_factory=dict, repr=False)
     _wli: _WliSection | None = field(default=None, repr=False)
     _tree: FmmTree | None = field(default=None, repr=False)
     #: Scratch buffers are per-thread: concurrent applies of one plan (the
@@ -840,6 +844,410 @@ def _maybe_kmat(plan: EvalPlan, kernel, a: np.ndarray, b: np.ndarray):
     return k
 
 
+def _size_buckets(tasks):
+    """Chunk ``(slot, index_array)`` tasks into descending-size buckets
+    where every member is at least half the bucket's padded width, so a
+    padded batch wastes < 2x (in practice ~25%) of its flops."""
+    if not tasks:
+        return
+    tasks = sorted(tasks, key=lambda t: -t[1].size)
+    start = 0
+    for r in range(1, len(tasks) + 1):
+        if r == len(tasks) or 2 * tasks[r][1].size < tasks[start][1].size:
+            yield tasks[start:r]
+            start = r
+
+
+def _patched_kmat(plan: EvalPlan, kernel, a, b, slots, stats):
+    """Budget-identical variant of :func:`_maybe_kmat` assembling the block
+    from reusable old-plan slots plus one batched kernel call over the
+    dirty remainder.
+
+    ``slots[j]`` is ``(old_kmat_array, old_slot)`` when box ``j``'s
+    geometry inputs are unchanged, ``(old_kmat_array, old_slot,
+    dst_cols, src_cols, dirty_cols)`` (point units) when individual
+    source members survive at shifted column offsets — clean member
+    columns are copied ``src -> dst``, dirty ones recomputed — else
+    None.  Per-slot stitching — and the column-range recompute — is
+    bitwise safe because every kernel's ``matrix_batch`` is elementwise
+    per (target, source) *pair* (closed-form pairwise formulas; the
+    only reduction is over the fixed 3-vector coordinate axis), so a
+    matrix element does not depend on its batch, row or column
+    neighbours.  The budget estimate, the skip decision and the charge
+    are byte-identical to the fresh path — a patched plan makes exactly
+    the caching choices a fresh compile would.
+    """
+    if not plan._cache_matrices:
+        return None
+    itemsize = np.dtype(plan.rdtype).itemsize
+    kt, ks = kernel.target_dim, kernel.source_dim
+    rows, cols = a.shape[1] * kt, b.shape[1] * ks
+    est = itemsize * a.shape[0] * rows * cols
+    if est > plan._mat_left:
+        return None
+    nb = a.shape[0]
+    norm = []
+    for j, s in enumerate(slots):
+        if s is None or s[0].shape[1:] != (rows, cols):
+            norm.append(None)
+            continue
+        if len(s) == 6:
+            # dirty target: diff old vs new padded coordinates to find
+            # the rows that actually changed; kernel assembly runs ~8x
+            # slower per byte than the slice copy, so partial reuse
+            # pays until nearly every row moved
+            dr = np.flatnonzero((s[5] != a[j]).any(axis=1))
+            if 8 * dr.size > 7 * a.shape[1]:
+                norm.append(None)
+                continue
+            s = (*s[:5], dr)
+        norm.append(s)
+    slots = norm
+    dirty = [j for j, s in enumerate(slots) if s is None]
+    partial = [(j, s) for j, s in enumerate(slots)
+               if s is not None and len(s) >= 5]
+    stats["slots_reused"] += nb - len(dirty) - len(partial)
+    stats["slots_partial"] += len(partial)
+    stats["slots_fresh"] += len(dirty)
+    if not dirty and not partial and nb:
+        first = slots[0]
+        if first[0].shape[0] == nb and all(
+            s[0] is first[0] and s[1] == j for j, s in enumerate(slots)
+        ):
+            # the whole old block survives: share the array, zero copies
+            stats["bytes_reused"] += first[0].nbytes
+            stats["blocks_ref"] += 1
+            plan._mat_left -= first[0].nbytes
+            return first[0]
+    if len(dirty) == nb:
+        k = plan._cast(kernel.matrix_batch(a, b))
+        stats["bytes_fresh"] += k.nbytes
+        plan._mat_left -= k.nbytes
+        return k
+    k = np.empty((nb, rows, cols), dtype=plan.rdtype)
+    by_src: dict[int, tuple] = {}
+    for j, s in enumerate(slots):
+        if s is None or len(s) >= 5:
+            continue
+        arr, jj = s
+        dst, src, _ = by_src.setdefault(id(arr), ([], [], arr))
+        dst.append(j)
+        src.append(jj)
+    for dst, src, arr in by_src.values():
+        # run-grouped contiguous slice copies: a fancy-indexed gather
+        # materialises arr[src] as a temporary (twice the memory
+        # traffic); surviving slots overwhelmingly sit in long aligned
+        # runs, so slice-to-slice copies hit straight memcpy bandwidth
+        r0 = 0
+        for r in range(1, len(dst) + 1):
+            if (r == len(dst) or dst[r] != dst[r - 1] + 1
+                    or src[r] != src[r - 1] + 1):
+                k[dst[r0]:dst[r - 1] + 1] = arr[src[r0]:src[r - 1] + 1]
+                r0 = r
+        stats["bytes_reused"] += itemsize * len(dst) * rows * cols
+
+    col_tasks, row_tasks = [], []
+    for j, s in partial:
+        arr, jj, ranges, pad, dirty_pc = s[:5]
+        drows = s[5] if len(s) == 6 else None
+        # copy the surviving members' columns (possibly shifted); dirty
+        # members' columns and moved-target rows are queued and
+        # recomputed in one padded batch per block — their bytes are
+        # tiny, the per-call overhead of ~100 slot-sized kernel calls
+        # is not; contiguous slice copies per member beat one
+        # fancy-indexed gather
+        old, new = arr[jj], k[j]
+        moved_pts = 0
+        for d0, d1, s0 in ranges:
+            new[:, d0 * ks:d1 * ks] = old[:, s0 * ks:(s0 + d1 - d0) * ks]
+            moved_pts += d1 - d0
+        if pad is not None:
+            p0, p1, o0 = pad
+            new[:, p0 * ks:p1 * ks] = np.tile(
+                old[:, o0 * ks:(o0 + 1) * ks], (1, p1 - p0)
+            )
+            moved_pts += p1 - p0
+        stats["bytes_reused"] += itemsize * rows * ks * moved_pts
+        if dirty_pc.size:
+            col_tasks.append((j, dirty_pc))
+        if drows is not None and drows.size:
+            row_tasks.append((j, drows))
+    # batched recompute of the queued dirty columns/rows: tasks are
+    # size-sorted and chunked so every chunk pads to at most 2x its
+    # smallest member (pad entries reuse index 0 and are discarded);
+    # bitwise safe — elements are per-pair, so padding cannot perturb
+    # its neighbours, and ~100 slot-sized kernel calls collapse to a
+    # handful without meaningful wasted flops
+    for bucket in _size_buckets(col_tasks):
+        m = bucket[0][1].size
+        ji = np.asarray([j for j, _ in bucket], dtype=np.int64)
+        cidx = np.zeros((len(bucket), m), dtype=np.int64)
+        for t, (_, pc) in enumerate(bucket):
+            cidx[t, :pc.size] = pc
+        out = plan._cast(kernel.matrix_batch(a[ji], b[ji[:, None], cidx]))
+        for t, (j, pc) in enumerate(bucket):
+            mc = (
+                (pc[:, None] * ks + np.arange(ks)).ravel()
+                if ks > 1 else pc
+            )
+            k[j][:, mc] = out[t][:, :pc.size * ks]
+            stats["bytes_fresh"] += itemsize * rows * ks * pc.size
+    # moved-target rows last, overwriting any provisional copy (and any
+    # freshly recomputed column entries in those rows)
+    for bucket in _size_buckets(row_tasks):
+        m = bucket[0][1].size
+        ji = np.asarray([j for j, _ in bucket], dtype=np.int64)
+        ridx = np.zeros((len(bucket), m), dtype=np.int64)
+        for t, (_, dr) in enumerate(bucket):
+            ridx[t, :dr.size] = dr
+        out = plan._cast(kernel.matrix_batch(a[ji[:, None], ridx], b[ji]))
+        for t, (j, dr) in enumerate(bucket):
+            mr = (
+                (dr[:, None] * kt + np.arange(kt)).ravel()
+                if kt > 1 else dr
+            )
+            k[j, mr] = out[t, :dr.size * kt]
+            stats["bytes_fresh"] += itemsize * dr.size * kt * cols
+    if dirty:
+        di = np.asarray(dirty, dtype=np.int64)
+        k[di] = plan._cast(kernel.matrix_batch(a[di], b[di]))
+        stats["bytes_fresh"] += itemsize * di.size * rows * cols
+    plan._mat_left -= k.nbytes
+    return k
+
+
+class _PlanReuse:
+    """Reuse oracle for :func:`patch_plan`: per-phase section indexes of the
+    old plan, keyed by node-key signatures (the ``_WliSection`` signature
+    idea generalised to every cached section).
+
+    A slot is offered for reuse only when the :class:`TreeDelta` proves
+    its geometry inputs bitwise unchanged — target box content for leaf
+    blocks, source-leaf content (plus the target's centre, pinned by its
+    key) for pair blocks, and the full filtered U-membership for ULI
+    blocks.  Kernel matrices additionally require matching precision.
+    """
+
+    def __init__(self, old_plan: EvalPlan, old_tree: FmmTree, old_lists,
+                 delta: TreeDelta, precision: str):
+        self.old_plan = old_plan
+        self.old_tree = old_tree
+        self.old_lists = old_lists
+        self.refinement_changed = bool(delta.refinement_changed)
+        self.node_clean = delta.node_clean
+        self.old_index = delta.old_index
+        self.perm = delta.perm
+        self.old_counts = old_tree.point_counts()
+        self._new_counts = None
+        self.kmats_ok = precision == old_plan.precision
+        self.stats = {
+            "slots_reused": 0,
+            "slots_partial": 0,
+            "slots_fresh": 0,
+            "bytes_reused": 0,
+            "bytes_fresh": 0,
+            "blocks_ref": 0,
+            "rows_remapped": 0,
+        }
+        keys = old_tree.keys
+        self._uli: dict[int, tuple] = {}
+        for blk in old_plan.uli:
+            for j, i in enumerate(blk.boxes):
+                self._uli[int(keys[i])] = (blk, j)
+        self._leaf: dict[str, dict] = {"s2u": {}, "d2t": {}}
+        self._xli: dict[tuple, tuple] = {}
+        if self.kmats_ok:
+            for section in ("s2u", "d2t"):
+                idx = self._leaf[section]
+                for blk in getattr(old_plan, section):
+                    if blk.kmat is None:
+                        continue
+                    for j, i in enumerate(blk.group):
+                        idx[(blk.level, blk.pad, int(keys[i]))] = (blk.kmat, j)
+            for blk in old_plan.xli:
+                if blk.kmat is None:
+                    continue
+                for j in range(blk.rows.size):
+                    self._xli[
+                        (blk.level, blk.pad,
+                         int(keys[blk.rows[j]]), int(keys[blk.cols[j]]))
+                    ] = (blk.kmat, j)
+        self._hats: dict[tuple, np.ndarray] = {}
+        if old_plan.precision == "fp32":
+            for ch in old_plan.vli_fft:
+                for off, that, _tpos, _spos, _npairs in ch.steps:
+                    self._hats[(ch.level, off)] = that
+
+    def fp32_hats(self) -> dict:
+        """Seed cache of complex64 translation hats harvested from the old
+        plan (the cast is deterministic, so sharing them is bitwise safe)."""
+        return dict(self._hats)
+
+    def vli_reusable(self, lists, scope) -> bool:
+        """True when the old plan's whole VLI section can be shared.
+
+        The V-list schedule (chunk boundaries, offset codes, spectra
+        positions) depends only on node indexing, levels, centres and the
+        V-list rows — none of which involve point coordinates.  With the
+        refinement pattern unchanged the node set and its Morton order
+        are identical, so if the V-list survived (the localized list
+        rebuild returns it by identity) and neither compile is scoped,
+        the compiled chunks are bitwise the fresh ones.  Precision must
+        match: fp32 chunks store complex64 hats.
+        """
+        if scope is not None or self.old_plan.scoped:
+            return False
+        if not self.kmats_ok or self.refinement_changed:
+            return False
+        v, ov = lists.v, self.old_lists.v
+        if v is ov:
+            return True
+        return np.array_equal(v.offsets, ov.offsets) and np.array_equal(
+            v.indices, ov.indices
+        )
+
+    def uli_slot(self, tree: FmmTree, i: int, srcs: np.ndarray, tp: int, sp: int):
+        """(remapped src_rows, kmat slot) for target leaf ``i``, or Nones.
+
+        Row reuse needs the filtered U-membership unchanged (same member
+        keys, every member leaf clean) — then the old gather rows remap
+        through ``perm`` to exactly what the fresh per-box concatenation
+        would build.  The kmat slot additionally needs the target leaf
+        clean and the padded shape unchanged.  When the membership and
+        per-member *counts* survive but some member leaves are dirty,
+        the column layout of the slot is still identical, so the slot is
+        offered for **partial** reuse: ``(kmat, j, dirty_point_cols)``
+        tells :func:`_patched_kmat` to copy the old slot and recompute
+        only the dirty members' columns (bitwise safe — kernels are
+        elementwise per pair).
+        """
+        ent = self._uli.get(int(tree.keys[i]))
+        if ent is None:
+            return None, None
+        blk, j = ent
+        oi = self.old_index[i]
+        if oi < 0:
+            return None, None
+        osrcs = self.old_lists.u.of(oi)
+        osrcs = osrcs[self.old_counts[osrcs] > 0]
+        slot_ok = (
+            self.kmats_ok
+            and blk.kmat is not None
+            and blk.tp == tp
+            and blk.sp == sp
+        )
+        tgt_clean = bool(self.node_clean[i])
+        # a dirty target only invalidates the *rows* of its moved points:
+        # ship the old padded target coordinates so _patched_kmat can diff
+        # them against the fresh ones and recompute just the changed rows
+        old_tgt = None
+        if slot_ok and not tgt_clean:
+            old_tgt = _padded_points(
+                self.old_tree, np.asarray([oi], dtype=np.int64), tp
+            )[0]
+        same = osrcs.size == srcs.size and np.array_equal(
+            self.old_tree.keys[osrcs], tree.keys[srcs]
+        )
+        if same and self.node_clean[srcs].all():
+            orow = blk.den_rows[j]
+            row = self.perm[orow]
+            if np.any(row < 0):
+                return None, None
+            valid = int((orow != self.old_tree.n_points).sum())
+            if valid > sp:
+                return None, None
+            out = np.full(sp, tree.n_points, dtype=np.int64)
+            out[:valid] = row[:valid]
+            self.stats["rows_remapped"] += 1
+            if not slot_ok:
+                return out, None
+            if tgt_clean:
+                return out, (blk.kmat, j)
+            return out, self._uli_partial(blk, j, osrcs, srcs, tree, sp,
+                                          old_tgt)
+        if not slot_ok:
+            return None, None
+        return None, self._uli_partial(blk, j, osrcs, srcs, tree, sp, old_tgt)
+
+    def _uli_partial(self, blk, j, osrcs, srcs, tree, sp, old_tgt=None):
+        """Column-mapped partial reuse of ULI slot ``(blk.kmat, j)``.
+
+        Members are matched old-to-new by Morton key; a member whose leaf
+        content is clean contributes a column-range *copy* (its offset may
+        have shifted as neighbours gained/lost points), a dirty or new
+        member contributes a column-range *recompute*, and the padding
+        columns — all identical, the kernel against the key-pinned target
+        centre — are broadcast-copied from any old pad column.  Returns
+        ``(kmat, j, copy_ranges, pad, dirty_cols)``: ``copy_ranges`` is
+        ``[(dst_start, dst_stop, src_start), ...]`` and ``pad`` is
+        ``(pad_start, pad_stop, old_pad_col) | None``, all in point
+        units; or None when nothing is copyable.  When the *target* leaf
+        is dirty, ``old_tgt`` (its old padded coordinates) rides along as
+        a sixth element: the copied rows are then provisional and
+        :func:`_patched_kmat` re-derives the rows whose target point
+        actually moved and recomputes those in full.
+        """
+        if self._new_counts is None:
+            self._new_counts = tree.point_counts()
+        oc = self.old_counts[osrcs]
+        nc = self._new_counts[srcs]
+        okeys = self.old_tree.keys[osrcs]
+        nkeys = tree.keys[srcs]
+        ooff = np.concatenate([[0], np.cumsum(oc)])
+        noff = np.concatenate([[0], np.cumsum(nc)])
+        by_key = {int(k): m for m, k in enumerate(okeys)}
+        clean = self.node_clean[srcs]
+        ranges, dirty = [], []
+        for m in range(srcs.size):
+            om = by_key.get(int(nkeys[m]))
+            if om is not None and clean[m] and oc[om] == nc[m]:
+                ranges.append((int(noff[m]), int(noff[m + 1]), int(ooff[om])))
+            else:
+                dirty.append(np.arange(noff[m], noff[m + 1]))
+        if not ranges:
+            return None
+        ostot, nstot = int(ooff[-1]), int(noff[-1])
+        pad = None
+        if nstot < sp:
+            if ostot < sp:
+                # every pad column is the kernel against the target's
+                # centre: broadcast one old pad column across the range
+                pad = (nstot, sp, ostot)
+            else:
+                dirty.append(np.arange(nstot, sp))
+        dirty_pc = (
+            np.concatenate(dirty) if dirty else np.empty(0, dtype=np.int64)
+        )
+        if old_tgt is None:
+            return blk.kmat, j, ranges, pad, dirty_pc
+        return blk.kmat, j, ranges, pad, dirty_pc, old_tgt
+
+    def leaf_slots(self, section: str, tree: FmmTree, group: np.ndarray,
+                   lev: int, pad: int) -> list:
+        """Per-box kmat slots for an S2U/D2T leaf batch (None = dirty)."""
+        idx = self._leaf[section]
+        out = [None] * group.size
+        if idx:
+            for j, i in enumerate(group):
+                if self.node_clean[i]:
+                    out[j] = idx.get((lev, pad, int(tree.keys[i])))
+        return out
+
+    def pair_slots(self, tree: FmmTree, ri: np.ndarray, ci: np.ndarray,
+                   lev: int, pad: int) -> list:
+        """Per-pair kmat slots for an XLI batch (source-leaf content plus
+        the target's key-pinned check surface determine the matrix)."""
+        out = [None] * ri.size
+        if self._xli:
+            keys = tree.keys
+            for j in range(ri.size):
+                if self.node_clean[ci[j]]:
+                    out[j] = self._xli.get(
+                        (lev, pad, int(keys[ri[j]]), int(keys[ci[j]]))
+                    )
+        return out
+
+
 def _compile_wli_blocks(ev, tree, plan: EvalPlan, rows, cols):
     """W-list pair batches for one keep pattern (lazy, possibly repeated)."""
     counts = tree.point_counts()
@@ -881,6 +1289,7 @@ def compile_plan(
     cache_matrices: bool = True,
     matrix_budget: int = MATRIX_BUDGET,
     precision: str = "fp64",
+    _reuse: _PlanReuse | None = None,
 ) -> EvalPlan:
     """Compile an :class:`EvalPlan` for evaluator ``ev`` on ``(tree, lists)``.
 
@@ -920,11 +1329,17 @@ def compile_plan(
     u = lists.u
     for tp, sp, boxes, stot in ev._uli_groups(tree, lists, scopes.uli):
         src_rows = np.full((boxes.size, sp), tree.n_points, dtype=np.int64)
+        uslots = [None] * boxes.size if _reuse is not None else None
         for j, i in enumerate(boxes):
             srcs = u.of(i)
             srcs = srcs[counts[srcs] > 0]
             if srcs.size == 0:
                 continue
+            if _reuse is not None:
+                row, uslots[j] = _reuse.uli_slot(tree, i, srcs, tp, sp)
+                if row is not None:
+                    src_rows[j] = row
+                    continue
             idx = np.concatenate(
                 [np.arange(tree.pt_begin[a], tree.pt_end[a]) for a in srcs]
             )
@@ -942,7 +1357,14 @@ def compile_plan(
                 src_pts=src_pts,
                 den_rows=src_rows,
                 pot_rows=_padded_point_rows(tree, boxes, tp),
-                kmat=_maybe_kmat(plan, ev.eval_kernel, tgt_pts, src_pts),
+                kmat=(
+                    _maybe_kmat(plan, ev.eval_kernel, tgt_pts, src_pts)
+                    if _reuse is None
+                    else _patched_kmat(
+                        plan, ev.eval_kernel, tgt_pts, src_pts, uslots,
+                        _reuse.stats,
+                    )
+                ),
                 flops=ev.eval_kernel.pair_flops(1, 1)
                 * float((counts[boxes] * stot).sum()),
             )
@@ -977,7 +1399,15 @@ def compile_plan(
                 den_rows=_padded_point_rows(tree, group, pad),
                 pot_rows=None,
                 mat=mats[lev],
-                kmat=_maybe_kmat(plan, ev.kernel, uc, pts),
+                kmat=(
+                    _maybe_kmat(plan, ev.kernel, uc, pts)
+                    if _reuse is None
+                    else _patched_kmat(
+                        plan, ev.kernel, uc, pts,
+                        _reuse.leaf_slots("s2u", tree, group, lev, pad),
+                        _reuse.stats,
+                    )
+                ),
                 flops=ev.kernel.pair_flops(ev.ns, counts[group].sum())
                 + 2.0 * group.size * (ev.ns * ks) * (ev.ns * kt),
             )
@@ -1003,7 +1433,15 @@ def compile_plan(
                 den_rows=None,
                 pot_rows=_padded_point_rows(tree, group, pad),
                 mat=None,
-                kmat=_maybe_kmat(plan, ev.eval_kernel, pts, de),
+                kmat=(
+                    _maybe_kmat(plan, ev.eval_kernel, pts, de)
+                    if _reuse is None
+                    else _patched_kmat(
+                        plan, ev.eval_kernel, pts, de,
+                        _reuse.leaf_slots("d2t", tree, group, lev, pad),
+                        _reuse.stats,
+                    )
+                ),
                 flops=ev.eval_kernel.pair_flops(counts[group].sum(), ev.ns),
             )
         )
@@ -1039,7 +1477,15 @@ def compile_plan(
                 starts=starts,
                 seg=seg,
                 pot_rows=None,
-                kmat=_maybe_kmat(plan, ev.kernel, dc, pts),
+                kmat=(
+                    _maybe_kmat(plan, ev.kernel, dc, pts)
+                    if _reuse is None
+                    else _patched_kmat(
+                        plan, ev.kernel, dc, pts,
+                        _reuse.pair_slots(tree, ri, ci, lev, pad),
+                        _reuse.stats,
+                    )
+                ),
                 flops=ev.kernel.pair_flops(ev.ns, counts[ci].sum()),
             )
         )
@@ -1068,11 +1514,20 @@ def compile_plan(
             )
 
     # -- VLI ---------------------------------------------------------------
-    if ev.m2l_mode == "fft":
+    if _reuse is not None and _reuse.vli_reusable(lists, scopes.vli):
+        # refinement unchanged + V-list survived: the schedule is purely
+        # structural, share the old plan's compiled chunks wholesale
+        plan.vli_fft = list(_reuse.old_plan.vli_fft)
+        plan.vli_dense = list(_reuse.old_plan.vli_dense)
+    elif ev.m2l_mode == "fft":
         fft = ev.fft
         # fp32 plans store each translation hat rounded to complex64 once
         # per (level, offset) — chunks at the same level share the cast.
-        hat_c64: dict[tuple, np.ndarray] = {}
+        # A patch seeds the cache from the old plan: the cast is
+        # deterministic, so the shared arrays are bitwise identical.
+        hat_c64: dict[tuple, np.ndarray] = (
+            {} if _reuse is None else _reuse.fp32_hats()
+        )
 
         def _hat(lev, off):
             that = fft.kernel_hat(lev, off)
@@ -1155,4 +1610,66 @@ def compile_plan(
         w.indices[np.repeat(wsel, w.counts)] if w.indices.size else w.indices
     )
 
+    return plan
+
+
+def patch_plan(
+    ev,
+    old_plan: EvalPlan,
+    old_tree: FmmTree,
+    old_lists,
+    tree: FmmTree,
+    lists,
+    delta: TreeDelta | None = None,
+    scopes: PlanScopes | None = None,
+    cache_matrices: bool = True,
+    matrix_budget: int = MATRIX_BUDGET,
+    precision: str | None = None,
+    profile=None,
+) -> EvalPlan:
+    """Recompile only the dirty sections of ``old_plan`` for a new geometry.
+
+    Runs the *same* compile path as :func:`compile_plan` on
+    ``(tree, lists)`` — so block structure, budget decisions and the
+    resulting plan are bit-identical to a fresh compile by construction —
+    but consults a :class:`_PlanReuse` oracle built from the
+    :class:`TreeDelta`, which swaps the expensive kernel-matrix
+    materialisations (and the per-box ULI gather loops) for copies or
+    shared references wherever the delta proves the inputs unchanged.
+    Cheap index arrays (gather/scatter schedules, V-list chunk codes,
+    operator steps) are always rebuilt: rows shift after the delta merge
+    and the rebuild costs milliseconds.
+
+    ``delta`` defaults to a content diff of the two trees
+    (:func:`repro.core.tree.diff_trees`), so arbitrary tree pairs patch —
+    including per-rank LET trees whose point sets differ.  ``precision``
+    defaults to the old plan's; a precision change disables kernel-matrix
+    reuse (the stored dtypes differ) but still skips the per-box loops.
+    The work runs under a ``setup:patch`` span when ``profile`` is given,
+    and ``plan.patch_stats`` records what was reused.
+    """
+    old_plan.check(old_tree)
+    precision = old_plan.precision if precision is None else precision
+    if delta is None:
+        delta = diff_trees(old_tree, tree)
+    reuse = _PlanReuse(old_plan, old_tree, old_lists, delta, precision)
+
+    def _compile() -> EvalPlan:
+        return compile_plan(
+            ev,
+            tree,
+            lists,
+            scopes=scopes,
+            cache_matrices=cache_matrices,
+            matrix_budget=matrix_budget,
+            precision=precision,
+            _reuse=reuse,
+        )
+
+    if profile is not None:
+        with profile.phase("setup:patch"):
+            plan = _compile()
+    else:
+        plan = _compile()
+    plan.patch_stats = dict(reuse.stats)
     return plan

@@ -16,7 +16,7 @@ import numpy as np
 from repro.octree import build as obuild
 from repro.util import geometry, morton
 
-__all__ = ["FmmTree", "build_tree"]
+__all__ = ["FmmTree", "TreeDelta", "build_tree", "diff_trees", "update_tree"]
 
 
 @dataclass
@@ -224,3 +224,178 @@ def build_tree(
     points = np.asarray(points, dtype=np.float64)
     ob = obuild.points_to_octree(points, max_points_per_box, max_depth)
     return tree_from_leaves(ob.leaves, points[ob.order], ob.point_keys, ob.order)
+
+
+# -- incremental updates ------------------------------------------------------
+
+
+@dataclass
+class TreeDelta:
+    """Structural diff between two trees, consumed by the plan patcher.
+
+    Attributes
+    ----------
+    old_index:
+        Old node index per new node (-1 where the octant did not exist).
+    node_clean:
+        Per new node: True when the octant existed before with the same
+        leaf/internal role and its point slice is bitwise unchanged (same
+        coordinates in the same order).  Clean nodes are the reuse
+        frontier: every cached kernel-matrix slot whose geometry inputs
+        are all clean can be copied instead of recomputed.
+    perm:
+        ``(old_n_points + 1,)`` map from old sorted point row to new
+        sorted row; -1 where a row is not cleanly mappable (its leaf
+        changed).  The sentinel row maps to the new sentinel, so padded
+        gather indices remap with one fancy index.
+    changed_roots:
+        Topmost octant keys present in exactly one of the two trees —
+        the subtrees whose refinement changed.
+    refinement_changed:
+        True when the node key sets differ at all.
+    n_moved:
+        Number of moved points when known (-1 otherwise).
+    """
+
+    old_index: np.ndarray
+    node_clean: np.ndarray
+    perm: np.ndarray
+    changed_roots: np.ndarray
+    refinement_changed: bool
+    n_moved: int = -1
+
+
+def _concat_ranges(begin: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(begin[i], begin[i] + counts[i])``, vectorised."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    head = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.repeat(np.asarray(begin, dtype=np.int64), counts) + (
+        np.arange(total, dtype=np.int64) - head
+    )
+
+
+def diff_trees(old: FmmTree, new: FmmTree, n_moved: int = -1) -> TreeDelta:
+    """Content-based diff: which parts of ``new`` are unchanged from ``old``.
+
+    Works for any pair of trees — the point sets need not match (the
+    distributed driver diffs per-rank LET trees whose ghost membership
+    shifts).  A leaf is clean iff its octant key survived as a leaf with a
+    bitwise-identical point slice; an internal node is clean iff it
+    survived as internal with all children clean.  That content criterion
+    is exactly what makes per-slot kernel-matrix reuse bit-safe.
+    """
+    old_index = old.find(new.keys)
+    clean = np.zeros(new.n_nodes, dtype=bool)
+    perm = np.full(old.n_points + 1, -1, dtype=np.int64)
+    perm[old.n_points] = new.n_points
+
+    new_counts = new.point_counts()
+    old_counts = old.point_counts()
+    leaves = np.flatnonzero(new.is_leaf)
+    oi = old_index[leaves]
+    oic = np.clip(oi, 0, old.n_nodes - 1)
+    ok = (oi >= 0) & old.is_leaf[oic] & (old_counts[oic] == new_counts[leaves])
+    cl, co = leaves[ok], oi[ok]
+    cnt = new_counts[cl]
+    new_rows = _concat_ranges(new.pt_begin[cl], cnt)
+    old_rows = _concat_ranges(old.pt_begin[co], cnt)
+    eq = np.all(old.points[old_rows] == new.points[new_rows], axis=1)
+    leaf_ok = np.ones(cl.size, dtype=bool)
+    nz = cnt > 0
+    if eq.size:
+        starts = (np.cumsum(cnt) - cnt)[nz]
+        leaf_ok[nz] = np.add.reduceat(eq.astype(np.int64), starts) == cnt[nz]
+    clean[cl[leaf_ok]] = True
+
+    gl, go = cl[leaf_ok], co[leaf_ok]
+    gc = new_counts[gl]
+    perm[_concat_ranges(old.pt_begin[go], gc)] = _concat_ranges(new.pt_begin[gl], gc)
+
+    # Internal cleanliness propagates bottom-up: all 8 children clean and
+    # the octant was internal before too (a split/merged node is dirty).
+    for lev in range(new.max_level - 1, -1, -1):
+        nodes = new.nodes_at_level(lev)
+        nodes = nodes[~new.is_leaf[nodes]]
+        if nodes.size == 0:
+            continue
+        oi = old_index[nodes]
+        oic = np.clip(oi, 0, old.n_nodes - 1)
+        iok = (oi >= 0) & ~old.is_leaf[oic]
+        ch = new.children[nodes]
+        clean[nodes] = iok & np.all(clean[np.clip(ch, 0, None)] | (ch < 0), axis=1)
+
+    sym = np.setxor1d(old.keys, new.keys)
+    tops: list = []
+    last = None
+    for k in sym:
+        if last is None or not morton.is_ancestor_or_equal(last, k):
+            tops.append(k)
+            last = k
+    return TreeDelta(
+        old_index=old_index,
+        node_clean=clean,
+        perm=perm,
+        changed_roots=np.asarray(tops, dtype=np.uint64),
+        refinement_changed=sym.size > 0,
+        n_moved=n_moved,
+    )
+
+
+def update_tree(
+    tree: FmmTree,
+    new_points: np.ndarray,
+    max_points_per_box: int,
+    moved: np.ndarray | None = None,
+    max_depth: int = morton.MAX_DEPTH,
+) -> tuple[FmmTree, TreeDelta]:
+    """Incremental rebuild of ``tree`` after a point-motion step.
+
+    ``new_points`` is the full point array in *original* order (same
+    shape as the points the tree was built from).  ``moved`` optionally
+    names the rows whose coordinates changed; when omitted it is derived
+    by comparison.  The moved points are re-keyed and insertion-merged
+    into the existing Morton order (:func:`repro.sort.delta.delta_sort`),
+    the octant structure is diffed and locally rebuilt
+    (:func:`repro.octree.diff.update_leaves`), and the returned
+    :class:`TreeDelta` marks everything downstream consumers may reuse.
+    The resulting tree is identical to ``build_tree(new_points, q)``.
+    """
+    from repro.octree.diff import update_leaves
+    from repro.sort.delta import delta_sort
+
+    new_points = np.asarray(new_points, dtype=np.float64)
+    if new_points.shape != tree.points.shape:
+        raise ValueError(
+            f"update_tree requires a same-shape point array "
+            f"(got {new_points.shape}, tree has {tree.points.shape}); "
+            "rebuild with build_tree for insertions/deletions"
+        )
+    if moved is None:
+        orig = np.empty_like(tree.points)
+        orig[tree.order] = tree.points
+        moved = np.flatnonzero(np.any(orig != new_points, axis=1))
+    else:
+        moved = np.unique(np.asarray(moved, dtype=np.int64))
+
+    old_point_keys = morton.encode_points(tree.points)
+    ds = delta_sort(old_point_keys, tree.order, new_points, moved)
+
+    n = tree.n_points
+    inv = np.empty(n, dtype=np.int64)
+    inv[tree.order] = np.arange(n, dtype=np.int64)
+    old_cells = old_point_keys[inv[moved]] if moved.size else np.empty(0, np.uint64)
+    new_cells = ds.point_keys[ds.moved_rows]
+    changed_cells = np.unique(np.concatenate([old_cells, new_cells]))
+
+    ld = update_leaves(
+        tree.keys[tree.is_leaf],
+        ds.point_keys,
+        changed_cells,
+        max_points_per_box,
+        max_depth,
+    )
+    new_tree = tree_from_leaves(
+        ld.leaves, new_points[ds.order], ds.point_keys, ds.order
+    )
+    return new_tree, diff_trees(tree, new_tree, n_moved=moved.size)

@@ -307,6 +307,75 @@ class DistributedFmm:
         self._plan = None  # plans are bound to the LET built above
         self._arm_chaos_gpu()
 
+    def update_geometry(self, new_local_points: np.ndarray) -> dict:
+        """Re-setup on moved points, patching the compiled plan in place.
+
+        All ranks must call this together with their new local chunks
+        (same identity split as :meth:`setup`) — the re-sort, LET build
+        and the precision vote below are collective.  The tree, LET and
+        lists are rebuilt through the normal setup path (per-rank LET
+        trees can gain or lose ghost octants, so the rebuild is not
+        purely local), but the compiled plan — by far the dominant setup
+        cost — is *patched*: :func:`~repro.core.plan.patch_plan` diffs
+        the old and new LET trees by content and reuses every
+        kernel-matrix block whose boxes survived, charged to a
+        ``setup:patch`` span.  The patched plan is bit-identical to the
+        plan a fresh :meth:`setup` + evaluate would compile.
+
+        Returns a per-rank summary (patched flag, reuse stats).  Raises
+        ``RuntimeError`` if the collective vote disagrees on precision —
+        ranks patching plans at different precisions would break bitwise
+        determinism across the fabric.
+        """
+        if self.let is None:
+            raise RuntimeError("call setup() before update_geometry()")
+        comm = self.comm
+        old_let, old_lists, old_plan = self.let, self.lists, self._plan
+        self.setup(comm, new_local_points)
+
+        stats: dict = {}
+        patched = False
+        if self.use_plan and old_plan is not None:
+            from repro.core.plan import PlanScopes, patch_plan
+            from repro.core.tree import diff_trees
+
+            let, lists = self.let, self.lists
+            profile = comm.profile
+            own_leaf = let.owned_leaf
+            contrib = let.owned_contrib & (self._own_counts > 0)
+            with profile.phase("setup:patch"):
+                delta = diff_trees(old_let.tree, let.tree)
+                self._plan = patch_plan(
+                    self.evaluator, old_plan, old_let.tree, old_lists,
+                    let.tree, lists, delta=delta,
+                    scopes=PlanScopes(
+                        s2u=own_leaf,
+                        u2u=contrib,
+                        vli=let.owned_contrib,
+                        xli=let.owned_contrib,
+                        d2d=let.owned_contrib,
+                        wli=own_leaf,
+                        d2t=own_leaf,
+                        uli=own_leaf,
+                    ),
+                    cache_matrices=self.evaluator.PLAN_CACHE_MATRICES,
+                    precision=old_plan.precision,
+                )
+            stats = dict(self._plan.patch_stats)
+            patched = True
+
+        # Collective fingerprint vote: per-rank LET trees legitimately
+        # differ, but the plan precision must be unanimous — one rank at
+        # fp32 against fp64 peers would evaluate a different answer.
+        if comm.size > 1:
+            prec = self._plan.precision if self._plan is not None else "none"
+            votes = comm.allgather(prec)
+            if len(set(votes)) != 1:
+                raise RuntimeError(
+                    f"update_geometry precision vote disagrees: {votes}"
+                )
+        return {"patched": patched, "patch_stats": stats}
+
     # -- evaluation --------------------------------------------------------------
 
     def evaluate(

@@ -442,6 +442,69 @@ class DistServeEngine:
                  integrity=self.integrity, trace=self._trace)
         return state
 
+    # -- dynamic geometry ---------------------------------------------------
+
+    def update_geometry(self, name: str, new_points) -> dict:
+        """Move ``name``'s sources; every shard/replica re-patches its plan.
+
+        ``new_points`` is the full global point array in the original
+        order (same shape — re-register for insertions or deletions).
+        Sharded models re-run the collective
+        :meth:`~repro.dist.driver.DistributedFmm.update_geometry` across
+        the group — each rank patches its own LET-bound plan, with the
+        collective precision vote inside — then recompute their density
+        routing indices.  The swap happens under the model/replica
+        locks, which already serialise dispatches, so in-flight requests
+        finish against the old geometry and the next dispatch sees the
+        new one.  Runs on a clean fabric (geometry updates are
+        control-plane work, like :meth:`register`; the chaos plan
+        targets serving dispatches).
+        """
+        model = self._model(name)
+        new_points = np.asarray(new_points, dtype=np.float64)
+        if new_points.shape != model.points.shape:
+            raise ValueError(
+                f"model {name!r}: update_geometry requires the original "
+                f"point shape {model.points.shape}, got {new_points.shape}; "
+                f"re-register for insertions/deletions"
+            )
+        t0 = time.monotonic()
+        infos: list[dict] = []
+
+        def patch_group(states, width):
+            def body(comm):
+                st = states[comm.rank]
+                fmm = st["fmm"]
+                fmm.rebind(comm)
+                info = fmm.update_geometry(new_points[comm.rank :: comm.size])
+                st["src"] = match_owned_rows(new_points, fmm.owned_points)
+                infos.append(info)
+
+            run_spmd(
+                width, body,
+                timeout=self.run_timeout_s,
+                integrity=self.integrity,
+                trace=self._trace,
+            )
+
+        with model.lock:
+            if model.placement == "sharded":
+                patch_group(model.shards, model.group)
+                if model.fallback is not None:
+                    patch_group([model.fallback], 1)
+            for rep in model.replicas:
+                with rep["lock"]:
+                    patch_group([rep], 1)
+            model.points = new_points
+            self._clear_checkpoints(model)
+        patch_s = time.monotonic() - t0
+        self.rank_metrics[0].record_geometry_update(name, patch_s)
+        return {
+            "patch_s": patch_s,
+            "ranks_patched": sum(1 for i in infos if i.get("patched")),
+            "ranks": len(infos),
+        }
+
     # -- evaluation ---------------------------------------------------------
 
     def available(self, name: str) -> bool:

@@ -65,6 +65,23 @@ __all__ = ["PlanCache", "RegisteredModel", "ServeEngine"]
 PLAN_BUDGET = 2 * 2**30
 
 
+class ModelGeometry:
+    """Immutable (points, tree+lists, version) snapshot of one model.
+
+    Workers read ``model.geometry`` exactly once per batch and use only
+    that snapshot, so :meth:`ServeEngine.update_geometry` can swap the
+    attribute between batches without a reader ever seeing points from
+    one step paired with a plan from another.
+    """
+
+    __slots__ = ("points", "plan", "version")
+
+    def __init__(self, points, plan, version=0):
+        self.points = points
+        self.plan = plan  # FmmPlan (tree + lists)
+        self.version = int(version)
+
+
 class RegisteredModel:
     """One served model: geometry, kernel configuration, built tree.
 
@@ -74,10 +91,22 @@ class RegisteredModel:
     ``"fp32"``.  ``allowed`` is the set of precisions per-request
     overrides may pick; anything else is rejected at submit with a typed
     :class:`~repro.core.plan.PrecisionError`.
+
+    ``geometry`` holds the current :class:`ModelGeometry`; ``points`` and
+    ``plan`` delegate to it so existing callers keep working, but any
+    code pairing the two must snapshot ``geometry`` once instead.
     """
 
-    __slots__ = ("name", "fmm", "points", "plan", "expected", "precision",
-                 "allowed")
+    __slots__ = ("name", "fmm", "geometry", "expected", "precision",
+                 "allowed", "compile_s", "update_lock")
+
+    @property
+    def points(self):
+        return self.geometry.points
+
+    @property
+    def plan(self):
+        return self.geometry.plan
 
     def __init__(self, name, fmm, points, precision="fp64", allowed=None):
         if precision not in ("fp64", "fp32", "auto"):
@@ -96,9 +125,11 @@ class RegisteredModel:
             )
         self.name = name
         self.fmm = fmm
-        self.points = np.asarray(points, dtype=np.float64)
-        self.plan = fmm.plan(self.points)  # tree + interaction lists
+        pts = np.asarray(points, dtype=np.float64)
+        self.geometry = ModelGeometry(pts, fmm.plan(pts), version=0)
         self.expected = self.plan.tree.n_points * fmm.kernel.source_dim
+        self.compile_s = None  # from-scratch plan-compile baseline
+        self.update_lock = threading.Lock()  # serialises update_geometry
         if precision == "auto":
             from repro.util.timer import PhaseProfile
 
@@ -158,6 +189,36 @@ class PlanCache:
         with self._lock:
             self._entries.pop(name, None)
 
+    def invalidate_prefix(self, prefix: str) -> None:
+        """Drop every entry whose key starts with ``prefix`` (all stale
+        geometry versions / precisions of one model at once)."""
+        with self._lock:
+            for key in [k for k in self._entries if k.startswith(prefix)]:
+                del self._entries[key]
+
+    def peek(self, name: str):
+        """The cached plan for ``name`` or ``None`` — no compile, no
+        metrics (geometry patching inspects the old version this way)."""
+        with self._lock:
+            hit = self._entries.get(name)
+            return None if hit is None else hit[0]
+
+    def put(self, name: str, plan) -> None:
+        """Insert ``plan`` under ``name``, evicting LRU entries over
+        budget (never the fresh insert itself)."""
+        nb = plan.nbytes
+        with self._lock:
+            self._entries[name] = (plan, nb)
+            self._entries.move_to_end(name)
+            total = sum(b for _, b in self._entries.values())
+            while total > self.budget and len(self._entries) > 1:
+                evicted, (_, eb) = self._entries.popitem(last=False)
+                if evicted == name:  # never evict the fresh insert
+                    self._entries[name] = (plan, nb)
+                    self._entries.move_to_end(name, last=False)
+                    break
+                total -= eb
+
     def get(self, name: str, compile_fn):
         """The cached plan for ``name``, compiling via ``compile_fn`` on miss."""
         with self._lock:
@@ -177,18 +238,7 @@ class PlanCache:
                     self._entries.move_to_end(name)
                     return hit[0]
             plan = compile_fn()
-            nb = plan.nbytes
-            with self._lock:
-                self._entries[name] = (plan, nb)
-                self._entries.move_to_end(name)
-                total = sum(b for _, b in self._entries.values())
-                while total > self.budget and len(self._entries) > 1:
-                    evicted, (_, eb) = self._entries.popitem(last=False)
-                    if evicted == name:  # never evict the fresh insert
-                        self._entries[name] = (plan, nb)
-                        self._entries.move_to_end(name, last=False)
-                        break
-                    total -= eb
+            self.put(name, plan)
             return plan
 
 
@@ -317,10 +367,14 @@ class ServeEngine:
         )
         with self._models_lock:
             self._models[name] = model
-        for prec in ("fp64", "fp32"):  # stale plans of a replaced model
-            self.plans.invalidate(f"{name}@{prec}")
+        # stale plans of a replaced model, all precisions and versions
+        self.plans.invalidate_prefix(f"{name}@")
+        self.plans.invalidate_prefix(f"{name}#g")
         if warm:
+            t0 = time.perf_counter()
             self._plan_for(model)
+            # the from-scratch compile baseline patch_fraction divides by
+            model.compile_s = time.perf_counter() - t0
         return model
 
     def models(self) -> list[str]:
@@ -336,18 +390,31 @@ class ServeEngine:
             )
         return model
 
-    def _plan_for(self, model: RegisteredModel, precision: str | None = None):
+    @staticmethod
+    def _plan_key(name: str, version: int, precision: str) -> str:
+        """Cache key for one (model, geometry version, precision)."""
+        base = name if version == 0 else f"{name}#g{version}"
+        return f"{base}@{precision}"
+
+    def _plan_for(
+        self,
+        model: RegisteredModel,
+        precision: str | None = None,
+        geom: ModelGeometry | None = None,
+    ):
         kwargs = (
             {} if self.matrix_budget is None
             else {"matrix_budget": self.matrix_budget}
         )
         precision = model.precision if precision is None else precision
-        # plans of the same model at different precisions are distinct
-        # cache entries, each charged its own (dtype-honest) byte count
+        geom = model.geometry if geom is None else geom
+        # plans of the same model at different precisions (and geometry
+        # versions) are distinct cache entries, each charged its own
+        # (dtype-honest) byte count
         return self.plans.get(
-            f"{model.name}@{precision}",
+            self._plan_key(model.name, geom.version, precision),
             lambda: model.fmm.compile_eval_plan(
-                model.plan, precision=precision, **kwargs
+                geom.plan, precision=precision, **kwargs
             ),
         )
 
@@ -358,16 +425,91 @@ class ServeEngine:
         cached = self.plans.entries()
         out = {}
         for name, model in models.items():
+            version = model.geometry.version
             out[name] = {
                 "precision": model.precision,
                 "allowed": sorted(model.allowed),
+                "geometry_version": version,
                 "plan_bytes": {
-                    prec: cached[f"{name}@{prec}"]
+                    prec: cached[self._plan_key(name, version, prec)]
                     for prec in ("fp64", "fp32")
-                    if f"{name}@{prec}" in cached
+                    if self._plan_key(name, version, prec) in cached
                 },
             }
         return out
+
+    # -- dynamic geometry ----------------------------------------------------
+
+    def update_geometry(self, name: str, new_points, moved=None) -> dict:
+        """Move ``name``'s sources and patch its plans off the hot path.
+
+        ``new_points`` is the full point array in the model's original
+        point order (same shape — rebuild via :meth:`register` for
+        insertions or deletions); ``moved`` optionally names the rows
+        that changed.  The tree is delta-sorted and locally rebuilt, the
+        interaction lists are patched around the dirty subtrees, and
+        every cached evaluation plan is re-derived by
+        :func:`~repro.core.plan.patch_plan` — bit-identical to a fresh
+        compile but reusing each kernel-matrix block whose boxes
+        survived untouched.  All of that happens *here*, concurrently
+        with serving: workers keep evaluating on the old geometry
+        snapshot until the atomic swap, so in-flight batches finish on
+        the plan they started with and the next batch sees the new
+        geometry.  Returns a summary dict (patch seconds, reuse stats,
+        new version).
+        """
+        model = self._model(name)
+        new_points = np.asarray(new_points, dtype=np.float64)
+        with model.update_lock:  # one geometry update at a time per model
+            old = model.geometry
+            t0 = time.perf_counter()
+            new_plan, delta = model.fmm.update_plan(
+                old.plan, new_points, moved=moved
+            )
+            version = old.version + 1
+            kwargs = (
+                {} if self.matrix_budget is None
+                else {"matrix_budget": self.matrix_budget}
+            )
+            patched = {}
+            stats = {}
+            for prec in ("fp64", "fp32"):
+                old_eval = self.plans.peek(
+                    self._plan_key(name, old.version, prec)
+                )
+                if old_eval is None:
+                    continue  # cold precision: recompiles lazily on demand
+                ep = model.fmm.patch_eval_plan(
+                    old_eval, old.plan, new_plan, delta=delta,
+                    precision=prec, **kwargs,
+                )
+                patched[prec] = ep
+                stats[prec] = dict(ep.patch_stats)
+            # Publication order matters: insert the new-version plans,
+            # then swap the geometry snapshot, then drop the old keys.
+            # A worker racing this sees either (old geom, old plan) or
+            # (new geom, new plan) — never a torn pair — and an evicted
+            # new-version plan merely recompiles on first use.
+            for prec, ep in patched.items():
+                self.plans.put(self._plan_key(name, version, prec), ep)
+            patch_s = time.perf_counter() - t0
+            model.geometry = ModelGeometry(new_points, new_plan, version)
+            self.plans.invalidate_prefix(
+                self._plan_key(name, old.version, "")
+            )
+            fraction = (
+                patch_s / model.compile_s if model.compile_s else None
+            )
+            self.metrics.record_geometry_update(name, patch_s, fraction)
+        return {
+            "version": version,
+            "patch_s": patch_s,
+            "patch_fraction": fraction,
+            "n_moved": int(delta.n_moved) if delta.n_moved >= 0 else None,
+            "refinement_changed": bool(delta.refinement_changed),
+            "plans_patched": sorted(patched),
+            "patch_stats": stats,
+        }
 
     # -- submission --------------------------------------------------------
 
@@ -476,15 +618,19 @@ class ServeEngine:
         dens_block = np.stack([r.density for r in live], axis=1)
         attempts = 0
         causes: list[str] = []
+        # One geometry snapshot for the whole batch: points, tree/lists
+        # and the compiled plan all come from it, so a concurrent
+        # update_geometry swap cannot tear the triple mid-batch.
+        geom = model.geometry
         while True:
             attempts += 1
             try:
-                eval_plan = self._plan_for(model, precision)
+                eval_plan = self._plan_for(model, precision, geom)
                 with profile.phase(f"SERVE:apply:{model.name}"):
                     pot = model.fmm.evaluate(
-                        model.points,
+                        geom.points,
                         dens_block,
-                        plan=model.plan,
+                        plan=geom.plan,
                         eval_plan=eval_plan,
                         profile=profile,
                     )

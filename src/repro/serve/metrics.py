@@ -44,7 +44,8 @@ MAX_SAMPLES = 100_000
 
 class _ModelStats:
     __slots__ = ("latencies", "waits", "services", "batch_sizes",
-                 "completed", "failed")
+                 "completed", "failed", "geometry_updates",
+                 "patch_seconds", "patch_fractions")
 
     def __init__(self):
         self.latencies: list[float] = []
@@ -53,6 +54,9 @@ class _ModelStats:
         self.batch_sizes: list[int] = []
         self.completed = 0
         self.failed = 0
+        self.geometry_updates = 0
+        self.patch_seconds: list[float] = []
+        self.patch_fractions: list[float] = []
 
 
 def _quantiles(samples: list[float]) -> dict:
@@ -128,6 +132,26 @@ class ServeMetrics:
                 self.retried_by_cause.get(cause, 0) + 1
             )
 
+    def record_geometry_update(
+        self, model: str, patch_s: float, fraction: float | None = None
+    ) -> None:
+        """One :meth:`ServeEngine.update_geometry` call on ``model``.
+
+        ``patch_s`` is the off-hot-path plan-patch (or fallback
+        recompile) wall time; ``fraction`` is patch time over the
+        model's from-scratch compile time — the headline number for the
+        dynamic-geometry bench (``None`` when the baseline is unknown).
+        """
+        with self._lock:
+            st = self._stats(model)
+            st.geometry_updates += 1
+            st.patch_seconds.append(float(patch_s))
+            if fraction is not None:
+                st.patch_fractions.append(float(fraction))
+            if len(st.patch_seconds) > MAX_SAMPLES:
+                del st.patch_seconds[: MAX_SAMPLES // 2]
+                del st.patch_fractions[: MAX_SAMPLES // 2]
+
     def record_plan_lookup(self, hit: bool) -> None:
         with self._lock:
             if hit:
@@ -177,6 +201,9 @@ class ServeMetrics:
                         "batch_sizes": list(st.batch_sizes),
                         "completed": st.completed,
                         "failed": st.failed,
+                        "geometry_updates": st.geometry_updates,
+                        "patch_seconds": list(st.patch_seconds),
+                        "patch_fractions": list(st.patch_fractions),
                     }
                     for name, st in self._models.items()
                 },
@@ -223,11 +250,16 @@ class ServeMetrics:
                 acc = models.setdefault(name, {
                     "latencies": [], "waits": [], "services": [],
                     "batch_sizes": [], "completed": 0, "failed": 0,
+                    "geometry_updates": 0, "patch_seconds": [],
+                    "patch_fractions": [],
                 })
                 for key in ("latencies", "waits", "services", "batch_sizes"):
                     acc[key].extend(st[key])
                 acc["completed"] += st["completed"]
                 acc["failed"] += st["failed"]
+                acc["geometry_updates"] += st.get("geometry_updates", 0)
+                acc["patch_seconds"].extend(st.get("patch_seconds", []))
+                acc["patch_fractions"].extend(st.get("patch_fractions", []))
 
         total_completed = sum(st["completed"] for st in models.values())
         total_failed = sum(st["failed"] for st in models.values())
@@ -280,6 +312,11 @@ class ServeMetrics:
                         if bs is not None
                         else {}
                     ),
+                },
+                "geometry": {
+                    "updates": st["geometry_updates"],
+                    "patch_s": _quantiles(st["patch_seconds"]),
+                    "patch_fraction": _quantiles(st["patch_fractions"]),
                 },
             }
         return out

@@ -1,0 +1,303 @@
+"""Incremental geometry updates: delta-sort, tree/list diffing, plan patching.
+
+The contract under test is *bitwise identity*: every incremental path —
+:func:`repro.sort.delta.delta_sort`, :func:`repro.core.tree.update_tree`,
+:func:`repro.core.lists.update_lists`, :func:`repro.core.plan.patch_plan`
+and the serving-layer ``update_geometry`` entry points — must produce
+exactly what the from-scratch rebuild produces, for any motion pattern.
+Speed is benchmarked elsewhere (``benchmarks/bench_dynamic_geometry.py``);
+correctness is absolute here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import Fmm
+from repro.core.lists import build_lists, update_lists
+from repro.core.tree import build_tree, update_tree
+from repro.sort.delta import delta_sort
+from repro.util import morton
+
+
+def _perturb(rng, pts, frac, scale, localized=True):
+    n = len(pts)
+    m = max(1, int(round(frac * n)))
+    if localized:
+        center = pts[rng.integers(n)]
+        d2 = ((pts - center) ** 2).sum(axis=1)
+        moved = np.argpartition(d2, m - 1)[:m] if m < n else np.arange(n)
+    else:
+        moved = rng.choice(n, size=m, replace=False)
+    new = pts.copy()
+    new[moved] = np.clip(
+        new[moved] + rng.normal(scale=scale, size=(m, 3)), 1e-9, 1 - 1e-9
+    )
+    return new, moved
+
+
+# -- delta sort ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("frac", [0.0, 0.02, 0.3, 1.0])
+def test_delta_sort_matches_stable_argsort(rng, frac):
+    n = 1500
+    pts = rng.random((n, 3))
+    keys = morton.encode_points(pts)
+    order = np.argsort(keys, kind="stable")
+    new, moved = _perturb(rng, pts, frac, 0.05, localized=False)
+    ds = delta_sort(keys[order], order, new, moved)
+    ref_keys = morton.encode_points(new)
+    ref_order = np.argsort(ref_keys, kind="stable")
+    np.testing.assert_array_equal(ds.order, ref_order)
+    np.testing.assert_array_equal(ds.point_keys, ref_keys[ref_order])
+    # perm maps each old sorted row to the new sorted row holding the
+    # same original point, and keeps the sentinel fixed
+    assert ds.perm[-1] == n
+    np.testing.assert_array_equal(ref_order[ds.perm[:-1]], order)
+
+
+def test_delta_sort_key_collisions(rng):
+    # many points in one MAX_DEPTH cell: ties must break by point index
+    n = 400
+    pts = rng.random((n, 3))
+    pts[::3] = pts[0]  # a third of the points share one cell exactly
+    keys = morton.encode_points(pts)
+    order = np.argsort(keys, kind="stable")
+    new = pts.copy()
+    moved = np.arange(0, n, 5)
+    new[moved] = pts[1]  # moved points all collide into another shared cell
+    ds = delta_sort(keys[order], order, new, moved)
+    ref = np.argsort(morton.encode_points(new), kind="stable")
+    np.testing.assert_array_equal(ds.order, ref)
+
+
+# -- tree & lists -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("frac,scale", [(0.02, 0.01), (0.1, 0.2), (1.0, 0.3)])
+def test_update_tree_matches_build_tree(rng, frac, scale):
+    pts = rng.random((1800, 3))
+    tree = build_tree(pts, 40)
+    new, moved = _perturb(rng, pts, frac, scale)
+    got, delta = update_tree(tree, new, 40, moved=moved)
+    ref = build_tree(new, 40)
+    np.testing.assert_array_equal(got.keys, ref.keys)
+    np.testing.assert_array_equal(got.is_leaf, ref.is_leaf)
+    np.testing.assert_array_equal(got.points, ref.points)
+    np.testing.assert_array_equal(got.order, ref.order)
+    got.validate()
+    # clean nodes must have bitwise-identical point slices
+    for i in np.flatnonzero(delta.node_clean):
+        j = delta.old_index[i]
+        assert j >= 0
+        a = got.points[got.pt_begin[i]:got.pt_end[i]]
+        b = tree.points[tree.pt_begin[j]:tree.pt_end[j]]
+        np.testing.assert_array_equal(a, b)
+
+
+def test_update_tree_rejects_shape_change(rng):
+    pts = rng.random((500, 3))
+    tree = build_tree(pts, 40)
+    with pytest.raises(ValueError):
+        update_tree(tree, rng.random((501, 3)), 40)
+
+
+def test_update_lists_matches_build_lists(rng):
+    pts = rng.random((1600, 3))
+    tree = build_tree(pts, 30)
+    lists = build_lists(tree)
+    for frac, scale in [(0.02, 0.01), (0.15, 0.25)]:
+        new, moved = _perturb(rng, pts, frac, scale)
+        new_tree, delta = update_tree(tree, new, 30, moved=moved)
+        got = update_lists(new_tree, tree, lists, delta)
+        ref = build_lists(new_tree)
+        for name in ("u", "v", "w", "x", "colleagues"):
+            a, b = getattr(got, name), getattr(ref, name)
+            np.testing.assert_array_equal(a.offsets, b.offsets, err_msg=name)
+            np.testing.assert_array_equal(a.indices, b.indices, err_msg=name)
+
+
+def test_update_lists_no_refinement_fast_path(rng):
+    # motion inside one leaf: same octants, lists returned by identity
+    pts = rng.random((1200, 3))
+    tree = build_tree(pts, 64)
+    lists = build_lists(tree)
+    new = pts.copy()
+    new[7] += 1e-9  # stays in its MAX_DEPTH cell's leaf
+    new_tree, delta = update_tree(tree, new, 64)
+    if not delta.refinement_changed:
+        assert update_lists(new_tree, tree, lists, delta) is lists
+
+
+# -- plan patching ------------------------------------------------------------
+
+
+def _patch_and_compare(fmm, pts, new, moved, dens, rng):
+    plan = fmm.plan(pts)
+    eplan = fmm.compile_eval_plan(plan)
+    new_plan, delta = fmm.update_plan(plan, new, moved=moved)
+    patched = fmm.patch_eval_plan(eplan, plan, new_plan, delta=delta)
+    ref_plan = fmm.plan(new)
+    fresh = fmm.compile_eval_plan(ref_plan)
+    assert patched.fingerprint == fresh.fingerprint
+    assert patched.precision == fresh.precision
+    out_p = fmm.evaluate(new, dens, plan=new_plan, eval_plan=patched)
+    out_f = fmm.evaluate(new, dens, plan=ref_plan, eval_plan=fresh)
+    np.testing.assert_array_equal(out_p, out_f)
+    return patched
+
+
+@pytest.mark.parametrize("kernel", ["laplace", "stokes", "yukawa"])
+@pytest.mark.parametrize("precision", ["fp64", "fp32"])
+def test_patched_plan_bit_identical(rng, kernel, precision):
+    n = 1200
+    pts = rng.random((n, 3))
+    fmm = Fmm(kernel=kernel, order=4, max_points_per_box=30,
+              precision=precision)
+    new, moved = _perturb(rng, pts, 0.05, 0.02)
+    dens = rng.standard_normal(n * fmm.kernel.source_dim)
+    patched = _patch_and_compare(fmm, pts, new, moved, dens, rng)
+    st = patched.patch_stats
+    assert st.get("slots_reused", 0) + st.get("blocks_ref", 0) > 0
+
+
+def test_patched_plan_refinement_change(rng):
+    # collapse a blob into one octant (splits) and scatter another (merges)
+    n = 1500
+    pts = rng.random((n, 3))
+    fmm = Fmm(kernel="laplace", order=4, max_points_per_box=25)
+    new = pts.copy()
+    moved = np.arange(0, 300)
+    new[moved] = 0.31 + 0.01 * rng.random((300, 3))  # forces deep splits
+    dens = rng.standard_normal(n)
+    plan = fmm.plan(pts)
+    _, delta = fmm.update_plan(plan, new, moved=moved)
+    assert delta.refinement_changed
+    _patch_and_compare(fmm, pts, new, moved, dens, rng)
+
+
+def test_patched_plan_multi_rhs_and_chained_steps(rng):
+    n = 1000
+    pts = rng.random((n, 3))
+    fmm = Fmm(kernel="laplace", order=4, max_points_per_box=30)
+    plan = fmm.plan(pts)
+    eplan = fmm.compile_eval_plan(plan)
+    dens = rng.standard_normal((n, 3))
+    for _ in range(3):  # patch the patched plan, repeatedly
+        new, moved = _perturb(rng, pts, 0.04, 0.02)
+        new_plan, delta = fmm.update_plan(plan, new, moved=moved)
+        eplan = fmm.patch_eval_plan(eplan, plan, new_plan, delta=delta)
+        pts, plan = new, new_plan
+    ref = fmm.compile_eval_plan(plan)
+    out_p = fmm.evaluate(pts, dens, plan=plan, eval_plan=eplan)
+    out_f = fmm.evaluate(pts, dens, plan=plan, eval_plan=ref)
+    np.testing.assert_array_equal(out_p, out_f)
+
+
+# -- serving ------------------------------------------------------------------
+
+
+def test_serve_engine_update_geometry(rng):
+    from repro.serve.engine import ServeEngine
+
+    n = 900
+    pts = rng.random((n, 3))
+    fmm = Fmm(kernel="laplace", order=4, max_points_per_box=30)
+    dens = rng.standard_normal(n)
+    with ServeEngine(n_workers=2) as eng:
+        eng.register("m", fmm, pts, warm=True)
+        new, _ = _perturb(rng, pts, 0.05, 0.02)
+        info = eng.update_geometry("m", new)
+        assert info["version"] == 1
+        assert "fp64" in info["plans_patched"]
+        out = eng.evaluate("m", dens)
+        snap = eng.metrics.snapshot()
+        assert snap["models"]["m"]["geometry"]["updates"] == 1
+        assert eng.plan_stats()["m"]["geometry_version"] == 1
+    ref_fmm = Fmm(kernel="laplace", order=4, max_points_per_box=30)
+    ref_plan = ref_fmm.plan(new)
+    expect = ref_fmm.evaluate(new, dens, plan=ref_plan,
+                              eval_plan=ref_fmm.compile_eval_plan(ref_plan))
+    np.testing.assert_array_equal(out, expect)
+
+
+def test_serve_engine_swap_is_atomic_between_batches(rng):
+    # a worker snapshots geometry once per batch: requests racing an
+    # update must each see a consistent (points, plan) pair and return
+    # one of the two valid answers, never a torn mix
+    from repro.serve.engine import ServeEngine
+
+    n = 700
+    pts = rng.random((n, 3))
+    fmm = Fmm(kernel="laplace", order=4, max_points_per_box=30)
+    dens = rng.standard_normal(n)
+    with ServeEngine(n_workers=2) as eng:
+        eng.register("m", fmm, pts, warm=True)
+        old = eng.evaluate("m", dens)
+        new, _ = _perturb(rng, pts, 0.05, 0.02)
+        reqs = [eng.submit("m", dens) for _ in range(4)]
+        eng.update_geometry("m", new)
+        reqs += [eng.submit("m", dens) for _ in range(4)]
+        fresh = eng.evaluate("m", dens)
+        for r in reqs:
+            got = r.result(timeout=60.0)
+            assert np.array_equal(got, old) or np.array_equal(got, fresh)
+
+
+def test_dist_fmm_update_geometry_p4(rng):
+    from repro.serve.dist_engine import DistServeEngine
+
+    n = 1200
+    pts = rng.random((n, 3))
+    dens = rng.standard_normal(n)
+    eng = DistServeEngine(nranks=4)
+    eng.register("m", pts, placement="sharded", group=4,
+                 kernel="laplace", order=4, max_points_per_box=30)
+    new, _ = _perturb(rng, pts, 0.05, 0.02)
+    info = eng.update_geometry("m", new)
+    assert info["ranks_patched"] == 4
+    out = eng.evaluate("m", dens)
+    ref = DistServeEngine(nranks=4)
+    ref.register("m", new, placement="sharded", group=4,
+                 kernel="laplace", order=4, max_points_per_box=30)
+    np.testing.assert_array_equal(out, ref.evaluate("m", dens))
+
+
+def test_dist_checkpoint_cleared_after_geometry_update(rng):
+    # a post-upward checkpoint from the old geometry must not resume
+    # into the patched plan: update_geometry clears it, and the next
+    # resume=True evaluate silently runs the full pipeline bit-identically
+    from repro.dist.driver import DistributedFmm
+    from repro.mpi.runtime import run_spmd
+
+    n = 800
+    pts = rng.random((n, 3))
+    new, _ = _perturb(rng, pts, 0.05, 0.02)
+    dens_by_rank = {}
+    out = {}
+
+    def body(comm):
+        fmm = DistributedFmm(kernel="laplace", order=4, max_points_per_box=30)
+        fmm.setup(comm, pts[comm.rank :: comm.size])
+        dens = np.arange(fmm.let.n_owned_points, dtype=np.float64)
+        fmm.evaluate(dens)  # cuts a checkpoint for the old geometry
+        assert fmm._ckpt is not None
+        info = fmm.update_geometry(new[comm.rank :: comm.size])
+        assert info["patched"]
+        assert fmm._ckpt is None
+        dens2 = np.arange(fmm.let.n_owned_points, dtype=np.float64)
+        dens_by_rank[comm.rank] = dens2
+        out[comm.rank] = fmm.evaluate(dens2, resume=True)
+
+    run_spmd(2, body)
+
+    ref = {}
+
+    def ref_body(comm):
+        fmm = DistributedFmm(kernel="laplace", order=4, max_points_per_box=30)
+        fmm.setup(comm, new[comm.rank :: comm.size])
+        ref[comm.rank] = fmm.evaluate(dens_by_rank[comm.rank])
+
+    run_spmd(2, ref_body)
+    for r in (0, 1):
+        np.testing.assert_array_equal(out[r], ref[r])
