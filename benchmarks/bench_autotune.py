@@ -1,0 +1,149 @@
+"""Autotuner acceptance smoke: guided search vs the exhaustive grid.
+
+The online autotuner (:mod:`repro.tune`) calibrates a per-phase cost
+model from subsample probes, ranks the full config grid by predicted
+latency, and spends its measurement budget (default 25% of the grid) on
+a successive-halving shortlist only.  This bench checks the promises
+that make it shippable:
+
+* ``tuned_over_best`` — per-request latency of the tuned config divided
+  by the best exhaustively-measured grid point (must stay near 1)
+* ``probe_fraction`` — fraction of the grid that was actually measured
+* ``deterministic_replay`` — a same-seed re-run picks the same config
+* ``met_slo`` — the tuned config meets the stated latency SLO and the
+  accuracy floor
+
+Results merge into ``BENCH_autotune.json`` at the repo root under the
+``"smoke"`` key (the ``python -m repro tune --gate`` and ``--bench``
+runs own the ``"gate"`` and ``"autotune"`` keys).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py
+
+or via pytest at the same scale (used by CI's autotune-smoke job)::
+
+    pytest benchmarks/bench_autotune.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_autotune.json"
+
+#: Smoke scale: large enough that the best grid point is decisively
+#: ahead (no timer-noise ties), small enough for a CI lane.
+SMOKE_N = 4_000
+
+
+def run_bench(n: int = SMOKE_N, kernel: str = "laplace",
+              distribution: str = "uniform", seed: int = 0,
+              latency_ms: float = 500.0, budget_frac: float = 0.25) -> dict:
+    from repro.datasets import make_distribution
+    from repro.tune.search import SLO, default_grid, measure_grid, tune
+
+    points = make_distribution(distribution, n, seed=seed)
+    grid = default_grid(n, orders=(4, 6), leaf_sizes=(64, 144),
+                        precisions=("fp64", "fp32"),
+                        batch_shapes=((8, 2.0),))
+    slo = SLO(latency_s=latency_ms / 1e3, precision_rtol=1e-3)
+
+    t0 = time.perf_counter()
+    report = tune(points, kernel=kernel, slo=slo, grid=grid, seed=seed,
+                  budget_frac=budget_frac)
+    tune_wall = time.perf_counter() - t0
+    replay = tune(points, kernel=kernel, slo=slo, grid=grid, seed=seed,
+                  budget_frac=budget_frac)
+
+    exhaustive = measure_grid(points, kernel=kernel, grid=grid, seed=seed,
+                              reps=2)
+    per_req = {c: t / max(c.max_batch, 1) for c, t in exhaustive.items()}
+    best = min(per_req, key=per_req.get)
+
+    cfg = report.config
+    return {
+        "n": n, "kernel": kernel, "distribution": distribution,
+        "seed": seed, "grid_size": len(grid),
+        "slo": slo.to_dict(),
+        "tune_wall_s": tune_wall,
+        "tuned_config": cfg.key(),
+        "best_grid_config": best.key(),
+        "tuned_per_request_s": per_req[cfg],
+        "best_per_request_s": per_req[best],
+        "tuned_over_best": per_req[cfg] / per_req[best],
+        "probe_fraction": report.probe_fraction,
+        "n_probed": report.n_probed,
+        "deterministic_replay": replay.config == cfg,
+        "met_slo": report.met_slo,
+        "accuracy": report.accuracy,
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["smoke"] = result
+    path.write_text(json.dumps(data, indent=2, default=str) + "\n")
+
+
+def _print(result: dict) -> None:
+    print(
+        f"N={result['n']} {result['distribution']} {result['kernel']} "
+        f"grid {result['grid_size']} configs:"
+    )
+    print(f"  tuned {result['tuned_config']}  "
+          f"{result['tuned_per_request_s'] * 1e3:7.2f} ms/req  "
+          f"(search {result['tune_wall_s']:.1f}s, "
+          f"probed {result['probe_fraction']:.0%})")
+    print(f"  best  {result['best_grid_config']}  "
+          f"{result['best_per_request_s'] * 1e3:7.2f} ms/req  "
+          f"-> ratio {result['tuned_over_best']:.3f}")
+    print(f"  SLO {'met' if result['met_slo'] else 'MISSED'}, replay "
+          f"{'deterministic' if result['deterministic_replay'] else 'DIVERGED'}")
+
+
+def test_autotune(benchmark):
+    """Smoke-scale autotune gate (CI's autotune-smoke job).
+
+    Asserts the guided search lands within 1.25x of the best
+    exhaustively-measured grid point (noise tolerance at smoke N; the
+    ``--gate`` CLI run enforces 1.05x), measures at most the budgeted
+    quarter of the grid, replays deterministically under the same seed,
+    and meets both the latency SLO and the accuracy floor.
+    """
+    result = benchmark.pedantic(lambda: run_bench(), rounds=1, iterations=1)
+    _print(result)
+    write_result(result)
+    assert result["met_slo"], "tuned config misses the SLO"
+    assert result["tuned_over_best"] <= 1.25, (
+        f"tuned config {result['tuned_config']} is "
+        f"{result['tuned_over_best']:.2f}x the best grid point "
+        f"{result['best_grid_config']}"
+    )
+    budget = max(1, int(np.ceil(0.25 * result["grid_size"])))
+    assert result["n_probed"] <= budget, (
+        f"probed {result['n_probed']} configs, budget {budget}"
+    )
+    assert result["deterministic_replay"], "same-seed replay diverged"
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=SMOKE_N)
+    ap.add_argument("--kernel", default="laplace")
+    ap.add_argument("--distribution", default="uniform")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--latency-ms", type=float, default=500.0)
+    args = ap.parse_args()
+    res = run_bench(n=args.n, kernel=args.kernel,
+                    distribution=args.distribution, seed=args.seed,
+                    latency_ms=args.latency_ms)
+    _print(res)
+    write_result(res)

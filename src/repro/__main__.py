@@ -260,11 +260,13 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_tune(args) -> int:
+def _cmd_tune_q_sweep(args) -> int:
+    """Legacy one-knob sweep: points-per-box for a CPU or modelled GPU."""
     from repro.core.autotune import autotune_points_per_box
     from repro.datasets import make_distribution
 
-    points = make_distribution(args.distribution, args.n, seed=args.seed)
+    n = args.n if args.n is not None else 20_000
+    points = make_distribution(args.distribution, n, seed=args.seed)
     res = autotune_points_per_box(
         points,
         kernel=args.kernel,
@@ -277,6 +279,354 @@ def _cmd_tune(args) -> int:
         marker = " <-- best" if q == res.best_q else ""
         print(f"  q={q:5d}: {cost:.4f}s{marker}")
     return 0
+
+
+def _tune_grid_from_args(args, n):
+    from repro.tune.search import default_grid
+
+    orders = tuple(int(x) for x in args.orders.split(","))
+    leafs = tuple(int(x) for x in args.leaf_sizes.split(","))
+    precs = tuple(p.strip() for p in args.precisions.split(","))
+    shapes = tuple(
+        (int(b), float(w))
+        for b, w in (s.split(":") for s in args.batch_shapes.split(","))
+    )
+    return default_grid(n, orders=orders, leaf_sizes=leafs,
+                        precisions=precs, batch_shapes=shapes)
+
+
+def _write_bench_json(path, key, payload) -> None:
+    import json
+    from pathlib import Path
+
+    out = Path(path)
+    data = {}
+    if out.exists():
+        try:
+            data = json.loads(out.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[key] = payload
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+def _cmd_tune(args) -> int:
+    """SLO-driven config search (default), CI gate, or acceptance bench.
+
+    Default mode runs one budgeted search
+    (:func:`repro.tune.search.tune`) on a synthetic distribution and
+    prints/persists the chosen config.  ``--gate`` is CI's tiny-N smoke:
+    it additionally measures the *whole* grid exhaustively and asserts
+    the search landed within ``--gate-factor`` of the best measured grid
+    point while probing at most ``--budget-frac`` of it, and that a
+    same-seed replay picks the same config.  ``--bench`` runs the full
+    acceptance: two (distribution, kernel) pairs plus the workload-shift
+    re-tune drill (see :func:`_tune_shift_drill`); results land in
+    ``BENCH_autotune.json``.
+    """
+    if args.q_sweep:
+        return _cmd_tune_q_sweep(args)
+    from repro.datasets import make_distribution
+    from repro.tune.search import SLO, measure_grid, tune
+    from repro.tune.store import TuneStore, geometry_fingerprint
+
+    if args.bench:
+        return _cmd_tune_bench(args)
+
+    n = args.n if args.n is not None else (4_000 if args.gate else 20_000)
+    latency_ms = (
+        args.latency_ms if args.latency_ms is not None
+        else (500.0 if args.gate else 250.0)
+    )
+    slo = SLO(latency_s=latency_ms / 1e3, percentile=args.percentile,
+              precision_rtol=args.rtol)
+    if args.gate and args.leaf_sizes == "64,144,400":
+        args.leaf_sizes = "64,144"  # tiny-N gate: 8-config grid
+    points = make_distribution(args.distribution, n, seed=args.seed)
+    grid = _tune_grid_from_args(args, n)
+
+    print(f"tune: N={n} {args.distribution} {args.kernel} "
+          f"SLO {slo.key()} grid {len(grid)} configs "
+          f"budget {args.budget_frac:.0%}")
+    t0 = time.perf_counter()
+    report = tune(
+        points, kernel=args.kernel, slo=slo, grid=grid, seed=args.seed,
+        budget_frac=args.budget_frac, sample=args.sample,
+        measure=not args.no_measure, log=print,
+    )
+    wall = time.perf_counter() - t0
+    cfg = report.config
+    print(f"chosen: {cfg.key()}  (order={cfg.order} q={cfg.max_points} "
+          f"{cfg.precision} batch={cfg.max_batch} "
+          f"wait={cfg.max_wait_ms:g}ms)")
+    print(f"  SLO {'met' if report.met_slo else 'MISSED'}; probed "
+          f"{report.n_probed}/{report.grid_size} "
+          f"({report.probe_fraction:.0%}) in {wall:.1f}s")
+
+    if args.store:
+        store = TuneStore(args.store)
+        key = store.put(
+            geometry_fingerprint(points), args.kernel, slo, cfg,
+            report=report.to_dict(),
+        )
+        print(f"stored under {key} in {args.store}")
+
+    if not args.gate:
+        if args.out:
+            _write_bench_json(args.out, "tune", {
+                "config_cli": {
+                    "n": n, "distribution": args.distribution,
+                    "kernel": args.kernel, "seed": args.seed,
+                },
+                "wall_s": wall,
+                "report": report.to_dict(),
+            })
+        return 0
+
+    # -- gate: deterministic replay + exhaustive-grid reference ----------
+    report2 = tune(
+        points, kernel=args.kernel, slo=slo, grid=grid, seed=args.seed,
+        budget_frac=args.budget_frac, sample=args.sample,
+        measure=not args.no_measure,
+    )
+    deterministic = report2.config == cfg
+    print(f"replay (same seed): {report2.config.key()} "
+          f"{'== chosen' if deterministic else '!= chosen (NONDETERMINISTIC)'}")
+    print(f"exhaustive reference: measuring all {len(grid)} configs ...")
+    exhaustive = measure_grid(points, kernel=args.kernel, grid=grid,
+                              seed=args.seed, reps=3, log=print)
+    per_req = {c: t / max(c.max_batch, 1) for c, t in exhaustive.items()}
+    best_cfg = min(per_req, key=per_req.get)
+    ratio = per_req[cfg] / per_req[best_cfg]
+    checks = [
+        (f"tuned {per_req[cfg] * 1e3:.2f} ms/req within "
+         f"{args.gate_factor:g}x best grid point "
+         f"{per_req[best_cfg] * 1e3:.2f} ms/req ({best_cfg.key()}): "
+         f"ratio {ratio:.3f}", ratio <= args.gate_factor),
+        ("same-seed replay picks the same config", deterministic),
+        (f"probed {report.probe_fraction:.0%} <= "
+         f"{args.budget_frac:.0%} of the grid",
+         report.n_probed <= max(1, int(np.ceil(
+             args.budget_frac * len(grid))))),
+        ("accuracy floor honoured (met_slo implies feasible cell)",
+         not report.met_slo or report.feasible > 0),
+    ]
+    ok = True
+    for label, passed in checks:
+        print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+        ok = ok and passed
+    _write_bench_json(args.out or "BENCH_autotune.json", "gate", {
+        "config_cli": {"n": n, "distribution": args.distribution,
+                       "kernel": args.kernel, "seed": args.seed},
+        "report": report.to_dict(),
+        "deterministic_replay": deterministic,
+        "exhaustive_per_request_s": {
+            c.key(): per_req[c] for c in grid
+        },
+        "best_grid_config": best_cfg.key(),
+        "tuned_over_best_ratio": ratio,
+        "passed": ok,
+    })
+    return 0 if ok else 1
+
+
+def _cmd_tune_bench(args) -> int:
+    """Acceptance bench: tuned vs exhaustive on two (distribution, kernel)
+    pairs, plus the online workload-shift re-tune drill."""
+    from repro.datasets import make_distribution
+    from repro.tune.search import SLO, measure_grid, tune
+
+    n = args.n if args.n is not None else 20_000
+    pairs = [("uniform", "laplace"), ("ellipsoid", "yukawa")]
+    checks, results = [], {}
+    for dist, kern in pairs:
+        latency_ms = args.latency_ms if args.latency_ms is not None else 2_000.0
+        slo = SLO(latency_s=latency_ms / 1e3, percentile=args.percentile,
+                  precision_rtol=args.rtol)
+        points = make_distribution(dist, n, seed=args.seed)
+        grid = _tune_grid_from_args(args, n)
+        print(f"\n=== pair ({dist}, {kern}): N={n}, grid {len(grid)}, "
+              f"SLO {slo.key()} ===")
+        t0 = time.perf_counter()
+        report = tune(points, kernel=kern, slo=slo, grid=grid,
+                      seed=args.seed, budget_frac=args.budget_frac,
+                      sample=args.sample, log=print)
+        tune_s = time.perf_counter() - t0
+        print(f"exhaustive reference: measuring all {len(grid)} configs ...")
+        exhaustive = measure_grid(points, kernel=kern, grid=grid,
+                                  seed=args.seed, reps=2, log=print)
+        per_req = {c: t / max(c.max_batch, 1) for c, t in exhaustive.items()}
+        best_cfg = min(per_req, key=per_req.get)
+        ratio = per_req[report.config] / per_req[best_cfg]
+        key = f"{dist}/{kern}"
+        results[key] = {
+            "n": n,
+            "tune_wall_s": tune_s,
+            "report": report.to_dict(),
+            "exhaustive_per_request_s": {
+                c.key(): per_req[c] for c in grid
+            },
+            "best_grid_config": best_cfg.key(),
+            "tuned_over_best_ratio": ratio,
+        }
+        checks += [
+            (f"{key}: tuned config meets SLO", report.met_slo),
+            (f"{key}: tuned within 1.1x best grid point "
+             f"(ratio {ratio:.3f})", ratio <= 1.1),
+            (f"{key}: probed {report.probe_fraction:.0%} <= 25% of grid",
+             report.probe_fraction <= 0.25 + 1e-9),
+        ]
+
+    drill, drill_checks = _tune_shift_drill(args)
+    checks += drill_checks
+
+    ok = True
+    print()
+    for label, passed in checks:
+        print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+        ok = ok and passed
+    _write_bench_json(args.out or "BENCH_autotune.json", "autotune", {
+        "config_cli": {"n": n, "seed": args.seed,
+                       "budget_frac": args.budget_frac},
+        "pairs": results,
+        "shift_drill": drill,
+        "passed": ok,
+    })
+    return 0 if ok else 1
+
+
+def _tune_shift_drill(args):
+    """Induced workload shift -> exactly one online re-tune -> SLO back.
+
+    Registers an autotuned model on a uniform cube (the tuner picks a
+    mid-size leaf there), serves a window of requests, then swaps the
+    geometry to an ellipsoid *surface* — a distribution whose U-list
+    blows up at the uniform-tuned leaf size, so served latency drifts
+    past the SLO band.  The monitor (polled manually for determinism)
+    must fire exactly one bounded re-tune that swaps in a config meeting
+    the SLO again, and answers must stay bit-identical per active config
+    version.  The drill SLO is placed adaptively between the measured
+    re-tuned and mis-tuned costs so the pass bands don't depend on the
+    host machine's absolute speed.
+    """
+    from repro import Fmm
+    from repro.datasets import make_distribution
+    from repro.serve import ServeEngine
+    from repro.tune.monitor import SloMonitor
+    from repro.tune.search import SLO, default_grid, measure_grid, tune
+
+    n, seed, kern = args.drill_n, args.seed, "laplace"
+    rtol = 1e-3
+    grid = default_grid(n, orders=(4,), leaf_sizes=(64, 144, 400),
+                        precisions=("fp64", "fp32"),
+                        batch_shapes=((8, 2.0),))
+    pts_a = make_distribution("uniform", n, seed=seed)
+    pts_b = make_distribution("ellipsoid", n, seed=seed)
+    print(f"\n=== workload-shift drill: N={n} uniform -> ellipsoid ===")
+
+    # offline reference optima on both distributions (same grid + seed
+    # the engine will use), to place the drill SLO between the re-tuned
+    # and mis-tuned latencies with machine-independent margins
+    loose = SLO(latency_s=60.0, precision_rtol=rtol)
+    cfg_a = tune(pts_a, kernel=kern, slo=loose, grid=grid,
+                 seed=seed).config
+    cfg_b = tune(pts_b, kernel=kern, slo=loose, grid=grid,
+                 seed=seed).config
+    m_a = measure_grid(pts_a, kernel=kern, grid=[cfg_a], seed=seed,
+                       reps=2)[cfg_a]
+    meas_b = measure_grid(pts_b, kernel=kern, grid=[cfg_a, cfg_b],
+                          seed=seed, reps=2)
+    m_mis, m_b = meas_b[cfg_a], meas_b[cfg_b]
+    print(f"offline: tuned A {cfg_a.key()} ({m_a * 1e3:.0f} ms), "
+          f"tuned B {cfg_b.key()} ({m_b * 1e3:.0f} ms), "
+          f"A-config on B {m_mis * 1e3:.0f} ms "
+          f"({m_mis / max(m_b, 1e-9):.2f}x worse)")
+    band = 1.25
+    lo = 1.15 * max(m_a, m_b)
+    hi = m_mis / band / 1.1
+    if not (cfg_a != cfg_b and lo < hi):
+        drill = {"feasible": False, "cfg_a": cfg_a.key(),
+                 "cfg_b": cfg_b.key(), "m_a_s": m_a, "m_b_s": m_b,
+                 "m_mis_s": m_mis}
+        return drill, [("shift drill feasible (distinct optima with a "
+                        "latency gap)", False)]
+    latency_s = float(np.sqrt(lo * hi))
+    slo = SLO(latency_s=latency_s, precision_rtol=rtol,
+              drift_band=band, min_window=8)
+    print(f"drill SLO: {latency_s * 1e3:.0f} ms at p95 "
+          f"(drift above {latency_s * band * 1e3:.0f} ms)")
+
+    engine = ServeEngine(n_workers=1)
+    template = Fmm(kern)
+    engine.register("drill", template, pts_a, slo=slo, tune_grid=grid,
+                    tune_seed=seed)
+    model = engine._model("drill")
+    v0 = model.tuned
+    monitor = SloMonitor(
+        engine.metrics, "drill", slo,
+        retune=lambda m, p: engine.retune(m, observed_s=p),
+        sustain=2, cooldown_s=60.0,
+    )
+    rng = np.random.default_rng(seed)
+    probe = rng.standard_normal(model.expected)
+
+    def drive(k):
+        # submit full batches so served latencies match the batch-wide
+        # measure_grid numbers the SLO band was placed from
+        for _ in range(k):
+            width = max(1, engine._model("drill").tuned.max_batch)
+            reqs = [engine.submit("drill", probe) for _ in range(width)]
+            for r in reqs:
+                r.result(timeout=120.0)
+
+    drill = {"feasible": True, "slo": slo.to_dict(),
+             "cfg_a": cfg_a.key(), "cfg_b": cfg_b.key(),
+             "m_a_s": m_a, "m_b_s": m_b, "m_mis_s": m_mis}
+    with engine:
+        drive(2 * slo.min_window)
+        pre_fired = any(monitor.poll() for _ in range(3))
+        drill["p95_baseline_s"] = engine.metrics.window_quantile(
+            "drill", 95.0)
+        bit_v0 = np.array_equal(
+            engine.evaluate("drill", probe), engine.evaluate("drill", probe)
+        )
+        engine.update_geometry("drill", pts_b)
+        drive(slo.min_window + 2)
+        drill["p95_shifted_s"] = engine.metrics.window_quantile(
+            "drill", 95.0)
+        fired = sum(monitor.poll() for _ in range(4))
+        drill["retunes"] = monitor.retunes
+        v1 = engine._model("drill").tuned
+        drill["retuned_config"] = v1.key()
+        drive(slo.min_window + 2)
+        drill["p95_restored_s"] = engine.metrics.window_quantile(
+            "drill", 95.0)
+        refired = any(monitor.poll() for _ in range(3))
+        bit_v1 = np.array_equal(
+            engine.evaluate("drill", probe), engine.evaluate("drill", probe)
+        )
+    drill["bit_identical_v0"] = bool(bit_v0)
+    drill["bit_identical_v1"] = bool(bit_v1)
+    print(f"drill: baseline p95 {drill['p95_baseline_s'] * 1e3:.0f} ms, "
+          f"shifted {drill['p95_shifted_s'] * 1e3:.0f} ms, "
+          f"restored {drill['p95_restored_s'] * 1e3:.0f} ms "
+          f"({v0.key()} -> {v1.key()}, {monitor.retunes} retune)")
+    checks = [
+        ("drill: baseline meets SLO, no spurious retune",
+         not pre_fired
+         and drill["p95_baseline_s"] <= slo.latency_s),
+        ("drill: shift drifts past the band and fires exactly one retune",
+         fired == 1 and monitor.retunes == 1 and not refired),
+        ("drill: retune swaps the config",
+         v1 != v0),
+        ("drill: post-retune p95 back inside the SLO",
+         drill["p95_restored_s"] is not None
+         and drill["p95_restored_s"] <= slo.latency_s),
+        ("drill: answers bit-identical per active config version",
+         bit_v0 and bit_v1),
+    ]
+    return drill, checks
 
 
 def _cmd_chaos(args) -> int:
@@ -707,12 +1057,27 @@ def _cmd_serve(args) -> int:
         f"registering {args.models} model(s): N={args.n} {args.kernel} "
         f"order={args.order} box={args.q} (tree + warm plan) ..."
     )
+    slo = store = None
+    if args.autotune:
+        from repro.tune.search import SLO
+        from repro.tune.store import TuneStore
+
+        slo = SLO(latency_s=args.slo_ms / 1e3, precision_rtol=1e-3)
+        store = TuneStore(args.store) if args.store else None
     names = []
     for i in range(args.models):
         name = f"m{i}"
         pts = make_distribution(args.distribution, args.n, seed=args.seed + i)
         fmm = Fmm(args.kernel, order=args.order, max_points_per_box=args.q)
-        engine.register(name, fmm, pts, warm=True, precision=args.precision)
+        if slo is not None:
+            engine.register(name, fmm, pts, warm=True, slo=slo, store=store)
+            engine.start_monitor(name)
+            tuned = engine._model(name).tuned
+            print(f"  {name}: autotuned {tuned.key()} "
+                  f"against SLO {slo.key()}")
+        else:
+            engine.register(name, fmm, pts, warm=True,
+                            precision=args.precision)
         names.append(name)
 
     with engine:
@@ -736,6 +1101,8 @@ def _cmd_serve(args) -> int:
         "timeout_s": args.timeout, "chaos": bool(args.chaos),
         "matrix_budget_mb": args.matrix_budget_mb,
         "precision": args.precision,
+        "autotune": bool(args.autotune),
+        "slo_ms": args.slo_ms if args.autotune else None,
     }
     # per-model served precision + cached plan bytes (dtype-honest)
     summary["plans"] = engine.plan_stats()
@@ -916,16 +1283,61 @@ def main(argv=None) -> int:
                     help="write the full event trace to a JSONL file")
     pr.set_defaults(fn=_cmd_trace)
 
-    pt = sub.add_parser("tune", help="autotune points-per-box")
+    pt = sub.add_parser(
+        "tune",
+        help="SLO-driven config search (cost-model-guided); "
+             "--q-sweep for the legacy points-per-box sweep",
+    )
     pt.add_argument("--kernel", default="laplace")
     pt.add_argument("--distribution", default="uniform",
                     choices=["uniform", "ellipsoid", "plummer",
                              "two_spheres", "filament"])
-    pt.add_argument("--n", type=int, default=20_000)
-    pt.add_argument("--order", type=int, default=6)
-    pt.add_argument("--target", default="cpu", choices=["cpu", "gpu"])
-    pt.add_argument("--sample", type=int, default=20_000)
+    pt.add_argument("--n", type=int, default=None,
+                    help="point count (default 20000; 4000 with --gate)")
     pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--sample", type=int, default=2_000,
+                    help="subsample-probe size for calibration/accuracy")
+    pt.add_argument("--latency-ms", type=float, default=None,
+                    help="SLO latency target in ms (default 250; "
+                         "500 with --gate, 2000 with --bench)")
+    pt.add_argument("--percentile", type=float, default=95.0,
+                    help="SLO latency percentile")
+    pt.add_argument("--rtol", type=float, default=1e-3,
+                    help="SLO accuracy floor (relative error)")
+    pt.add_argument("--budget-frac", type=float, default=0.25,
+                    help="fraction of the grid measured probes may touch")
+    pt.add_argument("--orders", default="4,6",
+                    help="comma list of expansion orders in the grid")
+    pt.add_argument("--leaf-sizes", default="64,144,400",
+                    help="comma list of max points-per-box in the grid")
+    pt.add_argument("--precisions", default="fp64,fp32",
+                    help="comma list of plan precisions in the grid")
+    pt.add_argument("--batch-shapes", default="8:2",
+                    help="comma list of max_batch:max_wait_ms pairs")
+    pt.add_argument("--store", default=None, metavar="PATH",
+                    help="persist the chosen config in this TuneStore JSON")
+    pt.add_argument("--no-measure", action="store_true",
+                    help="cost-model-only selection (no measured probes; "
+                         "fully deterministic)")
+    pt.add_argument("--gate", action="store_true",
+                    help="CI gate: assert tuned <= --gate-factor x the "
+                         "best exhaustively measured grid point, "
+                         "deterministic replay, probe budget respected; "
+                         "writes BENCH_autotune.json")
+    pt.add_argument("--gate-factor", type=float, default=1.05)
+    pt.add_argument("--bench", action="store_true",
+                    help="full acceptance: two (distribution, kernel) "
+                         "pairs + the workload-shift re-tune drill; "
+                         "writes BENCH_autotune.json")
+    pt.add_argument("--drill-n", type=int, default=4_000,
+                    help="point count of the --bench workload-shift drill")
+    pt.add_argument("--out", default=None, metavar="OUT_JSON")
+    pt.add_argument("--q-sweep", action="store_true",
+                    help="legacy mode: sweep points-per-box only")
+    pt.add_argument("--order", type=int, default=6,
+                    help="expansion order (--q-sweep only)")
+    pt.add_argument("--target", default="cpu", choices=["cpu", "gpu"],
+                    help="architecture the --q-sweep tunes for")
     pt.set_defaults(fn=_cmd_tune)
 
     pc = sub.add_parser(
@@ -981,6 +1393,14 @@ def main(argv=None) -> int:
                     choices=["fp64", "fp32", "auto"],
                     help="plan precision the models are registered at "
                          "(auto calibrates once per model at registration)")
+    ps.add_argument("--autotune", action="store_true",
+                    help="register models via the SLO-driven autotuner "
+                         "(cost-model search + online drift monitor) "
+                         "instead of the fixed --order/--q/--precision")
+    ps.add_argument("--slo-ms", type=float, default=250.0,
+                    help="autotune SLO: p95 latency target in ms")
+    ps.add_argument("--store", default=None, metavar="PATH",
+                    help="TuneStore JSON consulted/updated by --autotune")
     ps.add_argument("--chaos", action="store_true",
                     help="inject one phase-crash per worker; accepted "
                          "requests must still complete via retry")

@@ -1,20 +1,24 @@
-"""Autotuning of the points-per-box parameter ``q`` and the precision axis.
+"""Autotuning probes: points-per-box, precision, and the shared harness.
 
 Paper §V, on the Table III sweep: "This test resembles the tuning phase
-and can be part of an autotuning algorithm."  This module is that
-algorithm: it evaluates candidate ``q`` values on a subsample of the
-target workload and picks the one minimising either measured wall time
-(CPU) or modelled device time (virtual GPU), so production runs can use
-per-architecture box sizes exactly as the paper did (q ~ 100 for CPU,
-q ~ 400 for GPU on Lincoln).
+and can be part of an autotuning algorithm."  This module holds that
+algorithm's measurement layer: every tuning decision in the repo is made
+against *subsample probes* — a deterministic subsample of the target
+workload, a seeded density draw, and direct-sum references — so probes
+are cheap, reproducible, and comparable across candidates.
 
-:func:`autotune_precision` applies the same subsample-probe idea to the
-plan engine's precision axis (Holm et al., PAPERS.md: precision selection
-should be tuned per workload against an accuracy target): it evaluates a
-subsampled workload with an fp64 and an fp32 plan, measures each
-candidate's relative error against a direct-sum reference and its warm
-apply time, and picks the cheapest candidate meeting the caller's
-relative-error target.
+:class:`SubsampleProbe` is the one harness behind all of them:
+
+* :func:`autotune_points_per_box` evaluates candidate ``q`` values on the
+  probe and picks the one minimising measured wall time (CPU) or modelled
+  device time (virtual GPU), as the paper did per architecture.
+* :func:`autotune_precision` evaluates an fp64 and an fp32 plan on the
+  probe, measures each candidate's relative error against the direct-sum
+  reference and its warm apply time, and picks the cheapest candidate
+  meeting the caller's relative-error target (Holm et al., PAPERS.md).
+* :class:`repro.tune.cost.CostModel` calibration runs its per-phase
+  timing probes through the same harness, so the online autotuner's cost
+  model and the legacy one-knob tuners measure the same way.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.kernels import Kernel, direct_sum, get_kernel
 from repro.util.timer import PhaseProfile
 
 __all__ = [
+    "SubsampleProbe",
     "TuneResult",
     "PrecisionResult",
     "autotune_points_per_box",
@@ -49,6 +54,133 @@ DEFAULT_PRECISION_RTOL = 1e-4
 #: probe is a subsample, and float32 roundoff grows (slowly) with N, so a
 #: probe error right at the target is not trustworthy on the full set.
 _FP32_SAFETY = 2.0
+
+
+class SubsampleProbe:
+    """Deterministic subsample-probe harness shared by every tuner.
+
+    One instance owns a seeded subsample of the production points, a
+    seeded density draw, and lazily built, cached geometry per candidate
+    ``max_points_per_box`` — so sweeping precision, expansion order or
+    batch shape over the same ``q`` reuses one tree, one set of lists
+    and one direct-sum reference.
+
+    Parameters
+    ----------
+    points:
+        The production point set.  A random subsample of ``sample``
+        points is probed (tree *shape* statistics transfer); ``None``
+        keeps every point.
+    kernel / eval_kernel:
+        Kernel configuration; ``eval_kernel`` optionally overrides the
+        target-side kernel exactly as in :class:`FmmEvaluator`.
+    seed:
+        Drives both the subsample choice and the density draw — equal
+        seeds give bit-equal probes.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        kernel: Kernel | str = "laplace",
+        sample: int | None = 2_000,
+        seed: int = 0,
+        eval_kernel: Kernel | None = None,
+    ):
+        self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
+        self.eval_kernel = (
+            self.kernel if eval_kernel is None else eval_kernel
+        )
+        self.seed = int(seed)
+        pts = np.asarray(points, dtype=np.float64)
+        if sample is not None and len(pts) > sample:
+            rng = np.random.default_rng(self.seed)
+            pts = pts[rng.choice(len(pts), sample, replace=False)]
+        self.points = pts
+        self.dens_raw = np.random.default_rng(
+            self.seed + 1
+        ).standard_normal(len(pts) * self.kernel.source_dim)
+        self._geoms: dict[int, tuple] = {}
+        self._refs: dict[int, tuple[np.ndarray, float]] = {}
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def geometry(self, max_points: int):
+        """``(tree, lists, sorted_dens)`` for one candidate ``q``, cached."""
+        q = int(max_points)
+        hit = self._geoms.get(q)
+        if hit is None:
+            tree = build_tree(self.points, q)
+            lists = build_lists(tree)
+            dens = (
+                self.dens_raw.reshape(-1, self.kernel.source_dim)[tree.order]
+                .reshape(-1)
+            )
+            hit = self._geoms[q] = (tree, lists, dens)
+        return hit
+
+    def reference(self, max_points: int) -> tuple[np.ndarray, float]:
+        """Direct-sum reference (and its norm) in ``q``'s tree order."""
+        q = int(max_points)
+        hit = self._refs.get(q)
+        if hit is None:
+            tree, _, dens = self.geometry(q)
+            ref = direct_sum(self.eval_kernel, tree.points, tree.points, dens)
+            hit = self._refs[q] = (ref, float(np.linalg.norm(ref)))
+        return hit
+
+    def error(self, pot: np.ndarray, max_points: int) -> float:
+        """Relative error of a probe result against the direct sum."""
+        ref, ref_norm = self.reference(max_points)
+        return float(np.linalg.norm(pot - ref)) / max(ref_norm, 1e-300)
+
+    def timed_apply(
+        self,
+        ev: FmmEvaluator,
+        max_points: int,
+        precision: str = "fp64",
+        warmups: int = 1,
+        reps: int = 1,
+        batch: int = 1,
+    ) -> tuple[float, np.ndarray, PhaseProfile]:
+        """Compile a plan and time ``reps`` warm applies on the probe.
+
+        Returns ``(seconds, potentials, profile)`` where ``seconds`` is
+        the *minimum* timed warm apply (robust to scheduler noise),
+        ``potentials`` is the (single-column) result for accuracy
+        checks, and ``profile`` carries the per-phase wall/flop counters
+        of the last timed apply — the cost-model calibration reads its
+        coefficients from there.  ``batch > 1`` times a multi-RHS apply
+        of that width (the same density in every column) and still
+        returns column 0.
+        """
+        tree, lists, dens = self.geometry(max_points)
+        plan = ev.compile_plan(tree, lists, precision=precision)
+        block = None
+        if batch > 1:
+            block = np.repeat(dens[:, None], int(batch), axis=1)
+
+        def one(profile):
+            if block is not None:
+                return ev.evaluate_multi(
+                    tree, lists, block, profile, plan=plan
+                )
+            return ev.evaluate(tree, lists, dens, profile, plan=plan)
+
+        for _ in range(max(0, warmups)):
+            pot = one(PhaseProfile())
+        best = np.inf
+        profile = PhaseProfile()
+        for _ in range(max(1, reps)):
+            profile = PhaseProfile()
+            t0 = time.perf_counter()
+            pot = one(profile)
+            best = min(best, time.perf_counter() - t0)
+        if block is not None:
+            pot = np.ascontiguousarray(pot[:, 0])
+        return float(best), pot, profile
 
 
 @dataclass
@@ -104,27 +236,18 @@ def autotune_points_per_box(
     """
     if target not in ("cpu", "gpu"):
         raise ValueError("target must be 'cpu' or 'gpu'")
-    kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
-    pts = np.asarray(points, dtype=np.float64)
-    if sample is not None and len(pts) > sample:
-        rng = np.random.default_rng(seed)
-        pts = pts[rng.choice(len(pts), sample, replace=False)]
-    dens_raw = np.random.default_rng(seed + 1).standard_normal(
-        len(pts) * kernel.source_dim
-    )
+    probe = SubsampleProbe(points, kernel=kernel, sample=sample, seed=seed)
 
     costs: dict[int, float] = {}
     for q in candidates:
-        tree = build_tree(pts, int(q))
-        lists = build_lists(tree)
-        dens = dens_raw.reshape(-1, kernel.source_dim)[tree.order].reshape(-1)
+        tree, lists, dens = probe.geometry(int(q))
         if target == "cpu":
-            ev = FmmEvaluator(kernel, order)
+            ev = FmmEvaluator(probe.kernel, order)
             t0 = time.perf_counter()
             ev.evaluate(tree, lists, dens, PhaseProfile())
             costs[int(q)] = time.perf_counter() - t0
         else:
-            costs[int(q)] = _gpu_cost(kernel, order, tree, lists, dens)
+            costs[int(q)] = _gpu_cost(probe.kernel, order, tree, lists, dens)
 
     best = min(costs, key=costs.get)
     return TuneResult(
@@ -176,36 +299,23 @@ def autotune_precision(
     rtol = DEFAULT_PRECISION_RTOL if rtol is None else float(rtol)
     if rtol <= 0:
         raise ValueError("rtol must be positive")
-    kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
-    pts = np.asarray(points, dtype=np.float64)
-    if sample is not None and len(pts) > sample:
-        rng = np.random.default_rng(seed)
-        pts = pts[rng.choice(len(pts), sample, replace=False)]
-    dens_raw = np.random.default_rng(seed + 1).standard_normal(
-        len(pts) * kernel.source_dim
+    probe = SubsampleProbe(
+        points, kernel=kernel, sample=sample, seed=seed,
+        eval_kernel=eval_kernel,
     )
-
-    tree = build_tree(pts, int(max_points_per_box))
-    lists = build_lists(tree)
-    dens = dens_raw.reshape(-1, kernel.source_dim)[tree.order].reshape(-1)
-    ref_kernel = kernel if eval_kernel is None else eval_kernel
-    ref = direct_sum(ref_kernel, tree.points, tree.points, dens)
-    ref_norm = float(np.linalg.norm(ref))
 
     errors: dict[str, float] = {}
     times: dict[str, float] = {}
     for prec in ("fp64", "fp32"):
         ev = FmmEvaluator(
-            kernel, order, m2l_mode=m2l_mode, rcond=rcond,
+            probe.kernel, order, m2l_mode=m2l_mode, rcond=rcond,
             eval_kernel=eval_kernel,
         )
-        plan = ev.compile_plan(tree, lists, precision=prec)
-        # one warm-up apply (first-touch scratch allocation), then time
-        pot = ev.evaluate(tree, lists, dens, PhaseProfile(), plan=plan)
-        t0 = time.perf_counter()
-        pot = ev.evaluate(tree, lists, dens, PhaseProfile(), plan=plan)
-        times[prec] = time.perf_counter() - t0
-        errors[prec] = float(np.linalg.norm(pot - ref)) / max(ref_norm, 1e-300)
+        seconds, pot, _ = probe.timed_apply(
+            ev, max_points_per_box, precision=prec, warmups=1, reps=1
+        )
+        times[prec] = seconds
+        errors[prec] = probe.error(pot, max_points_per_box)
 
     qualifying = [
         p

@@ -37,6 +37,7 @@ class MicroBatcher:
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
         poll_s: float = 0.05,
+        limits=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -46,6 +47,19 @@ class MicroBatcher:
         #: How long one collect() blocks waiting for a first request
         #: before returning empty (lets worker loops observe shutdown).
         self.poll_s = float(poll_s)
+        #: Optional ``callable(model_name) -> (max_batch, max_wait_ms)``
+        #: or ``None`` — per-model overrides of the flush triggers.  The
+        #: autotuner owns a tuned model's batch shape through this hook.
+        self.limits = limits
+
+    def _limits_for(self, model: str) -> tuple[int, float]:
+        """(max_batch, max_wait_s) for one model, engine defaults if none."""
+        if self.limits is not None:
+            override = self.limits(model)
+            if override is not None:
+                b, wait_ms = override
+                return max(1, int(b)), float(wait_ms) / 1e3
+        return self.max_batch, self.max_wait_s
 
     def collect(self) -> list[Request]:
         """One batch: all for the same model, ``1..max_batch`` requests.
@@ -56,22 +70,23 @@ class MicroBatcher:
         if head is None:
             return []
         batch = [head]
-        if self.max_batch == 1:
+        max_batch, max_wait_s = self._limits_for(head.model)
+        if max_batch == 1:
             return batch
-        flush_at = time.monotonic() + self.max_wait_s
+        flush_at = time.monotonic() + max_wait_s
         if head.deadline is not None:
             # Leave the apply its share: never batch-wait past the point
             # where the head would expire before a typical apply starts.
             flush_at = min(flush_at, head.deadline)
-        while len(batch) < self.max_batch:
+        while len(batch) < max_batch:
             batch.extend(
                 self.queue.take_matching(
                     head.model,
-                    self.max_batch - len(batch),
+                    max_batch - len(batch),
                     precision=head.precision,
                 )
             )
-            if len(batch) >= self.max_batch:
+            if len(batch) >= max_batch:
                 break
             remaining = flush_at - time.monotonic()
             if remaining <= 0:

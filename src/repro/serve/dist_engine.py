@@ -197,6 +197,7 @@ class DistModel:
     __slots__ = (
         "name", "placement", "group", "points", "n_points", "ks", "kt",
         "expected", "shards", "replicas", "fallback", "lock",
+        "tuned", "slo",
     )
 
     def __init__(self, name, placement, group, points, ks, kt):
@@ -208,6 +209,9 @@ class DistModel:
         self.n_points = len(points)
         self.ks, self.kt = ks, kt
         self.expected = self.n_points * ks
+        #: Collectively voted TuneConfig (autotuned models only) + SLO.
+        self.tuned = None
+        self.slo = None
         #: Per-rank shard state: {"fmm": DistributedFmm, "src": row idx}.
         self.shards: list[dict] | None = None
         #: Replica states (each with its own lock for concurrent serving).
@@ -345,6 +349,10 @@ class DistServeEngine:
         replicas: int = 2,
         fallback_replica: bool = False,
         warm: bool = True,
+        slo=None,
+        store=None,
+        tune_grid=None,
+        tune_seed: int = 0,
         **fmm_kwargs,
     ) -> DistModel:
         """Register ``name`` on the fabric; builds all shard/replica state
@@ -380,10 +388,24 @@ class DistServeEngine:
                 f"model {name!r}: group {width} exceeds the fabric "
                 f"({self.nranks} ranks)"
             )
+        tuned = None
+        if slo is not None:
+            vote_width = width if placement == "sharded" else 1
+            tuned = self._vote_config(
+                points, kern, vote_width, slo, tune_grid, tune_seed, store,
+            )
+            fmm_kwargs = dict(fmm_kwargs)
+            fmm_kwargs.update(
+                order=tuned.order,
+                max_points_per_box=tuned.max_points,
+                precision=tuned.precision,
+            )
         model = DistModel(
             name, placement, width, points,
             kern.source_dim, kern.target_dim,
         )
+        model.tuned = tuned
+        model.slo = slo
         if placement == "sharded":
             model.shards = self._setup_shards(model, fmm_kwargs)
             if fallback_replica:
@@ -407,6 +429,65 @@ class DistServeEngine:
                                       deadline=None, fabric_rank=i)
             self._clear_checkpoints(model)
         return model
+
+    def _vote_config(
+        self, points, kern, width: int, slo, grid, seed: int, store,
+    ):
+        """Collective config vote: one agreed tuned config for the group.
+
+        Mirrors the distributed precision vote: every rank runs the
+        *deterministic* cost-model-only search
+        (:func:`~repro.tune.search.propose_config`) on its own point
+        slice, allgathers the proposals, and applies the same reduction —
+        the modal config wins, ties broken by the lexicographically
+        smallest config key — so all ranks adopt one config without a
+        coordinator.  Per-rank seeds differ (``seed + rank``) so the vote
+        aggregates genuinely independent probes rather than ``width``
+        copies of one probe.
+        """
+        from collections import Counter
+
+        from repro.tune.search import default_grid, propose_config
+        from repro.tune.search import TuneConfig as _TC
+        from repro.tune.store import geometry_fingerprint
+
+        kname = getattr(kern, "name", "kernel")
+        backend = f"dist{width}"
+        fingerprint = geometry_fingerprint(points)
+        if store is not None:
+            hit = store.get(fingerprint, kname, slo, backend)
+            if hit is not None:
+                return hit
+        if grid is None:
+            grid = default_grid(len(points))
+        winners: list = [None] * width
+
+        def body(comm):
+            local = points[comm.rank :: comm.size]
+            cfg = propose_config(
+                local, kernel=kern, slo=slo, grid=grid,
+                seed=seed + comm.rank,
+            )
+            proposals = comm.allgather(cfg.to_dict())
+            keys = [_TC.from_dict(d).key() for d in proposals]
+            counts = Counter(keys)
+            win = sorted(keys, key=lambda k: (-counts[k], k))[0]
+            winners[comm.rank] = next(
+                _TC.from_dict(d)
+                for d, k in zip(proposals, keys)
+                if k == win
+            )
+
+        run_spmd(
+            width, body,
+            timeout=self.run_timeout_s,
+            integrity=self.integrity,
+            trace=self._trace,
+        )
+        config = winners[0]
+        if store is not None:
+            store.put(fingerprint, kname, slo, config, backend=backend)
+        return config
 
     def _setup_shards(self, model: DistModel, fmm_kwargs: dict) -> list[dict]:
         points = model.points

@@ -66,20 +66,32 @@ PLAN_BUDGET = 2 * 2**30
 
 
 class ModelGeometry:
-    """Immutable (points, tree+lists, version) snapshot of one model.
+    """Immutable (points, tree+lists, fmm, version) snapshot of one model.
 
     Workers read ``model.geometry`` exactly once per batch and use only
-    that snapshot, so :meth:`ServeEngine.update_geometry` can swap the
-    attribute between batches without a reader ever seeing points from
-    one step paired with a plan from another.
+    that snapshot, so :meth:`ServeEngine.update_geometry` and
+    :meth:`ServeEngine.apply_tuned_config` can swap the attribute
+    between batches without a reader ever seeing points from one step
+    paired with a plan from another.  The ``fmm`` rides in the snapshot
+    for the same reason: a tuned-config swap replaces the kernel
+    configuration (order, leaf size, precision) together with the tree it
+    built, and a worker must never pair an old fmm with a new tree.
     """
 
-    __slots__ = ("points", "plan", "version")
+    __slots__ = ("points", "plan", "version", "fmm", "tuned")
 
-    def __init__(self, points, plan, version=0):
+    def __init__(self, points, plan, version=0, fmm=None, tuned=None):
         self.points = points
         self.plan = plan  # FmmPlan (tree + lists)
         self.version = int(version)
+        self.fmm = fmm
+        # The TuneConfig active for this snapshot (None untuned).  It
+        # rides here — not only on the model — because its knobs
+        # (VLI_MULTI_BYTES chunking, matrix budget) shape the compiled
+        # plan: a worker recompiling a cache-evicted plan for an *old*
+        # snapshot must use the old knobs, or answers under one geometry
+        # version could differ bit-wise across recompiles.
+        self.tuned = tuned
 
 
 class RegisteredModel:
@@ -97,8 +109,8 @@ class RegisteredModel:
     code pairing the two must snapshot ``geometry`` once instead.
     """
 
-    __slots__ = ("name", "fmm", "geometry", "expected", "precision",
-                 "allowed", "compile_s", "update_lock")
+    __slots__ = ("name", "geometry", "expected", "precision",
+                 "allowed", "compile_s", "update_lock", "tuned", "slo")
 
     @property
     def points(self):
@@ -107,6 +119,12 @@ class RegisteredModel:
     @property
     def plan(self):
         return self.geometry.plan
+
+    @property
+    def fmm(self):
+        # lives on the geometry snapshot: a tuned-config swap replaces
+        # fmm and tree together, so pairing code must snapshot geometry
+        return self.geometry.fmm
 
     def __init__(self, name, fmm, points, precision="fp64", allowed=None):
         if precision not in ("fp64", "fp32", "auto"):
@@ -124,12 +142,13 @@ class RegisteredModel:
                 f"{{'fp64', 'fp32'}}, got {sorted(self.allowed)}"
             )
         self.name = name
-        self.fmm = fmm
         pts = np.asarray(points, dtype=np.float64)
-        self.geometry = ModelGeometry(pts, fmm.plan(pts), version=0)
+        self.geometry = ModelGeometry(pts, fmm.plan(pts), version=0, fmm=fmm)
         self.expected = self.plan.tree.n_points * fmm.kernel.source_dim
         self.compile_s = None  # from-scratch plan-compile baseline
         self.update_lock = threading.Lock()  # serialises update_geometry
+        self.tuned = None  # active TuneConfig (autotuned models only)
+        self.slo = None  # the SLO the model was tuned against
         if precision == "auto":
             from repro.util.timer import PhaseProfile
 
@@ -287,8 +306,13 @@ class ServeEngine:
         self.max_batch = int(max_batch)
         self.queue = FairQueue(max_depth=max_queue, weights=tenant_weights)
         self.plans = PlanCache(plan_budget, metrics=self.metrics)
+        #: Per-model (max_batch, max_wait_ms) overrides — the autotuner
+        #: owns a model's batch shape; untouched models use the engine
+        #: defaults.
+        self._batch_limits: dict[str, tuple[int, float]] = {}
         self.batcher = MicroBatcher(
-            self.queue, max_batch=max_batch, max_wait_ms=max_wait_ms
+            self.queue, max_batch=max_batch, max_wait_ms=max_wait_ms,
+            limits=self._batch_limits.get,
         )
         self.retry = retry if retry is not None else RetryPolicy()
         #: Kernel-matrix cache budget per compiled plan (None = the
@@ -298,6 +322,9 @@ class ServeEngine:
         self.matrix_budget = matrix_budget
         self._models: dict[str, RegisteredModel] = {}
         self._models_lock = threading.Lock()
+        # per-model tuning context (grid/seed/store/...) for online re-tunes
+        self._tune_ctx: dict[str, dict] = {}
+        self._monitors: dict[str, object] = {}
         self._trace = trace
         self._fabric = (
             ChaosFabric(n_workers, faults) if faults is not None else None
@@ -324,6 +351,8 @@ class ServeEngine:
     def stop(self) -> None:
         """Stop accepting work and join the workers (queued requests that
         no worker picks up before shutdown fail with ``Overloaded``)."""
+        for mon in self._monitors.values():
+            mon.stop()
         self.queue.close()
         self.pool.stop()
         while True:  # drain: nothing may be left hanging
@@ -353,6 +382,11 @@ class ServeEngine:
         warm: bool = True,
         precision: str = "fp64",
         allowed=None,
+        slo=None,
+        store=None,
+        tune_grid=None,
+        tune_seed: int = 0,
+        tune_measure: bool = True,
     ):
         """Register ``name`` as (kernel config, geometry); builds the tree
         now and, with ``warm``, compiles its evaluation plan into the
@@ -361,10 +395,36 @@ class ServeEngine:
         ``precision`` sets the model's default plan precision (``"auto"``
         calibrates once, now); ``allowed`` restricts the per-request
         overrides (e.g. ``{"fp32"}`` for an fp32-only model — fp64
-        requests then fail typed at submit)."""
+        requests then fail typed at submit).
+
+        ``slo`` (a :class:`repro.tune.search.SLO`) turns the autotuner
+        on: ``fmm`` becomes a *template* (kernel, M2L mode, eval kernel)
+        and the search picks order, leaf size, precision and batch shape
+        against the SLO, consulting ``store`` (a
+        :class:`repro.tune.store.TuneStore`) first and persisting a fresh
+        result into it.  ``tune_grid`` / ``tune_seed`` / ``tune_measure``
+        forward to :func:`repro.tune.search.tune`; the same context is
+        reused by online re-tunes (:meth:`retune`).
+        """
+        report = None
+        if slo is not None:
+            fmm, report = self._tune_at_register(
+                name, fmm, points, allowed, slo, store,
+                tune_grid, tune_seed, tune_measure,
+            )
+            precision = fmm.evaluator.precision
         model = RegisteredModel(
             name, fmm, points, precision=precision, allowed=allowed
         )
+        if slo is not None:
+            model.slo = slo
+            model.tuned = report.config if report is not None else None
+            # not yet published to _models: safe to stamp the snapshot
+            model.geometry.tuned = model.tuned
+            if model.tuned is not None:
+                self._batch_limits[name] = (
+                    model.tuned.max_batch, model.tuned.max_wait_ms
+                )
         with self._models_lock:
             self._models[name] = model
         # stale plans of a replaced model, all precisions and versions
@@ -376,6 +436,77 @@ class ServeEngine:
             # the from-scratch compile baseline patch_fraction divides by
             model.compile_s = time.perf_counter() - t0
         return model
+
+    def _tune_at_register(
+        self, name, template, points, allowed, slo, store,
+        tune_grid, tune_seed, tune_measure,
+    ):
+        """Resolve the tuned config for a new model (store hit or search)
+        and build the tuned Fmm from the template's kernel setup."""
+        from repro.tune.search import default_grid
+        from repro.tune.search import tune as tune_search
+        from repro.tune.store import geometry_fingerprint
+
+        pts = np.asarray(points, dtype=np.float64)
+        grid = tune_grid if tune_grid is not None else default_grid(len(pts))
+        if allowed is not None:  # the tuner must honour the precision policy
+            grid = [c for c in grid if c.precision in set(allowed)]
+            if not grid:
+                raise PrecisionError(
+                    f"model {name!r}: tuning grid has no config with an "
+                    f"allowed precision ({sorted(set(allowed))})"
+                )
+        fingerprint = geometry_fingerprint(pts)
+        kernel_name = getattr(template.kernel, "name", "kernel")
+        config = (
+            store.get(fingerprint, kernel_name, slo)
+            if store is not None else None
+        )
+        report = None
+        if config is None:
+            report = tune_search(
+                pts, kernel=template.kernel, slo=slo, grid=grid,
+                seed=tune_seed, measure=tune_measure,
+            )
+            config = report.config
+            if store is not None:
+                store.put(
+                    fingerprint, kernel_name, slo, config,
+                    report=report.to_dict(),
+                )
+        else:
+            from repro.tune.search import TuneReport
+
+            report = TuneReport(config=config, slo=slo, seed=tune_seed)
+        self._tune_ctx[name] = {
+            "grid": grid,
+            "seed": int(tune_seed),
+            "store": store,
+            "measure": bool(tune_measure),
+            "fingerprint": fingerprint,
+            "kernel_name": kernel_name,
+        }
+        return self._fmm_like(template, config), report
+
+    @staticmethod
+    def _fmm_like(template, config):
+        """A fresh :class:`~repro.core.fmm.Fmm` with ``config``'s knobs and
+        ``template``'s kernel setup (kernel, M2L mode, eval kernel)."""
+        from repro.core.fmm import Fmm
+
+        ev = template.evaluator
+        return Fmm(
+            template.kernel,
+            order=config.order,
+            max_points_per_box=config.max_points,
+            m2l_mode=ev.m2l_mode,
+            max_depth=template.max_depth,
+            eval_kernel=(
+                None if ev.eval_kernel is ev.kernel else ev.eval_kernel
+            ),
+            balance_tree=template.balance_tree,
+            precision=config.precision,
+        )
 
     def models(self) -> list[str]:
         with self._models_lock:
@@ -402,34 +533,64 @@ class ServeEngine:
         precision: str | None = None,
         geom: ModelGeometry | None = None,
     ):
-        kwargs = (
-            {} if self.matrix_budget is None
-            else {"matrix_budget": self.matrix_budget}
-        )
-        precision = model.precision if precision is None else precision
         geom = model.geometry if geom is None else geom
+        tuned = geom.tuned
+        if tuned is not None:
+            kwargs = {"matrix_budget": tuned.matrix_budget}
+        elif self.matrix_budget is not None:
+            kwargs = {"matrix_budget": self.matrix_budget}
+        else:
+            kwargs = {}
+        precision = model.precision if precision is None else precision
+
+        def compile_fn():
+            ep = geom.fmm.compile_eval_plan(
+                geom.plan, precision=precision, **kwargs
+            )
+            if tuned is not None:  # instance override of the class knob
+                ep.VLI_MULTI_BYTES = tuned.vli_multi_bytes
+            return ep
+
         # plans of the same model at different precisions (and geometry
         # versions) are distinct cache entries, each charged its own
         # (dtype-honest) byte count
         return self.plans.get(
             self._plan_key(model.name, geom.version, precision),
-            lambda: model.fmm.compile_eval_plan(
-                geom.plan, precision=precision, **kwargs
-            ),
+            compile_fn,
         )
 
     def plan_stats(self) -> dict:
-        """Per-model precision and cached plan bytes (for metrics export)."""
+        """Per-model active config and cached plan bytes (metrics export)."""
         with self._models_lock:
             models = dict(self._models)
         cached = self.plans.entries()
         out = {}
         for name, model in models.items():
-            version = model.geometry.version
+            geom = model.geometry
+            version = geom.version
+            batch, wait = self._batch_limits.get(
+                name, (self.max_batch, self.batcher.max_wait_s * 1e3)
+            )
             out[name] = {
                 "precision": model.precision,
                 "allowed": sorted(model.allowed),
                 "geometry_version": version,
+                # the active config: what the tuner (or the caller) chose
+                "config": {
+                    "order": geom.fmm.order,
+                    "max_points": geom.fmm.max_points_per_box,
+                    "precision": model.precision,
+                    "max_batch": int(batch),
+                    "max_wait_ms": float(wait),
+                    "tuned": (
+                        model.tuned.to_dict()
+                        if model.tuned is not None else None
+                    ),
+                    "slo": (
+                        model.slo.to_dict() if model.slo is not None
+                        else None
+                    ),
+                },
                 "plan_bytes": {
                     prec: cached[self._plan_key(name, version, prec)]
                     for prec in ("fp64", "fp32")
@@ -493,7 +654,9 @@ class ServeEngine:
             for prec, ep in patched.items():
                 self.plans.put(self._plan_key(name, version, prec), ep)
             patch_s = time.perf_counter() - t0
-            model.geometry = ModelGeometry(new_points, new_plan, version)
+            model.geometry = ModelGeometry(
+                new_points, new_plan, version, fmm=old.fmm, tuned=old.tuned
+            )
             self.plans.invalidate_prefix(
                 self._plan_key(name, old.version, "")
             )
@@ -510,6 +673,131 @@ class ServeEngine:
             "plans_patched": sorted(patched),
             "patch_stats": stats,
         }
+
+    # -- online autotuning ---------------------------------------------------
+
+    def apply_tuned_config(self, name: str, config, report=None) -> dict:
+        """Swap ``name`` onto ``config`` atomically, off the hot path.
+
+        Builds the tuned Fmm, its tree and its evaluation plan *before*
+        publishing anything, then performs the same batch-boundary
+        snapshot swap as :meth:`update_geometry`: plans for the new
+        version enter the cache first, the geometry snapshot (which
+        carries the new fmm) swaps second, stale keys drop last.  Workers
+        mid-batch keep the old snapshot — their answers stay bit-exact
+        for the config version they started under — and the next batch
+        sees the new config.
+        """
+        model = self._model(name)
+        with model.update_lock:
+            old = model.geometry
+            if model.tuned is not None and config == model.tuned:
+                return {"version": old.version, "swapped": False}
+            t0 = time.perf_counter()
+            new_fmm = self._fmm_like(old.fmm, config)
+            new_plan = new_fmm.plan(old.points)
+            version = old.version + 1
+            ep = new_fmm.compile_eval_plan(
+                new_plan, precision=config.precision,
+                matrix_budget=config.matrix_budget,
+            )
+            ep.VLI_MULTI_BYTES = config.vli_multi_bytes
+            # Publication order (see update_geometry): new plan in cache,
+            # then the snapshot swap, then stale-key cleanup.
+            self.plans.put(
+                self._plan_key(name, version, config.precision), ep
+            )
+            model.geometry = ModelGeometry(
+                old.points, new_plan, version, fmm=new_fmm, tuned=config
+            )
+            model.tuned = config
+            model.precision = config.precision
+            self._batch_limits[name] = (
+                config.max_batch, config.max_wait_ms
+            )
+            self.plans.invalidate_prefix(
+                self._plan_key(name, old.version, "")
+            )
+            swap_s = time.perf_counter() - t0
+            self.metrics.record_config_swap(name, swap_s)
+        return {
+            "version": version,
+            "swapped": True,
+            "tune_s": swap_s,
+            "config": config.to_dict(),
+            "report": report.to_dict() if report is not None else None,
+        }
+
+    def retune(self, name: str, observed_s: float | None = None) -> dict:
+        """Bounded off-hot-path re-tune of ``name`` against its SLO.
+
+        The monitor calls this on sustained drift; operators can call it
+        directly.  Probes run in the calling thread (never a worker), the
+        swap is atomic, and the tuned store — if one was given at
+        registration — is refreshed under the model's *current* geometry
+        fingerprint.
+        """
+        from repro.tune.search import tune as tune_search
+        from repro.tune.store import geometry_fingerprint
+
+        model = self._model(name)
+        if model.slo is None:
+            raise ValueError(
+                f"model {name!r} was not registered with an SLO; "
+                f"nothing to retune against"
+            )
+        ctx = self._tune_ctx.get(name, {})
+        geom = model.geometry
+        report = tune_search(
+            geom.points,
+            kernel=geom.fmm.kernel,
+            slo=model.slo,
+            grid=ctx.get("grid"),
+            seed=ctx.get("seed", 0),
+            measure=ctx.get("measure", True),
+        )
+        result = self.apply_tuned_config(name, report.config, report=report)
+        store = ctx.get("store")
+        if store is not None:
+            fingerprint = geometry_fingerprint(geom.points)
+            ctx["fingerprint"] = fingerprint
+            store.put(
+                fingerprint, ctx.get("kernel_name", "kernel"), model.slo,
+                report.config, report=report.to_dict(),
+            )
+        result["observed_s"] = observed_s
+        return result
+
+    def start_monitor(
+        self,
+        name: str,
+        interval_s: float = 1.0,
+        sustain: int = 3,
+        cooldown_s: float = 30.0,
+    ):
+        """Attach (and start) an SLO drift monitor for ``name``.
+
+        Returns the :class:`repro.tune.monitor.SloMonitor`; it polls the
+        sliding-window latency percentile and calls :meth:`retune` on
+        sustained drift.  Stopped automatically by :meth:`stop`.
+        """
+        from repro.tune.monitor import SloMonitor
+
+        model = self._model(name)
+        if model.slo is None:
+            raise ValueError(
+                f"model {name!r} was not registered with an SLO"
+            )
+        mon = self._monitors.get(name)
+        if mon is not None:
+            mon.stop()
+        mon = SloMonitor(
+            self.metrics, name, model.slo,
+            retune=lambda m, p: self.retune(m, observed_s=p),
+            interval_s=interval_s, sustain=sustain, cooldown_s=cooldown_s,
+        )
+        self._monitors[name] = mon
+        return mon.start()
 
     # -- submission --------------------------------------------------------
 
@@ -618,16 +906,17 @@ class ServeEngine:
         dens_block = np.stack([r.density for r in live], axis=1)
         attempts = 0
         causes: list[str] = []
-        # One geometry snapshot for the whole batch: points, tree/lists
-        # and the compiled plan all come from it, so a concurrent
-        # update_geometry swap cannot tear the triple mid-batch.
+        # One geometry snapshot for the whole batch: points, tree/lists,
+        # the fmm and the compiled plan all come from it, so a concurrent
+        # update_geometry or tuned-config swap cannot tear the set
+        # mid-batch.
         geom = model.geometry
         while True:
             attempts += 1
             try:
                 eval_plan = self._plan_for(model, precision, geom)
                 with profile.phase(f"SERVE:apply:{model.name}"):
-                    pot = model.fmm.evaluate(
+                    pot = geom.fmm.evaluate(
                         geom.points,
                         dens_block,
                         plan=geom.plan,

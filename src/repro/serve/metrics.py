@@ -31,6 +31,7 @@ peak is the max of peaks.
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 import numpy as np
 
@@ -41,13 +42,21 @@ __all__ = ["ServeMetrics"]
 #: estimates sharp at bench scale.
 MAX_SAMPLES = 100_000
 
+#: Default sliding-window size (last-K completed requests per model).
+#: Lifetime reservoirs answer "how did this run go"; the window answers
+#: "how is it going *now*" — the SLO monitor's drift detector reads the
+#: window, because a latency regression is invisible in a lifetime p95
+#: until it has outnumbered the history.
+WINDOW_K = 256
+
 
 class _ModelStats:
     __slots__ = ("latencies", "waits", "services", "batch_sizes",
                  "completed", "failed", "geometry_updates",
-                 "patch_seconds", "patch_fractions")
+                 "patch_seconds", "patch_fractions",
+                 "window_latencies", "window_services", "config_swaps")
 
-    def __init__(self):
+    def __init__(self, window_k: int = WINDOW_K):
         self.latencies: list[float] = []
         self.waits: list[float] = []
         self.services: list[float] = []
@@ -57,6 +66,10 @@ class _ModelStats:
         self.geometry_updates = 0
         self.patch_seconds: list[float] = []
         self.patch_fractions: list[float] = []
+        # last-K samples only; deque maxlen keeps them recency-bounded
+        self.window_latencies: deque[float] = deque(maxlen=window_k)
+        self.window_services: deque[float] = deque(maxlen=window_k)
+        self.config_swaps = 0
 
 
 def _quantiles(samples: list[float]) -> dict:
@@ -75,8 +88,9 @@ def _quantiles(samples: list[float]) -> dict:
 class ServeMetrics:
     """Thread-safe counters for one serving engine (or one fabric rank)."""
 
-    def __init__(self):
+    def __init__(self, window_k: int = WINDOW_K):
         self._lock = threading.Lock()
+        self._window_k = int(window_k)
         self._models: dict[str, _ModelStats] = {}
         self.rejected = 0  # Overloaded at admission
         self.expired = 0  # DeadlineExceeded at dequeue
@@ -91,7 +105,7 @@ class ServeMetrics:
     def _stats(self, model: str) -> _ModelStats:
         st = self._models.get(model)
         if st is None:
-            st = self._models[model] = _ModelStats()
+            st = self._models[model] = _ModelStats(self._window_k)
         return st
 
     # -- recording ---------------------------------------------------------
@@ -106,6 +120,8 @@ class ServeMetrics:
             st.waits.append(wait_s)
             st.services.append(max(latency_s - wait_s, 0.0))
             st.batch_sizes.append(int(batch_size))
+            st.window_latencies.append(latency_s)
+            st.window_services.append(max(latency_s - wait_s, 0.0))
             if len(st.latencies) > MAX_SAMPLES:
                 del st.latencies[: MAX_SAMPLES // 2]
                 del st.waits[: MAX_SAMPLES // 2]
@@ -152,6 +168,11 @@ class ServeMetrics:
                 del st.patch_seconds[: MAX_SAMPLES // 2]
                 del st.patch_fractions[: MAX_SAMPLES // 2]
 
+    def record_config_swap(self, model: str, tune_s: float | None = None) -> None:
+        """One online re-tune + atomic config swap on ``model``."""
+        with self._lock:
+            self._stats(model).config_swaps += 1
+
     def record_plan_lookup(self, hit: bool) -> None:
         with self._lock:
             if hit:
@@ -181,6 +202,40 @@ class ServeMetrics:
             return None
         return float(np.percentile(np.asarray(samples), 95.0))
 
+    def window_count(self, model: str) -> int:
+        """Samples currently in ``model``'s sliding window."""
+        with self._lock:
+            st = self._models.get(model)
+            return 0 if st is None else len(st.window_latencies)
+
+    def window_quantile(
+        self, model: str, pct: float, kind: str = "latencies"
+    ) -> float | None:
+        """Windowed (last-K) latency or service quantile — the drift
+        signal the SLO monitor watches; ``kind`` is ``"latencies"``
+        (end-to-end) or ``"services"`` (apply only)."""
+        with self._lock:
+            st = self._models.get(model)
+            if st is None:
+                return None
+            samples = list(
+                st.window_services if kind == "services"
+                else st.window_latencies
+            )
+        if not samples:
+            return None
+        return float(np.percentile(np.asarray(samples), float(pct)))
+
+    def reset_window(self, model: str) -> None:
+        """Drop ``model``'s window samples (after a config swap: pre-swap
+        latencies must not re-trigger the monitor against the new
+        config).  Lifetime reservoirs are untouched."""
+        with self._lock:
+            st = self._models.get(model)
+            if st is not None:
+                st.window_latencies.clear()
+                st.window_services.clear()
+
     # -- export ------------------------------------------------------------
 
     def raw(self) -> dict:
@@ -204,6 +259,9 @@ class ServeMetrics:
                         "geometry_updates": st.geometry_updates,
                         "patch_seconds": list(st.patch_seconds),
                         "patch_fractions": list(st.patch_fractions),
+                        "window_latencies": list(st.window_latencies),
+                        "window_services": list(st.window_services),
+                        "config_swaps": st.config_swaps,
                     }
                     for name, st in self._models.items()
                 },
@@ -252,6 +310,8 @@ class ServeMetrics:
                     "batch_sizes": [], "completed": 0, "failed": 0,
                     "geometry_updates": 0, "patch_seconds": [],
                     "patch_fractions": [],
+                    "window_latencies": [], "window_services": [],
+                    "config_swaps": 0,
                 })
                 for key in ("latencies", "waits", "services", "batch_sizes"):
                     acc[key].extend(st[key])
@@ -260,6 +320,14 @@ class ServeMetrics:
                 acc["geometry_updates"] += st.get("geometry_updates", 0)
                 acc["patch_seconds"].extend(st.get("patch_seconds", []))
                 acc["patch_fractions"].extend(st.get("patch_fractions", []))
+                # raw window samples concatenate across ranks exactly like
+                # the lifetime reservoirs — the merged windowed p95 is the
+                # p95 of the union, never a percentile of percentiles
+                acc["window_latencies"].extend(
+                    st.get("window_latencies", [])
+                )
+                acc["window_services"].extend(st.get("window_services", []))
+                acc["config_swaps"] += st.get("config_swaps", 0)
 
         total_completed = sum(st["completed"] for st in models.values())
         total_failed = sum(st["failed"] for st in models.values())
@@ -318,6 +386,12 @@ class ServeMetrics:
                     "patch_s": _quantiles(st["patch_seconds"]),
                     "patch_fraction": _quantiles(st["patch_fractions"]),
                 },
+                "window": {
+                    "count": len(st["window_latencies"]),
+                    "latency_s": _quantiles(st["window_latencies"]),
+                    "service_s": _quantiles(st["window_services"]),
+                },
+                "config_swaps": st["config_swaps"],
             }
         return out
 

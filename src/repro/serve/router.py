@@ -253,4 +253,18 @@ class Router:
         snap["health"] = self.engine.health.snapshot()
         snap["breakers"] = self.engine.breaker_snapshot()
         snap["suspect_ranks"] = self.engine.health.suspect_ranks()
+        snap["tuned"] = self.tuned_configs()
         return snap
+
+    def tuned_configs(self) -> dict:
+        """Per-model active tuned config (collective-vote winners only)."""
+        out = {}
+        for name in self.engine.models():
+            m = self.engine._model(name)
+            if m.tuned is None:
+                continue
+            out[name] = {
+                "config": m.tuned.to_dict(),
+                "slo": m.slo.to_dict() if m.slo is not None else None,
+            }
+        return out

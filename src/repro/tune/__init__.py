@@ -1,0 +1,46 @@
+"""Online autotuning: cost model, budgeted search, store, SLO monitor.
+
+The config space the serving stack exposes is wide — expansion order,
+leaf ``max_points``, precision, batch shape, ``VLI_MULTI_BYTES``, matrix
+budget — and the right point depends on geometry, kernel and hardware
+(paper Table III; Holm et al., PAPERS.md).  This package picks it
+automatically:
+
+* :mod:`repro.tune.cost` — a structural per-phase cost model calibrated
+  from cheap subsample probes (:class:`repro.core.autotune.SubsampleProbe`).
+* :mod:`repro.tune.search` — a seeded, budgeted search over the discrete
+  config grid against a typed :class:`~repro.tune.search.SLO`; the cost
+  model prunes, measured probes decide only among the shortlist.
+* :mod:`repro.tune.store` — persistent JSON store of tuned configs keyed
+  by (geometry fingerprint, kernel, SLO, backend).
+* :mod:`repro.tune.monitor` — watches serving sliding-window percentiles
+  and triggers a bounded off-hot-path re-tune when p95 drifts out of the
+  SLO band.
+"""
+
+from repro.tune.cost import CostModel, phase_flops, plan_bytes_estimate
+from repro.tune.monitor import SloMonitor
+from repro.tune.search import (
+    SLO,
+    TuneConfig,
+    TuneReport,
+    default_grid,
+    propose_config,
+    tune,
+)
+from repro.tune.store import TuneStore, geometry_fingerprint
+
+__all__ = [
+    "CostModel",
+    "phase_flops",
+    "plan_bytes_estimate",
+    "SLO",
+    "TuneConfig",
+    "TuneReport",
+    "default_grid",
+    "propose_config",
+    "tune",
+    "TuneStore",
+    "geometry_fingerprint",
+    "SloMonitor",
+]

@@ -1,0 +1,285 @@
+"""Structural cost model: per-phase apply seconds and plan bytes.
+
+The model has two halves, kept deliberately separate:
+
+* **Structure** (:func:`phase_flops`, :func:`plan_bytes_estimate`) — the
+  flop and byte counts of each of the eight phases, computed from the
+  tree and interaction lists alone.  Nothing is evaluated: ULI work is
+  the U-list pair-count sum, V-list work is pair translations plus
+  per-box FFTs, and so on.  These counts are exact consequences of the
+  plan's GEMM schedules, so they extrapolate from a 2k-point probe tree
+  to a 20M-point production tree.
+* **Calibration** (:meth:`CostModel.calibrate`) — secs-per-flop
+  coefficients per (phase, precision), measured by timing a handful of
+  :class:`~repro.core.autotune.SubsampleProbe` applies and dividing each
+  phase's wall seconds by its *structural* flops on the probe tree.
+  Using structural (not profiled) flops on both sides means systematic
+  model error cancels in the ratio.
+
+Predictions are therefore ``coeff[phase, precision] x structural_flops``
+plus a fixed per-apply overhead, scaled by a multi-RHS batch-efficiency
+factor (also measured).  :meth:`CostModel.observe` folds observed
+``SERVE:apply`` span times back in as an EWMA correction, so a model
+calibrated on an idle machine tracks a loaded one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.autotune import SubsampleProbe
+
+__all__ = ["CostModel", "phase_flops", "plan_bytes_estimate", "PHASES"]
+
+PHASES = ("S2U", "U2U", "VLI", "XLI", "D2D", "WLI", "D2T", "ULI")
+
+#: Marginal per-extra-column cost fraction assumed before the batch probe
+#: runs (GEMM batching amortises most of the work; measured values on the
+#: reference host land around 0.2-0.5).
+_DEFAULT_BATCH_EFF = 0.5
+
+#: EWMA weight of each new observed-vs-predicted correction sample.
+_OBSERVE_ALPHA = 0.3
+
+
+def _pair_sum(csr, counts_t, counts_s) -> float:
+    """Sum over CSR pairs (i, j) of ``counts_t[i] * counts_s[j]``."""
+    if csr.indices.size == 0:
+        return 0.0
+    rows = np.repeat(np.arange(csr.offsets.size - 1), csr.counts)
+    return float(np.sum(counts_t[rows] * counts_s[csr.indices]))
+
+
+def phase_flops(ev, tree, lists) -> dict[str, float]:
+    """Structural flop count of each phase for ``(tree, lists)``.
+
+    ``ev`` supplies the kernel dims, surface size and M2L mode; the tree
+    and lists supply every count.  No evaluation happens — this is pure
+    arithmetic over the CSR adjacency, cheap even for production trees.
+    """
+    ks = ev.kernel.source_dim
+    kt = ev.eval_kernel.target_dim
+    ns = ev.ns
+    fpp = ev.kernel.pair_flops(1, 1)
+    fpp_eval = ev.eval_kernel.pair_flops(1, 1)
+    counts = tree.point_counts().astype(np.float64)
+    leaf = tree.leaf_indices
+    n_leaf_pts = float(counts[leaf].sum())
+    n_nodes = tree.n_nodes
+    surf_dofs = float(ns * ks)
+    # one equivalent-from-check solve (uc2ue / dc2de pseudo-inverse matvec)
+    solve = 2.0 * surf_dofs * surf_dofs
+
+    out: dict[str, float] = {}
+    # S2U: leaf sources -> upward check (pair eval) + uc2ue solve per leaf
+    out["S2U"] = fpp * ns * n_leaf_pts + solve * len(leaf)
+    # U2U: child up -> parent check (ns x ns pair eval) + solve, per edge
+    edges = max(n_nodes - 1, 0)
+    out["U2U"] = (fpp * ns * ns + solve) * edges
+    # D2D: parent down -> child check + solve per edge, plus the
+    # check-to-down conversion charged once per node
+    out["D2D"] = (fpp * ns * ns + solve) * edges + solve * n_nodes
+    # VLI: translations per pair; FFT mode adds per-box forward/inverse
+    # transforms for every box that participates on either side
+    v = lists.v
+    if ev.fft is not None:
+        n_tgt = int(np.count_nonzero(v.counts))
+        n_src = int(np.count_nonzero(np.bincount(
+            v.indices, minlength=n_nodes
+        ))) if v.indices.size else 0
+        out["VLI"] = (
+            v.total() * ev.fft.translate_flops_per_pair()
+            + ev.fft.fft_flops_per_box() * (n_src * ks + n_tgt * kt)
+        )
+    else:
+        out["VLI"] = v.total() * 2.0 * surf_dofs * (ns * kt)
+    # XLI: x-list sources evaluated at the target's check surface
+    out["XLI"] = fpp * ns * _pair_sum(lists.x, np.ones(n_nodes), counts)
+    # WLI: w-list up densities evaluated directly at leaf target points
+    out["WLI"] = fpp_eval * ns * _pair_sum(
+        lists.w, counts, np.ones(n_nodes)
+    )
+    # D2T: leaf down densities -> leaf target points
+    out["D2T"] = fpp_eval * ns * n_leaf_pts
+    # ULI: exact near field over the U list
+    out["ULI"] = fpp_eval * _pair_sum(lists.u, counts, counts)
+    return out
+
+
+def plan_bytes_estimate(
+    ev, tree, lists, precision: str = "fp64",
+    matrix_budget: int | None = None,
+) -> float:
+    """Rough resident bytes of a compiled plan for this geometry.
+
+    Counts the cached kernel-matrix entries of the GEMM phases (the
+    dominant term) at the precision's itemsize, capped at the matrix
+    budget, plus a small per-node index overhead.  Good to ~2x — enough
+    to decide whether a candidate fits a plan-cache byte budget.
+    """
+    ks = ev.kernel.source_dim
+    kt = ev.eval_kernel.target_dim
+    ns = ev.ns
+    counts = tree.point_counts().astype(np.float64)
+    leaf = tree.leaf_indices
+    n_leaf_pts = float(counts[leaf].sum())
+    n_nodes = tree.n_nodes
+    itemsize = 4 if precision == "fp32" else 8
+    entries = (
+        ns * ks * n_leaf_pts * ks  # s2u check matrices
+        + n_leaf_pts * kt * ns * ks  # d2t
+        + kt * ks * _pair_sum(lists.u, counts, counts)  # uli
+        + ns * ks * kt * _pair_sum(lists.x, np.ones(n_nodes), counts)
+        + kt * ks * ns * _pair_sum(lists.w, counts, np.ones(n_nodes))
+    )
+    mat = entries * itemsize
+    if matrix_budget is not None:
+        mat = min(mat, float(matrix_budget))
+    # index/schedule arrays: a few int64/float64 words per point and node
+    return mat + 64.0 * (tree.n_points + n_nodes)
+
+
+class CostModel:
+    """Calibrated secs-per-flop coefficients plus batch/overhead terms.
+
+    Serialisable (:meth:`to_dict` / :meth:`from_dict`) so tuned stores
+    can persist the calibration next to the chosen config.
+    """
+
+    def __init__(self):
+        # (phase, precision) -> seconds per structural flop
+        self.coeffs: dict[tuple[str, str], float] = {}
+        # precision -> fixed per-apply overhead seconds
+        self.overhead: dict[str, float] = {}
+        # precision -> marginal per-extra-column fraction in [0, 1]
+        self.batch_eff: dict[str, float] = {}
+        # EWMA observed/predicted ratio from live SERVE:apply spans
+        self.correction: float = 1.0
+
+    # -- calibration -------------------------------------------------------
+
+    def ingest_probe(self, ev, tree, lists, profile, precision: str) -> None:
+        """Fold one timed probe apply into the coefficients.
+
+        ``profile`` is the :class:`PhaseProfile` of a *timed* apply on
+        ``(tree, lists)``; coefficients average (flop-weighted) across
+        every probe ingested for the same (phase, precision).
+        """
+        flops = phase_flops(ev, tree, lists)
+        total_phase = 0.0
+        for ph in PHASES:
+            e = profile.events.get(ph)
+            if e is None or flops[ph] <= 0:
+                continue
+            total_phase += e.wall_seconds
+            key = (ph, precision)
+            old = self.coeffs.get(key)
+            new = e.wall_seconds / flops[ph]
+            # flop-weighted running mean collapses to plain averaging of
+            # per-probe coefficients; keep it simple and robust
+            self.coeffs[key] = new if old is None else 0.5 * (old + new)
+        wall = sum(
+            e.wall_seconds for e in profile.events.values()
+        )
+        over = max(wall - total_phase, 0.0)
+        prev = self.overhead.get(precision)
+        self.overhead[precision] = (
+            over if prev is None else 0.5 * (prev + over)
+        )
+
+    def calibrate(
+        self,
+        probe: SubsampleProbe,
+        ev_factory,
+        precisions=("fp64", "fp32"),
+        max_points: int = 64,
+        order: int | None = None,
+        batch: int = 8,
+    ) -> None:
+        """Run one timed probe apply per precision (plus a batch probe).
+
+        ``ev_factory(precision)`` returns a fresh evaluator; the same
+        :class:`SubsampleProbe` instance should be shared with the
+        accuracy ladder so trees and references are built once.
+        """
+        tree, lists, _ = probe.geometry(max_points)
+        for prec in precisions:
+            ev = ev_factory(prec)
+            t1, _, prof = probe.timed_apply(
+                ev, max_points, precision=prec, warmups=1, reps=1
+            )
+            self.ingest_probe(ev, tree, lists, prof, prec)
+            if batch > 1:
+                tq, _, _ = probe.timed_apply(
+                    ev, max_points, precision=prec, warmups=1, reps=1,
+                    batch=batch,
+                )
+                eff = (tq / max(t1, 1e-9) - 1.0) / max(batch - 1, 1)
+                self.batch_eff[prec] = float(min(max(eff, 0.02), 1.0))
+
+    # -- prediction --------------------------------------------------------
+
+    def predict_phases(
+        self, ev, tree, lists, precision: str = "fp64"
+    ) -> dict[str, float]:
+        """Predicted seconds per phase for one single-RHS apply."""
+        flops = phase_flops(ev, tree, lists)
+        out = {}
+        for ph in PHASES:
+            c = self.coeffs.get((ph, precision))
+            if c is None:  # fall back to the other precision's coefficient
+                other = "fp64" if precision == "fp32" else "fp32"
+                c = self.coeffs.get((ph, other), 0.0)
+            out[ph] = c * flops[ph]
+        return out
+
+    def predict_apply(
+        self, ev, tree, lists, precision: str = "fp64", batch: int = 1
+    ) -> float:
+        """Predicted wall seconds of one (possibly multi-RHS) apply."""
+        base = sum(self.predict_phases(ev, tree, lists, precision).values())
+        base += self.overhead.get(precision, 0.0)
+        if batch > 1:
+            eff = self.batch_eff.get(precision, _DEFAULT_BATCH_EFF)
+            base *= 1.0 + eff * (batch - 1)
+        return base * self.correction
+
+    # -- online correction -------------------------------------------------
+
+    def observe(self, observed_s: float, predicted_s: float) -> float:
+        """EWMA-fold an observed apply span against its prediction.
+
+        Returns the updated correction factor.  Bounded to [0.1, 10] so a
+        single pathological span cannot poison the model.
+        """
+        if predicted_s > 0 and observed_s > 0:
+            ratio = observed_s / predicted_s
+            ratio = min(max(ratio, 0.1), 10.0)
+            self.correction = (
+                (1 - _OBSERVE_ALPHA) * self.correction
+                + _OBSERVE_ALPHA * ratio
+            )
+        return self.correction
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "coeffs": {
+                f"{ph}@{prec}": c for (ph, prec), c in self.coeffs.items()
+            },
+            "overhead": dict(self.overhead),
+            "batch_eff": dict(self.batch_eff),
+            "correction": self.correction,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CostModel":
+        m = cls()
+        for key, c in d.get("coeffs", {}).items():
+            ph, _, prec = key.partition("@")
+            m.coeffs[(ph, prec)] = float(c)
+        m.overhead = {k: float(v) for k, v in d.get("overhead", {}).items()}
+        m.batch_eff = {k: float(v) for k, v in d.get("batch_eff", {}).items()}
+        m.correction = float(d.get("correction", 1.0))
+        return m

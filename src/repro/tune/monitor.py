@@ -1,0 +1,151 @@
+"""Online SLO monitor: watch windowed percentiles, re-tune on drift.
+
+The monitor closes the autotuning loop: :mod:`repro.tune.search` picks a
+config at registration time, and :class:`SloMonitor` keeps it honest
+under live traffic.  It polls the serving metrics' *sliding-window*
+latency percentile (lifetime percentiles dilute drift away — see
+``serve/metrics.py``) and, when the observed percentile stays above the
+SLO band for ``sustain`` consecutive polls, fires exactly one re-tune
+callback.
+
+Anti-flapping is structural, not probabilistic:
+
+* drift must *sustain* — one bad poll resets nothing, ``sustain``
+  consecutive bad polls are required;
+* the re-tune runs under an in-progress guard (a second trigger cannot
+  start while one runs);
+* after a re-tune the window is reset (stale pre-swap samples would
+  immediately re-trigger) and a ``cooldown_s`` refractory period starts.
+
+The re-tune callback itself is supplied by the engine
+(:meth:`repro.serve.engine.ServeEngine.retune`): probes run off the hot
+path on a worker-independent thread, and the new config is published
+with the same atomic batch-boundary snapshot swap the dynamic-geometry
+path uses, so in-flight batches keep their config version's bit-exact
+answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.tune.search import SLO
+
+__all__ = ["SloMonitor"]
+
+
+class SloMonitor:
+    """Watches one model's windowed latency percentile against an SLO.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.serve.metrics.ServeMetrics` (anything with
+        ``window_quantile``/``window_count``/``reset_window``).
+    model:
+        Registered model name to watch.
+    slo:
+        The :class:`SLO`; drift means the windowed ``slo.percentile``
+        latency exceeds ``slo.latency_s * slo.drift_band``.
+    retune:
+        ``callable(model_name, observed_p_s) -> None`` run (synchronously
+        from :meth:`poll`) when sustained drift is detected.
+    """
+
+    def __init__(
+        self,
+        metrics,
+        model: str,
+        slo: SLO,
+        retune,
+        interval_s: float = 1.0,
+        sustain: int = 3,
+        cooldown_s: float = 30.0,
+    ):
+        self.metrics = metrics
+        self.model = model
+        self.slo = slo
+        self.retune = retune
+        self.interval_s = float(interval_s)
+        self.sustain = max(1, int(sustain))
+        self.cooldown_s = float(cooldown_s)
+        self.retunes = 0
+        self.last_observed_s: float | None = None
+        self._hits = 0
+        self._cooldown_until = 0.0
+        self._in_progress = False
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- core --------------------------------------------------------------
+
+    def poll(self, now: float | None = None) -> bool:
+        """One monitoring step; returns True iff a re-tune fired.
+
+        ``now`` is injectable for tests (defaults to ``time.monotonic``).
+        """
+        now = time.monotonic() if now is None else now
+        if self.metrics.window_count(self.model) < self.slo.min_window:
+            return False
+        p = self.metrics.window_quantile(self.model, self.slo.percentile)
+        if p is None:
+            return False
+        self.last_observed_s = p
+        if p <= self.slo.latency_s * self.slo.drift_band:
+            self._hits = 0
+            return False
+        self._hits += 1
+        if self._hits < self.sustain:
+            return False
+        with self._lock:
+            if self._in_progress or now < self._cooldown_until:
+                return False
+            self._in_progress = True
+        try:
+            self.retune(self.model, p)
+            self.retunes += 1
+        finally:
+            with self._lock:
+                self._in_progress = False
+                self._cooldown_until = now + self.cooldown_s
+            self._hits = 0
+            # stale pre-retune samples must not re-trigger instantly
+            self.metrics.reset_window(self.model)
+        return True
+
+    # -- background thread -------------------------------------------------
+
+    def start(self) -> "SloMonitor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.poll()
+                except Exception:  # monitor must never kill the engine
+                    pass
+
+        self._thread = threading.Thread(
+            target=loop, name=f"slo-monitor-{self.model}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        t, self._thread = self._thread, None
+        if t is not None:
+            t.join(timeout=5.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "model": self.model,
+            "slo": self.slo.to_dict(),
+            "retunes": self.retunes,
+            "observed_s": self.last_observed_s,
+            "sustain_hits": self._hits,
+        }

@@ -62,11 +62,30 @@ class TestCli:
         assert back.message_events(kind="send")
         assert back.per_rank_send_counts()
 
-    def test_tune(self, capsys):
-        rc = main(["tune", "--n", "2500", "--order", "4", "--sample", "2500"])
+    def test_tune_q_sweep(self, capsys):
+        rc = main(["tune", "--q-sweep", "--n", "2500", "--order", "4",
+                   "--sample", "2500"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "best q" in out
+
+    def test_tune_slo_search(self, capsys, tmp_path):
+        store = tmp_path / "tune_store"
+        rc = main([
+            "tune", "--n", "1500", "--latency-ms", "30000",
+            "--rtol", "1e-2", "--orders", "4", "--leaf-sizes", "64,144",
+            "--precisions", "fp64", "--batch-shapes", "4:2",
+            "--sample", "600", "--store", str(store),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chosen: o4q" in out
+        assert "SLO met" in out
+        assert "stored under" in out
+        # the persisted entry round-trips through the store
+        from repro.tune.store import TuneStore
+
+        assert TuneStore(str(store)).entries()
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

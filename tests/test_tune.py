@@ -1,0 +1,437 @@
+"""Tests for the online autotuner: cost model, search, store, monitor,
+serving integration and the distributed collective config vote."""
+
+import numpy as np
+import pytest
+
+from repro import Fmm
+from repro.core.autotune import SubsampleProbe
+from repro.core.evaluator import FmmEvaluator
+from repro.core.lists import build_lists
+from repro.core.tree import build_tree
+from repro.kernels import get_kernel
+from repro.serve import ServeEngine
+from repro.serve.metrics import ServeMetrics
+from repro.tune.cost import CostModel, phase_flops, plan_bytes_estimate
+from repro.tune.monitor import SloMonitor
+from repro.tune.search import (
+    SLO,
+    TuneConfig,
+    default_grid,
+    measure_grid,
+    propose_config,
+    tune,
+)
+from repro.tune.store import TuneStore, geometry_fingerprint
+
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(SEED).random((900, 3))
+
+
+#: A grid whose winner dominates by construction (order 4 strictly beats
+#: order 6 on cost at equal accuracy-feasibility), so selection does not
+#: hinge on sub-noise measured differences.
+def tiny_grid():
+    return default_grid(
+        900, orders=(4, 6), leaf_sizes=(64,), precisions=("fp64",),
+        batch_shapes=((4, 1.0),),
+    )
+
+
+class TestCostModel:
+    def test_phase_flops_positive(self, points):
+        ev = FmmEvaluator(get_kernel("laplace"), 4)
+        tree = build_tree(points, 64)
+        lists = build_lists(tree)
+        flops = phase_flops(ev, tree, lists)
+        assert set(flops) == {"S2U", "U2U", "VLI", "XLI", "D2D", "WLI",
+                              "D2T", "ULI"}
+        assert flops["ULI"] > 0 and flops["S2U"] > 0 and flops["VLI"] > 0
+
+    def test_plan_bytes_scale_with_precision(self, points):
+        ev = FmmEvaluator(get_kernel("laplace"), 4)
+        tree = build_tree(points, 64)
+        lists = build_lists(tree)
+        b64 = plan_bytes_estimate(ev, tree, lists, "fp64", 2**30)
+        b32 = plan_bytes_estimate(ev, tree, lists, "fp32", 2**30)
+        assert 0 < b32 < b64
+
+    def test_calibrated_predictions_positive(self, points):
+        probe = SubsampleProbe(points, sample=500, seed=SEED)
+        model = CostModel()
+        model.calibrate(
+            probe, lambda p: FmmEvaluator(probe.kernel, 4, precision=p),
+            precisions=("fp64",), max_points=64, order=4,
+        )
+        ev = FmmEvaluator(probe.kernel, 4)
+        tree = build_tree(points, 64)
+        lists = build_lists(tree)
+        t1 = model.predict_apply(ev, tree, lists, "fp64", batch=1)
+        t8 = model.predict_apply(ev, tree, lists, "fp64", batch=8)
+        assert 0 < t1 <= t8
+
+    def test_roundtrip_and_observe_bounds(self):
+        model = CostModel()
+        model.coeffs[("ULI", "fp64")] = 1e-9
+        model.overhead["fp64"] = 1e-3
+        back = CostModel.from_dict(model.to_dict())
+        assert back.coeffs[("ULI", "fp64")] == pytest.approx(1e-9)
+        for _ in range(50):
+            model.observe(observed_s=100.0, predicted_s=1.0)
+        assert model.correction <= 10.0
+        for _ in range(50):
+            model.observe(observed_s=1.0, predicted_s=100.0)
+        assert model.correction >= 0.1
+
+
+class TestSearch:
+    def test_propose_deterministic_under_fixed_seed(self, points):
+        slo = SLO(latency_s=30.0, precision_rtol=1e-2)
+        a = propose_config(points, slo=slo, grid=tiny_grid(),
+                           seed=SEED, sample=500)
+        b = propose_config(points, slo=slo, grid=tiny_grid(),
+                           seed=SEED, sample=500)
+        assert a == b
+        assert a.order == 4  # dominated order never wins
+
+    def test_measured_search_deterministic_and_within_budget(self, points):
+        slo = SLO(latency_s=30.0, precision_rtol=1e-2)
+        r1 = tune(points, slo=slo, grid=tiny_grid(), seed=SEED, sample=500)
+        r2 = tune(points, slo=slo, grid=tiny_grid(), seed=SEED, sample=500)
+        assert r1.config == r2.config
+        assert r1.n_probed <= max(1, int(np.ceil(0.25 * r1.grid_size)))
+        assert r1.met_slo
+
+    def test_accuracy_floor_never_violated(self, points):
+        slo = SLO(latency_s=30.0, precision_rtol=1e-3)
+        grid = default_grid(900, orders=(4, 6), leaf_sizes=(64,),
+                            precisions=("fp64", "fp32"),
+                            batch_shapes=((4, 1.0),))
+        rep = tune(points, slo=slo, grid=grid, seed=SEED, sample=500)
+        cfg = rep.config
+        cell = rep.accuracy[f"o{cfg.order}/{cfg.precision}"]
+        safety = 2.0 if cfg.precision == "fp32" else 1.0
+        assert cell * safety <= slo.precision_rtol
+
+    def test_impossible_floor_reported_not_silently_met(self, points):
+        slo = SLO(latency_s=30.0, precision_rtol=1e-15)
+        rep = tune(points, slo=slo, grid=tiny_grid(), seed=SEED, sample=500)
+        assert not rep.met_slo  # nothing clears a 1e-15 floor
+
+    def test_measure_grid_covers_every_config(self, points):
+        grid = tiny_grid()
+        out = measure_grid(points, grid=grid, seed=SEED, reps=1)
+        assert set(out) == set(grid)
+        assert all(t > 0 for t in out.values())
+
+    def test_config_key_roundtrip(self):
+        cfg = TuneConfig(order=6, max_points=144, precision="fp32",
+                         max_batch=16, max_wait_ms=4.0)
+        assert TuneConfig.from_dict(cfg.to_dict()) == cfg
+        assert "o6q144fp32" in cfg.key()
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path, points):
+        store = TuneStore(tmp_path / "t.json")
+        slo = SLO()
+        fp = geometry_fingerprint(points)
+        cfg = TuneConfig(order=4, max_points=64)
+        store.put(fp, "laplace", slo, cfg)
+        assert store.get(fp, "laplace", slo) == cfg
+
+    def test_invalidation_on_fingerprint_change(self, tmp_path, points):
+        store = TuneStore(tmp_path / "t.json")
+        slo = SLO()
+        fp = geometry_fingerprint(points)
+        store.put(fp, "laplace", slo, TuneConfig())
+        moved = points + np.array([0.21, 0.0, 0.0])  # geometry changed
+        fp2 = geometry_fingerprint(np.clip(moved, 0, 1.2))
+        assert fp2 != fp
+        assert store.get(fp2, "laplace", slo) is None  # never looked up
+        assert store.invalidate(fp) == 1
+        assert store.get(fp, "laplace", slo) is None
+
+    def test_key_axes_are_independent(self, tmp_path, points):
+        store = TuneStore(tmp_path / "t.json")
+        fp = geometry_fingerprint(points)
+        store.put(fp, "laplace", SLO(), TuneConfig(order=4))
+        assert store.get(fp, "stokes", SLO()) is None
+        assert store.get(fp, "laplace", SLO(latency_s=9.0)) is None
+        assert store.get(fp, "laplace", SLO(), backend="dist4") is None
+
+    def test_corrupt_and_versioned_files_treated_empty(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("{not json")
+        store = TuneStore(path)
+        assert store.entries() == []
+        path.write_text('{"version": 999, "entries": {"k": {}}}')
+        assert store.entries() == []
+
+
+class _FakeMetrics:
+    """Minimal window surface the monitor polls."""
+
+    def __init__(self):
+        self.p95 = 0.0
+        self.count = 100
+        self.resets = 0
+
+    def window_count(self, model):
+        return self.count
+
+    def window_quantile(self, model, pct, kind="latencies"):
+        return self.p95
+
+    def reset_window(self, model):
+        self.resets += 1
+
+
+class TestMonitor:
+    def make(self, retunes, **kw):
+        metrics = _FakeMetrics()
+        slo = SLO(latency_s=0.1, drift_band=1.25, min_window=16)
+        mon = SloMonitor(metrics, "m", slo,
+                         retune=lambda m, p: retunes.append(p), **kw)
+        return metrics, mon
+
+    def test_sustained_drift_fires_exactly_once(self):
+        fired = []
+        metrics, mon = self.make(fired, sustain=3, cooldown_s=30.0)
+        metrics.p95 = 0.5  # 4x over the band
+        assert not mon.poll(now=0.0)
+        assert not mon.poll(now=1.0)
+        assert mon.poll(now=2.0)  # third consecutive -> fire
+        assert fired == [0.5]
+        assert metrics.resets == 1  # stale window cleared after re-tune
+        # cooldown: still drifting, but no flapping
+        assert not mon.poll(now=3.0)
+        assert not mon.poll(now=4.0)
+        assert not mon.poll(now=5.0)
+        assert fired == [0.5]
+
+    def test_transient_spike_does_not_fire(self):
+        fired = []
+        metrics, mon = self.make(fired, sustain=3)
+        metrics.p95 = 0.5
+        mon.poll(now=0.0)
+        mon.poll(now=1.0)
+        metrics.p95 = 0.05  # recovered: sustain counter resets
+        mon.poll(now=2.0)
+        metrics.p95 = 0.5
+        mon.poll(now=3.0)
+        mon.poll(now=4.0)
+        assert fired == []
+
+    def test_refires_after_cooldown(self):
+        fired = []
+        metrics, mon = self.make(fired, sustain=1, cooldown_s=10.0)
+        metrics.p95 = 0.5
+        assert mon.poll(now=0.0)
+        assert not mon.poll(now=5.0)  # inside cooldown
+        assert mon.poll(now=11.0)  # cooldown over, drift persists
+        assert len(fired) == 2
+
+    def test_short_window_never_fires(self):
+        fired = []
+        metrics, mon = self.make(fired, sustain=1)
+        metrics.count = 3  # below slo.min_window
+        metrics.p95 = 9.9
+        assert not mon.poll(now=0.0)
+        assert fired == []
+
+    def test_retune_exceptions_do_not_leak_state(self):
+        metrics = _FakeMetrics()
+        slo = SLO(latency_s=0.1, min_window=16)
+
+        def boom(m, p):
+            raise RuntimeError("probe failed")
+
+        mon = SloMonitor(metrics, "m", slo, retune=boom, sustain=1)
+        metrics.p95 = 0.5
+        with pytest.raises(RuntimeError):
+            mon.poll(now=0.0)
+        assert mon._in_progress is False  # guard released
+
+
+class TestWindowMetrics:
+    def test_window_tracks_recent_only_after_reset(self):
+        m = ServeMetrics(window_k=8)
+        for _ in range(20):
+            m.record_completed("a", 1.0, 0.0, 1)
+        assert m.window_count("a") == 8  # bounded by K
+        assert m.window_quantile("a", 95.0) == pytest.approx(1.0)
+        m.reset_window("a")
+        assert m.window_count("a") == 0
+        m.record_completed("a", 5.0, 0.0, 1)
+        assert m.window_quantile("a", 95.0) == pytest.approx(5.0)
+        # lifetime reservoir survives the window reset
+        snap = m.snapshot()
+        assert snap["models"]["a"]["completed"] == 21
+
+    def test_merge_concatenates_windows(self):
+        a, b = ServeMetrics(window_k=8), ServeMetrics(window_k=8)
+        for _ in range(4):
+            a.record_completed("m", 1.0, 0.0, 1)
+        for _ in range(4):
+            b.record_completed("m", 3.0, 0.0, 1)
+        snap = ServeMetrics.merge([a, b])
+        w = snap["models"]["m"]["window"]
+        assert w["count"] == 8
+        # union of raw samples, not percentile-of-percentiles
+        assert w["latency_s"]["p50"] == pytest.approx(2.0, abs=1.01)
+
+    def test_config_swaps_counted(self):
+        m = ServeMetrics()
+        m.record_config_swap("m", tune_s=0.5)
+        m.record_config_swap("m")
+        assert m.snapshot()["models"]["m"]["config_swaps"] == 2
+
+
+class TestServeIntegration:
+    @pytest.fixture()
+    def tuned_engine(self, points, tmp_path):
+        engine = ServeEngine(n_workers=1)
+        store = TuneStore(tmp_path / "store.json")
+        slo = SLO(latency_s=30.0, precision_rtol=1e-2)
+        engine.register("m", Fmm("laplace"), points, slo=slo, store=store,
+                        tune_grid=tiny_grid(), tune_seed=SEED)
+        yield engine, store, slo
+        engine.stop()
+
+    def test_register_applies_tuned_config(self, tuned_engine, points):
+        engine, store, slo = tuned_engine
+        model = engine._model("m")
+        assert model.tuned is not None
+        assert model.geometry.fmm.order == model.tuned.order
+        stats = engine.plan_stats()["m"]["config"]
+        assert stats["order"] == model.tuned.order
+        assert stats["precision"] == model.tuned.precision
+        # the vote/store agree on a second registration (store hit)
+        engine2 = ServeEngine(n_workers=1)
+        engine2.register("m", Fmm("laplace"), points, slo=slo, store=store,
+                         tune_grid=tiny_grid(), tune_seed=SEED)
+        assert engine2._model("m").tuned == model.tuned
+
+    def test_served_answers_bit_identical_per_version(self, tuned_engine,
+                                                      points):
+        engine, _, _ = tuned_engine
+        model = engine._model("m")
+        dens = np.random.default_rng(1).standard_normal(model.expected)
+        with engine:
+            a = engine.evaluate("m", dens)
+            b = engine.evaluate("m", dens)
+            assert np.array_equal(a, b)
+            # swap to a different config: new version, still bit-stable
+            new = TuneConfig(order=4, max_points=144, precision="fp64",
+                             max_batch=4, max_wait_ms=1.0)
+            res = engine.apply_tuned_config("m", new)
+            assert res["swapped"]
+            c = engine.evaluate("m", dens)
+            d = engine.evaluate("m", dens)
+            assert np.array_equal(c, d)
+        assert engine._model("m").tuned == new
+
+    def test_swap_to_same_config_is_noop(self, tuned_engine):
+        engine, _, _ = tuned_engine
+        model = engine._model("m")
+        res = engine.apply_tuned_config("m", model.tuned)
+        assert res["swapped"] is False
+
+    def test_monitor_drift_triggers_engine_retune(self, tuned_engine):
+        engine, _, slo = tuned_engine
+        calls = []
+        real_retune = engine.retune
+
+        def counting(name, observed_s=None):
+            calls.append(observed_s)
+            return real_retune(name, observed_s=observed_s)
+
+        mon = SloMonitor(engine.metrics, "m", slo, retune=counting,
+                         sustain=2, cooldown_s=60.0)
+        # synthesize a sustained drift in the sliding window
+        for _ in range(slo.min_window):
+            engine.metrics.record_completed(
+                "m", slo.latency_s * 3.0, 0.0, 1)
+        assert not mon.poll(now=0.0)
+        assert mon.poll(now=1.0)
+        assert len(calls) == 1
+        assert engine.metrics.window_count("m") == 0  # reset after re-tune
+        assert not mon.poll(now=2.0)  # no flapping
+
+    def test_retune_without_slo_raises(self, points):
+        engine = ServeEngine(n_workers=1)
+        engine.register("plain", Fmm("laplace"), points)
+        with pytest.raises(ValueError):
+            engine.retune("plain")
+        engine.stop()
+
+
+class TestDistVote:
+    def test_vote_reduction_modal_with_deterministic_ties(self, points,
+                                                          monkeypatch):
+        from repro.serve.dist_engine import DistServeEngine
+        import repro.tune.search as search_mod
+
+        cfg_x = TuneConfig(order=4, max_points=64)
+        cfg_y = TuneConfig(order=4, max_points=144)
+
+        def rigged(pts, kernel="laplace", slo=None, grid=None, seed=0,
+                   sample=None):
+            return cfg_x if seed % 4 == 0 else cfg_y  # rank 0 dissents
+
+        monkeypatch.setattr(search_mod, "propose_config", rigged)
+        eng = DistServeEngine(nranks=4)
+        won = eng._vote_config(points, get_kernel("laplace"), 4, SLO(),
+                               None, 0, None)
+        assert won == cfg_y  # modal proposal wins over the dissenter
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_collective_vote_agrees_and_serves(self, points, tmp_path, p):
+        from repro.serve.dist_engine import DistServeEngine
+
+        store = TuneStore(tmp_path / f"dist{p}.json")
+        slo = SLO(latency_s=30.0, precision_rtol=1e-2)
+        eng = DistServeEngine(nranks=p)
+        m = eng.register("m", points, slo=slo, store=store,
+                         tune_grid=tiny_grid(), tune_seed=SEED)
+        assert m.tuned is not None and m.slo == slo
+        # the agreed config is persisted under the dist backend key
+        fp = geometry_fingerprint(points)
+        assert store.get(fp, "laplace", slo, backend=f"dist{p}") == m.tuned
+        # a second engine takes the store-hit path to the same config
+        eng2 = DistServeEngine(nranks=p)
+        m2 = eng2.register("m", points, slo=slo, store=store,
+                          tune_grid=tiny_grid(), tune_seed=SEED)
+        assert m2.tuned == m.tuned
+        dens = np.random.default_rng(2).standard_normal(m.expected)
+        assert np.array_equal(eng.evaluate("m", dens),
+                              eng.evaluate("m", dens))
+
+    def test_router_snapshot_exposes_tuned_config(self, points, tmp_path):
+        from repro.serve.dist_engine import DistServeEngine
+        from repro.serve.router import Router
+
+        eng = DistServeEngine(nranks=2)
+        eng.register("m", points, slo=SLO(latency_s=30.0,
+                                          precision_rtol=1e-2),
+                     tune_grid=tiny_grid())
+        snap = Router(eng).metrics_snapshot()
+        assert snap["tuned"]["m"]["config"]["order"] == 4
+        assert snap["tuned"]["m"]["slo"]["latency_s"] == 30.0
+
+
+class TestBatcherLimits:
+    def test_per_model_limits_override_engine_defaults(self):
+        from repro.serve.batcher import MicroBatcher
+        from repro.serve.scheduler import FairQueue
+
+        limits = {"tuned": (16, 4.0)}
+        b = MicroBatcher(FairQueue(), max_batch=8, max_wait_ms=2.0,
+                         limits=limits.get)
+        assert b._limits_for("tuned") == (16, 0.004)
+        assert b._limits_for("plain") == (8, 0.002)
