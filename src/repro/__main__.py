@@ -36,7 +36,7 @@ def _cmd_evaluate(args) -> int:
     dens = rng.standard_normal(args.n * kernel.source_dim)
 
     fmm = Fmm(kernel, order=args.order, max_points_per_box=args.q,
-              precision=args.precision)
+              precision=args.precision, threads=args.threads)
     if args.steps:
         return _cmd_evaluate_dynamic(args, fmm, kernel, points, dens)
     profile = PhaseProfile()
@@ -291,8 +291,13 @@ def _tune_grid_from_args(args, n):
         (int(b), float(w))
         for b, w in (s.split(":") for s in args.batch_shapes.split(","))
     )
+    threads_opts = (
+        tuple(int(x) for x in args.threads.split(","))
+        if getattr(args, "threads", None) else None
+    )
     return default_grid(n, orders=orders, leaf_sizes=leafs,
-                        precisions=precs, batch_shapes=shapes)
+                        precisions=precs, batch_shapes=shapes,
+                        threads_opts=threads_opts)
 
 
 def _write_bench_json(path, key, payload) -> None:
@@ -816,6 +821,7 @@ def _cmd_serve_dist(args) -> int:
         retry=RetryPolicy(max_attempts=3, backoff=0.05, seed=args.seed),
         integrity=True,
         run_timeout_s=args.timeout,
+        threads=args.threads,
     )
     print(
         f"registering 3 models on {p} ranks: N={args.n} {args.kernel} "
@@ -1052,6 +1058,7 @@ def _cmd_serve(args) -> int:
         faults=faults,
         retry=retry,
         matrix_budget=args.matrix_budget_mb * 2**20,
+        threads=args.threads,
     )
     print(
         f"registering {args.models} model(s): N={args.n} {args.kernel} "
@@ -1100,6 +1107,7 @@ def _cmd_serve(args) -> int:
         "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
         "timeout_s": args.timeout, "chaos": bool(args.chaos),
         "matrix_budget_mb": args.matrix_budget_mb,
+        "threads": args.threads,
         "precision": args.precision,
         "autotune": bool(args.autotune),
         "slo_ms": args.slo_ms if args.autotune else None,
@@ -1255,6 +1263,10 @@ def main(argv=None) -> int:
                     help="with --steps: exit nonzero unless every step is "
                          "bit-identical and the median patch time beats "
                          "0.5x the median recompile time")
+    pe.add_argument("--threads", type=int, default=None, metavar="T",
+                    help="intra-rank parallelism: run plan phase tiles on "
+                         "a T-thread pool (bit-identical to serial; "
+                         "default: single-threaded)")
     pe.set_defaults(fn=_cmd_evaluate)
 
     pr = sub.add_parser(
@@ -1314,6 +1326,9 @@ def main(argv=None) -> int:
                     help="comma list of plan precisions in the grid")
     pt.add_argument("--batch-shapes", default="8:2",
                     help="comma list of max_batch:max_wait_ms pairs")
+    pt.add_argument("--threads", default=None, metavar="T1,T2,...",
+                    help="comma list of intra-rank thread counts in the "
+                         "grid (default: auto from the host core count)")
     pt.add_argument("--store", default=None, metavar="PATH",
                     help="persist the chosen config in this TuneStore JSON")
     pt.add_argument("--no-measure", action="store_true",
@@ -1401,6 +1416,10 @@ def main(argv=None) -> int:
                     help="autotune SLO: p95 latency target in ms")
     ps.add_argument("--store", default=None, metavar="PATH",
                     help="TuneStore JSON consulted/updated by --autotune")
+    ps.add_argument("--threads", type=int, default=None, metavar="T",
+                    help="intra-rank parallelism: all models share one "
+                         "T-thread tile pool (bit-identical results; "
+                         "default: single-threaded applies)")
     ps.add_argument("--chaos", action="store_true",
                     help="inject one phase-crash per worker; accepted "
                          "requests must still complete via retry")

@@ -87,6 +87,7 @@ class FmmEvaluator:
         eval_kernel: Kernel | None = None,
         precision: str = "fp64",
         precision_rtol: float | None = None,
+        threads: int | None = None,
     ):
         from repro.core.plan import VALID_PRECISIONS, PrecisionError
 
@@ -124,6 +125,61 @@ class FmmEvaluator:
         self._auto_choice = None
         self._auto_result = None
         self._auto_lock = threading.Lock()
+        # Intra-rank parallelism: plan applies run their phase tiles on a
+        # TaskPool when ``threads`` is set (``None`` = the historical
+        # serial path).  The pool may also be an externally owned shared
+        # executor (the serving engines) via :meth:`set_pool`.
+        self._threads = None if threads is None else max(1, int(threads))
+        self._pool = None
+        self._pool_owned = False
+        self._pool_lock = threading.Lock()
+
+    # -- intra-rank parallelism --------------------------------------------
+
+    @property
+    def threads(self) -> int | None:
+        """Configured task-pool size (``None`` = serial legacy path)."""
+        return self._threads
+
+    @property
+    def task_pool(self):
+        """The active :class:`~repro.core.parallel.TaskPool`, or ``None``.
+
+        Created lazily from ``threads`` so constructing an evaluator
+        never spawns OS threads; plan applies pass this to every phase.
+        """
+        if self._threads is None:
+            return self._pool  # None, or an externally shared pool
+        with self._pool_lock:
+            if self._pool is None:
+                from repro.core.parallel import TaskPool
+
+                self._pool = TaskPool(self._threads, name="fmm")
+                self._pool_owned = True
+            return self._pool
+
+    def set_pool(self, pool) -> None:
+        """Route tile work through an externally owned pool.
+
+        The serving engines call this so every model shares one
+        process-wide executor instead of nesting per-model pools under
+        the worker pool.  ``None`` restores the serial path.
+        """
+        with self._pool_lock:
+            if self._pool_owned and self._pool is not None:
+                self._pool.shutdown()
+            self._pool = pool
+            self._pool_owned = False
+            self._threads = None if pool is None else pool.threads
+
+    def configure_threads(self, threads: int | None) -> None:
+        """Re-size (or disable, with ``None``) the evaluator's own pool."""
+        with self._pool_lock:
+            if self._pool_owned and self._pool is not None:
+                self._pool.shutdown()
+            self._pool = None
+            self._pool_owned = False
+            self._threads = None if threads is None else max(1, int(threads))
 
     # -- plans -------------------------------------------------------------
 
@@ -428,25 +484,26 @@ class FmmEvaluator:
             ]
             return np.stack(cols, axis=1)
         state = self.allocate_multi(tree, q)
+        pool = self.task_pool
         with profile.phase("S2U"):
-            plan.apply_s2u_multi(self, dens, state, profile)
+            plan.apply_s2u_multi(self, dens, state, profile, pool=pool)
         with profile.phase("U2U"):
-            plan.apply_u2u_multi(self, state, profile)
+            plan.apply_u2u_multi(self, state, profile, pool=pool)
         with profile.phase("VLI"):
             if self.m2l_mode == "fft":
-                plan.apply_vli_fft_multi(self, state, profile)
+                plan.apply_vli_fft_multi(self, state, profile, pool=pool)
             else:
-                plan.apply_vli_dense_multi(self, state, profile)
+                plan.apply_vli_dense_multi(self, state, profile, pool=pool)
         with profile.phase("XLI"):
-            plan.apply_xli_multi(self, dens, state, profile)
+            plan.apply_xli_multi(self, dens, state, profile, pool=pool)
         with profile.phase("D2D"):
-            plan.apply_d2d_multi(self, state, profile)
+            plan.apply_d2d_multi(self, state, profile, pool=pool)
         with profile.phase("WLI"):
-            plan.apply_wli_multi(self, tree, state, profile)
+            plan.apply_wli_multi(self, tree, state, profile, pool=pool)
         with profile.phase("D2T"):
-            plan.apply_d2t_multi(self, state, profile)
+            plan.apply_d2t_multi(self, state, profile, pool=pool)
         with profile.phase("ULI"):
-            plan.apply_uli_multi(self, dens, state, profile)
+            plan.apply_uli_multi(self, dens, state, profile, pool=pool)
         pot = state["pot"]  # (n_points, q, kt_eval)
         return np.ascontiguousarray(pot.transpose(0, 2, 1)).reshape(
             -1, q
@@ -599,7 +656,7 @@ class FmmEvaluator:
         double-counts.
         """
         if plan is not None:
-            plan.apply_s2u(self, dens, state, profile)
+            plan.apply_s2u(self, dens, state, profile, pool=self.task_pool)
             return
         ks, kt = self.kernel.source_dim, self.kernel.target_dim
         up = state["up"]
@@ -625,7 +682,7 @@ class FmmEvaluator:
     def u2u(self, tree, state, profile, scope=None, plan=None) -> None:
         """Post-order M2M accumulation (children into parents)."""
         if plan is not None:
-            plan.apply_u2u(self, state, profile)
+            plan.apply_u2u(self, state, profile, pool=self.task_pool)
             return
         up = state["up"]
         counts = tree.point_counts()
@@ -649,9 +706,9 @@ class FmmEvaluator:
         """V-list translations (FFT-diagonal by default)."""
         if plan is not None:
             if self.m2l_mode == "fft":
-                plan.apply_vli_fft(self, state, profile)
+                plan.apply_vli_fft(self, state, profile, pool=self.task_pool)
             else:
-                plan.apply_vli_dense(self, state, profile)
+                plan.apply_vli_dense(self, state, profile, pool=self.task_pool)
             return
         if self.m2l_mode == "fft":
             self._vli_fft(tree, lists, state, profile, scope)
@@ -785,7 +842,7 @@ class FmmEvaluator:
         so the split is bit-identical to running X-list in place.
         """
         if plan is not None:
-            return plan.compute_xli(self, dens, profile)
+            return plan.compute_xli(self, dens, profile, pool=self.task_pool)
         ks = self.kernel.source_dim
         counts = tree.point_counts()
         x = lists.x
@@ -849,7 +906,7 @@ class FmmEvaluator:
     def d2d(self, tree, state, profile, scope=None, plan=None) -> None:
         """Pre-order L2L propagation and check-to-equivalent conversion."""
         if plan is not None:
-            plan.apply_d2d(self, state, profile)
+            plan.apply_d2d(self, state, profile, pool=self.task_pool)
             return
         dcheck, dequiv = state["dcheck"], state["dequiv"]
         # Root has no far field: dequiv stays zero.
@@ -883,7 +940,7 @@ class FmmEvaluator:
         plan path does) before one vectorised add.
         """
         if plan is not None:
-            plan.apply_wli(self, tree, state, profile)
+            plan.apply_wli(self, tree, state, profile, pool=self.task_pool)
             return
         kt = self.eval_kernel.target_dim
         up = state["up"]
@@ -926,7 +983,7 @@ class FmmEvaluator:
     def d2t(self, tree, state, profile, scope=None, plan=None) -> None:
         """Down equivalent densities to potentials at leaf targets."""
         if plan is not None:
-            plan.apply_d2t(self, state, profile)
+            plan.apply_d2t(self, state, profile, pool=self.task_pool)
             return
         kt = self.eval_kernel.target_dim
         dequiv, pot = state["dequiv"], state["pot"]
@@ -1003,7 +1060,7 @@ class FmmEvaluator:
         concatenated (centre-padded, zero-density) neighbour sources.
         """
         if plan is not None:
-            plan.apply_uli(self, dens, state, profile)
+            plan.apply_uli(self, dens, state, profile, pool=self.task_pool)
             return
         ks = self.kernel.source_dim
         kt = self.eval_kernel.target_dim

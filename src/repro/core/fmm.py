@@ -98,6 +98,11 @@ class Fmm:
         :func:`repro.core.autotune.autotune_precision`).
     precision_rtol:
         Relative-error target for ``precision="auto"``.
+    threads:
+        Intra-rank parallelism: run plan phase tiles on a ``threads``-wide
+        task pool (see :mod:`repro.core.parallel`).  Results are
+        bit-identical to serial at any thread count.  ``None`` (default)
+        keeps the single-threaded apply path.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class Fmm:
         balance_tree: bool = False,
         precision: str = "fp64",
         precision_rtol: float | None = None,
+        threads: int | None = None,
     ):
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
         self.order = int(order)
@@ -126,6 +132,7 @@ class Fmm:
             eval_kernel=eval_kernel,
             precision=precision,
             precision_rtol=precision_rtol,
+            threads=threads,
         )
 
     def plan(self, points: np.ndarray, profile: PhaseProfile | None = None) -> FmmPlan:
@@ -154,7 +161,13 @@ class Fmm:
         Useful when the first :meth:`evaluate` call should already run at
         amortised speed (by default the evaluator compiles lazily on the
         second call).  Pass the returned object as ``eval_plan=``.
+
+        ``threads=`` reconfigures the evaluator's task pool for this and
+        all subsequent applies (the compiled plan itself is
+        thread-count-independent).
         """
+        if "threads" in kwargs:
+            self.evaluator.configure_threads(kwargs.pop("threads"))
         return self.evaluator.compile_plan(plan.tree, plan.lists, **kwargs)
 
     def update_plan(

@@ -54,11 +54,13 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.contract import gemm_cols
+from repro.core.parallel import record_parallel_spans
 from repro.core.tree import FmmTree, TreeDelta, diff_trees
 
 __all__ = [
@@ -279,6 +281,10 @@ class EvalPlan:
     #: Guards the lazily compiled W-list section and the matrix budget it
     #: charges — the only plan state mutated after compile.
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: Lazily derived read-after-write frontiers of the U2U step list for
+    #: the parallel executor (see :meth:`_wave_steps`); purely structural,
+    #: so cached per plan under ``_lock``.
+    _par_waves: dict = field(default_factory=dict, repr=False)
     _mat_left: int = field(default=0, repr=False)
     _cache_matrices: bool = field(default=True, repr=False)
 
@@ -390,9 +396,11 @@ class EvalPlan:
 
     # -- phase applies -----------------------------------------------------
 
-    def apply_s2u(self, ev, dens, state, profile) -> None:
+    def apply_s2u(self, ev, dens, state, profile, pool=None) -> None:
         if not self.s2u:
             return
+        if pool is not None:
+            return self._par_s2u(ev, dens, state, profile, pool)
         up = state["up"]
         table = self._dens_table(dens)
         for blk in self.s2u:
@@ -406,13 +414,17 @@ class EvalPlan:
             up[blk.group] = q @ blk.mat.T
             profile.add_flops(blk.flops)
 
-    def apply_u2u(self, ev, state, profile) -> None:
+    def apply_u2u(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_u2u(ev, state, profile, pool)
         up = state["up"]
         for st in self.u2u:
             up[st.dst] += up[st.src] @ st.mat.T
             profile.add_flops(st.flops)
 
-    def apply_vli_fft(self, ev, state, profile) -> None:
+    def apply_vli_fft(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_vli_fft(ev, state, profile, pool)
         up, dcheck = state["up"], state["dcheck"]
         fft = ev.fft
         step_flops = fft.translate_flops_per_pair()
@@ -433,20 +445,22 @@ class EvalPlan:
                 * fft.fft_flops_per_box()
             )
 
-    def apply_vli_dense(self, ev, state, profile) -> None:
+    def apply_vli_dense(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_vli_dense(ev, state, profile, pool)
         up, dcheck = state["up"], state["dcheck"]
         for st in self.vli_dense:
             dcheck[st.dst] += self._cast(up[st.src]) @ st.mat.T
             profile.add_flops(st.flops)
 
-    def apply_xli(self, ev, dens, state, profile) -> None:
+    def apply_xli(self, ev, dens, state, profile, pool=None) -> None:
         if not self.xli:
             return
         dcheck = state["dcheck"]
-        for seg, sums in self.compute_xli(ev, dens, profile):
+        for seg, sums in self.compute_xli(ev, dens, profile, pool=pool):
             dcheck[seg] += sums
 
-    def compute_xli(self, ev, dens, profile) -> list:
+    def compute_xli(self, ev, dens, profile, pool=None) -> list:
         """The GEMM stage of :meth:`apply_xli`, without touching state.
 
         X-list values depend only on the input densities, so the matrix
@@ -455,6 +469,8 @@ class EvalPlan:
         ``dcheck`` later (same values, same per-block order as the fused
         apply — the split is bit-identical).
         """
+        if pool is not None and self.xli:
+            return self._par_compute_xli(ev, dens, profile, pool)
         out = []
         table = self._dens_table(dens) if self.xli else None
         for blk in self.xli:
@@ -469,7 +485,9 @@ class EvalPlan:
             profile.add_flops(blk.flops)
         return out
 
-    def apply_d2d(self, ev, state, profile) -> None:
+    def apply_d2d(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_d2d(ev, state, profile, pool)
         dcheck, dequiv = state["dcheck"], state["dequiv"]
         for lv in self.d2d:
             for st in lv.l2l:
@@ -499,7 +517,7 @@ class EvalPlan:
                     )
             return self._wli
 
-    def apply_wli(self, ev, tree, state, profile) -> None:
+    def apply_wli(self, ev, tree, state, profile, pool=None) -> None:
         if self.wli_rows.size == 0:
             return
         up = state["up"]
@@ -507,6 +525,8 @@ class EvalPlan:
         if not keep.any():
             return
         wli = self._wli_section(ev, tree, keep, profile)
+        if pool is not None:
+            return self._par_wli(ev, wli, state, profile, pool)
         potr = self._pot_table(state)
         kt = self.kt_eval
         for blk in wli.blocks:
@@ -520,7 +540,9 @@ class EvalPlan:
             potr[blk.pot_rows] += sums.reshape(blk.seg.size, blk.pad, kt)
             profile.add_flops(blk.flops)
 
-    def apply_d2t(self, ev, state, profile) -> None:
+    def apply_d2t(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_d2t(ev, state, profile, pool)
         dequiv = state["dequiv"]
         potr = self._pot_table(state)
         kt = self.kt_eval
@@ -534,9 +556,11 @@ class EvalPlan:
             potr[blk.pot_rows] += vals.reshape(blk.group.size, blk.pad, kt)
             profile.add_flops(blk.flops)
 
-    def apply_uli(self, ev, dens, state, profile) -> None:
+    def apply_uli(self, ev, dens, state, profile, pool=None) -> None:
         if not self.uli:
             return
+        if pool is not None:
+            return self._par_uli(ev, dens, state, profile, pool)
         table = self._dens_table(dens)
         potr = self._pot_table(state)
         kt = self.kt_eval
@@ -614,9 +638,11 @@ class EvalPlan:
         ks, q = table.shape[1], table.shape[2]
         return table[rows].reshape(b, pad * ks, q)
 
-    def apply_s2u_multi(self, ev, dens, state, profile) -> None:
+    def apply_s2u_multi(self, ev, dens, state, profile, pool=None) -> None:
         if not self.s2u:
             return
+        if pool is not None:
+            return self._par_s2u_multi(ev, dens, state, profile, pool)
         up = state["up"]
         table = self._dens_table_multi(dens)
         q = table.shape[2]
@@ -634,7 +660,9 @@ class EvalPlan:
                 )
             profile.add_flops(blk.flops * q)
 
-    def apply_u2u_multi(self, ev, state, profile) -> None:
+    def apply_u2u_multi(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_u2u_multi(ev, state, profile, pool)
         up = state["up"]
         q = up.shape[1]
         for st in self.u2u:
@@ -653,7 +681,9 @@ class EvalPlan:
     #: the multi-RHS win lives in the GEMM phases (see DESIGN.md).
     VLI_MULTI_BYTES = 8 * 2**20
 
-    def apply_vli_fft_multi(self, ev, state, profile) -> None:
+    def apply_vli_fft_multi(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_vli_fft_multi(ev, state, profile, pool)
         up, dcheck = state["up"], state["dcheck"]
         q = up.shape[1]
         fft = ev.fft
@@ -688,7 +718,9 @@ class EvalPlan:
                     * (q1 - q0)
                 )
 
-    def apply_vli_dense_multi(self, ev, state, profile) -> None:
+    def apply_vli_dense_multi(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_vli_dense_multi(ev, state, profile, pool)
         up, dcheck = state["up"], state["dcheck"]
         q = up.shape[1]
         for st in self.vli_dense:
@@ -696,9 +728,11 @@ class EvalPlan:
                 dcheck[st.dst, j] += self._cast(up[st.src, j]) @ st.mat.T
             profile.add_flops(st.flops * q)
 
-    def apply_xli_multi(self, ev, dens, state, profile) -> None:
+    def apply_xli_multi(self, ev, dens, state, profile, pool=None) -> None:
         if not self.xli:
             return
+        if pool is not None:
+            return self._par_xli_multi(ev, dens, state, profile, pool)
         dcheck = state["dcheck"]
         table = self._dens_table_multi(dens)
         q = table.shape[2]
@@ -714,7 +748,9 @@ class EvalPlan:
             dcheck[blk.seg] += sums.transpose(0, 2, 1)
             profile.add_flops(blk.flops * q)
 
-    def apply_d2d_multi(self, ev, state, profile) -> None:
+    def apply_d2d_multi(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_d2d_multi(ev, state, profile, pool)
         dcheck, dequiv = state["dcheck"], state["dequiv"]
         q = dcheck.shape[1]
         for lv in self.d2d:
@@ -726,7 +762,7 @@ class EvalPlan:
                 dequiv[lv.nodes, j] = dcheck[lv.nodes, j] @ lv.conv_mat.T
             profile.add_flops(lv.conv_flops * q)
 
-    def apply_wli_multi(self, ev, tree, state, profile) -> None:
+    def apply_wli_multi(self, ev, tree, state, profile, pool=None) -> None:
         if self.wli_rows.size == 0:
             return
         up = state["up"]
@@ -735,6 +771,8 @@ class EvalPlan:
         if not keep.any():
             return
         wli = self._wli_section(ev, tree, keep, profile)
+        if pool is not None:
+            return self._par_wli_multi(ev, wli, state, profile, pool)
         potr = state["_pot_pad"]
         kt = self.kt_eval
         for blk in wli.blocks:
@@ -750,7 +788,9 @@ class EvalPlan:
             ).transpose(0, 1, 3, 2)
             profile.add_flops(blk.flops * q)
 
-    def apply_d2t_multi(self, ev, state, profile) -> None:
+    def apply_d2t_multi(self, ev, state, profile, pool=None) -> None:
+        if pool is not None:
+            return self._par_d2t_multi(ev, state, profile, pool)
         dequiv = state["dequiv"]
         potr = state["_pot_pad"]
         q = dequiv.shape[1]
@@ -767,9 +807,11 @@ class EvalPlan:
             ).transpose(0, 1, 3, 2)
             profile.add_flops(blk.flops * q)
 
-    def apply_uli_multi(self, ev, dens, state, profile) -> None:
+    def apply_uli_multi(self, ev, dens, state, profile, pool=None) -> None:
         if not self.uli:
             return
+        if pool is not None:
+            return self._par_uli_multi(ev, dens, state, profile, pool)
         table = self._dens_table_multi(dens)
         q = table.shape[2]
         potr = state["_pot_pad"]
@@ -788,6 +830,589 @@ class EvalPlan:
                 blk.boxes.size, blk.tp, kt, q
             ).transpose(0, 1, 3, 2)
             profile.add_flops(blk.flops * q)
+
+    # -- parallel phase applies --------------------------------------------
+    #
+    # Every ``_par_*`` body runs the *same* compiled tiles as its serial
+    # twin — a task owns a whole block/chunk/step, never a fraction of
+    # one, because BLAS GEMM results are not stable under a changed row
+    # count at small sizes.  Determinism then follows from output
+    # ownership (see repro/core/parallel.py):
+    #
+    # * Disjoint-output tiles (S2U leaf groups, V-list FFT chunk targets,
+    #   D2D l2l child rows within a level) write their slices directly
+    #   from the worker.
+    # * Overlapping-output tiles (U2U parents, dense-M2L targets, the
+    #   XLI/WLI/D2T/ULI scatters, whose ``pot_rows`` share the sentinel
+    #   pad row across blocks) only compute on workers; the coordinator
+    #   combines the returned values serially in compiled tile order —
+    #   the exact ``+=`` sequence of the serial loop.
+    # * U2U needs read-after-write frontiers (a parent written at level
+    #   L is read at level L-1): :meth:`_wave_steps` re-derives the
+    #   compile-time level grouping from the step list and the pool
+    #   barriers between waves.  D2D levels are already explicit.
+    #
+    # Flop accounting replays on the coordinator in serial iteration
+    # order, so profiles (and trace signatures) are schedule-independent.
+
+    def _wave_steps(self, steps, nrows: int, key: str) -> list:
+        """Partition matrix steps into read-after-write frontiers.
+
+        Consecutive steps stay in one wave until a step would *read* a
+        row some earlier step of the wave wrote; compile emits U2U
+        level-by-level, so this reproduces exactly the level frontiers.
+        Cached per plan (purely structural).
+        """
+        with self._lock:
+            waves = self._par_waves.get(key)
+            if waves is None:
+                waves = []
+                cur: list = []
+                dirty = np.zeros(nrows, dtype=bool)
+                for st in steps:
+                    if cur and dirty[st.src].any():
+                        waves.append(cur)
+                        cur = []
+                        dirty[:] = False
+                    cur.append(st)
+                    dirty[st.dst] = True
+                if cur:
+                    waves.append(cur)
+                self._par_waves[key] = waves
+            return waves
+
+    def _par_s2u(self, ev, dens, state, profile, pool) -> None:
+        up = state["up"]
+        table = self._dens_table(dens)
+
+        def tile(blk):
+            def run():
+                den = table[blk.den_rows].reshape(
+                    blk.group.size, blk.pad * self.ks
+                )
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
+                )
+                q = gemm_cols(k, den[:, :, None])[:, :, 0]
+                up[blk.group] = q @ blk.mat.T  # leaf groups are disjoint
+            return run
+
+        t0 = time.perf_counter()
+        _, busy = pool.run([tile(blk) for blk in self.s2u])
+        for blk in self.s2u:
+            profile.add_flops(blk.flops)
+        record_parallel_spans(
+            profile, "S2U", time.perf_counter() - t0, busy,
+            len(self.s2u), pool.threads,
+        )
+
+    def _par_u2u(self, ev, state, profile, pool) -> None:
+        up = state["up"]
+        if not self.u2u:
+            return
+        t0 = time.perf_counter()
+        busy = 0.0
+        for wave in self._wave_steps(self.u2u, up.shape[0], "u2u"):
+            prods, b = pool.run(
+                [(lambda st=st: up[st.src] @ st.mat.T) for st in wave]
+            )
+            busy += b
+            for st, prod in zip(wave, prods):
+                up[st.dst] += prod
+                profile.add_flops(st.flops)
+        record_parallel_spans(
+            profile, "U2U", time.perf_counter() - t0, busy,
+            len(self.u2u), pool.threads,
+        )
+
+    def _par_vli_fft(self, ev, state, profile, pool) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        fft = ev.fft
+        step_flops = fft.translate_flops_per_pair()
+
+        def tile(ch):
+            def run():
+                uhat = fft.forward(up[ch.usrc], dtype=self.rdtype)
+                acc = self._buffer(
+                    "vli_acc",
+                    (ch.utgt.size, self.kt, fft.n, fft.n, fft.nf),
+                    self.cdtype,
+                )
+                acc.fill(0.0)
+                for _off, that, tpos, spos, _npairs in ch.steps:
+                    acc[tpos] += fft.translate(that, uhat[spos])
+                dcheck[ch.utgt] += fft.inverse(acc)  # chunk targets disjoint
+            return run
+
+        t0 = time.perf_counter()
+        _, busy = pool.run([tile(ch) for ch in self.vli_fft])
+        for ch in self.vli_fft:
+            for _off, _that, _tpos, _spos, npairs in ch.steps:
+                profile.add_flops(npairs * step_flops)
+            profile.add_flops(
+                (ch.usrc.size * self.ks + ch.utgt.size * self.kt)
+                * fft.fft_flops_per_box()
+            )
+        record_parallel_spans(
+            profile, "VLI", time.perf_counter() - t0, busy,
+            len(self.vli_fft), pool.threads,
+        )
+
+    def _par_vli_dense(self, ev, state, profile, pool) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        if not self.vli_dense:
+            return
+        t0 = time.perf_counter()
+        # steps only read ``up``; targets may repeat across offset codes,
+        # so all products compute in parallel and combine in step order
+        prods, busy = pool.run(
+            [
+                (lambda st=st: self._cast(up[st.src]) @ st.mat.T)
+                for st in self.vli_dense
+            ]
+        )
+        for st, prod in zip(self.vli_dense, prods):
+            dcheck[st.dst] += prod
+            profile.add_flops(st.flops)
+        record_parallel_spans(
+            profile, "VLI", time.perf_counter() - t0, busy,
+            len(self.vli_dense), pool.threads,
+        )
+
+    def _par_compute_xli(self, ev, dens, profile, pool) -> list:
+        table = self._dens_table(dens)
+
+        def tile(blk):
+            def run():
+                den = table[blk.den_rows].reshape(
+                    blk.rows.size, blk.pad * self.ks
+                )
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
+                )
+                vals = gemm_cols(k, den[:, :, None])[:, :, 0]
+                return np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            return run
+
+        t0 = time.perf_counter()
+        sums, busy = pool.run([tile(blk) for blk in self.xli])
+        out = []
+        for blk, s in zip(self.xli, sums):
+            out.append((blk.seg, s))
+            profile.add_flops(blk.flops)
+        record_parallel_spans(
+            profile, "XLI", time.perf_counter() - t0, busy,
+            len(self.xli), pool.threads,
+        )
+        return out
+
+    def _par_d2d(self, ev, state, profile, pool) -> None:
+        dcheck, dequiv = state["dcheck"], state["dequiv"]
+        if not self.d2d:
+            return
+        t0 = time.perf_counter()
+        busy = 0.0
+        ntiles = 0
+        def tile(st):
+            def run():
+                dcheck[st.dst] += dequiv[st.src] @ st.mat.T
+            return run
+
+        for lv in self.d2d:
+            # l2l steps write disjoint child rows (one step per child
+            # position) and read only parent rows finished last level
+            _, b = pool.run([tile(st) for st in lv.l2l])
+            busy += b
+            ntiles += len(lv.l2l)
+            for st in lv.l2l:
+                profile.add_flops(st.flops)
+            dequiv[lv.nodes] = dcheck[lv.nodes] @ lv.conv_mat.T
+            profile.add_flops(lv.conv_flops)
+        record_parallel_spans(
+            profile, "D2D", time.perf_counter() - t0, busy,
+            ntiles, pool.threads,
+        )
+
+    def _par_wli(self, ev, wli, state, profile, pool) -> None:
+        up = state["up"]
+        potr = self._pot_table(state)
+        kt = self.kt_eval
+
+        def tile(blk):
+            def run():
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(
+                        ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                    )
+                )
+                vals = gemm_cols(
+                    k, self._cast(up[blk.cols])[:, :, None]
+                )[:, :, 0]
+                return np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            return run
+
+        t0 = time.perf_counter()
+        sums, busy = pool.run([tile(blk) for blk in wli.blocks])
+        for blk, s in zip(wli.blocks, sums):
+            # blocks share the sentinel pad row -> combine in block order
+            potr[blk.pot_rows] += s.reshape(blk.seg.size, blk.pad, kt)
+            profile.add_flops(blk.flops)
+        record_parallel_spans(
+            profile, "WLI", time.perf_counter() - t0, busy,
+            len(wli.blocks), pool.threads,
+        )
+
+    def _par_d2t(self, ev, state, profile, pool) -> None:
+        dequiv = state["dequiv"]
+        potr = self._pot_table(state)
+        kt = self.kt_eval
+        if not self.d2t:
+            return
+
+        def tile(blk):
+            def run():
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(
+                        ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                    )
+                )
+                return gemm_cols(
+                    k, self._cast(dequiv[blk.group])[:, :, None]
+                )[:, :, 0]
+            return run
+
+        t0 = time.perf_counter()
+        vals, busy = pool.run([tile(blk) for blk in self.d2t])
+        for blk, v in zip(self.d2t, vals):
+            potr[blk.pot_rows] += v.reshape(blk.group.size, blk.pad, kt)
+            profile.add_flops(blk.flops)
+        record_parallel_spans(
+            profile, "D2T", time.perf_counter() - t0, busy,
+            len(self.d2t), pool.threads,
+        )
+
+    def _par_uli(self, ev, dens, state, profile, pool) -> None:
+        table = self._dens_table(dens)
+        potr = self._pot_table(state)
+        kt = self.kt_eval
+
+        def tile(blk):
+            def run():
+                den = table[blk.den_rows].reshape(
+                    blk.boxes.size, blk.sp * self.ks
+                )
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(
+                        ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+                    )
+                )
+                return gemm_cols(k, den[:, :, None])[:, :, 0]
+            return run
+
+        t0 = time.perf_counter()
+        vals, busy = pool.run([tile(blk) for blk in self.uli])
+        for blk, v in zip(self.uli, vals):
+            potr[blk.pot_rows] += v.reshape(blk.boxes.size, blk.tp, kt)
+            profile.add_flops(blk.flops)
+        record_parallel_spans(
+            profile, "ULI", time.perf_counter() - t0, busy,
+            len(self.uli), pool.threads,
+        )
+
+    # -- parallel multi-RHS applies ----------------------------------------
+
+    def _par_s2u_multi(self, ev, dens, state, profile, pool) -> None:
+        up = state["up"]
+        table = self._dens_table_multi(dens)
+        q = table.shape[2]
+
+        def tile(blk):
+            def run():
+                den = self._den_block(table, blk.den_rows)
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
+                )
+                qv = gemm_cols(k, den)
+                for j in range(q):
+                    up[blk.group, j] = (
+                        np.ascontiguousarray(qv[:, :, j]) @ blk.mat.T
+                    )
+            return run
+
+        t0 = time.perf_counter()
+        _, busy = pool.run([tile(blk) for blk in self.s2u])
+        for blk in self.s2u:
+            profile.add_flops(blk.flops * q)
+        record_parallel_spans(
+            profile, "S2U", time.perf_counter() - t0, busy,
+            len(self.s2u), pool.threads,
+        )
+
+    def _par_u2u_multi(self, ev, state, profile, pool) -> None:
+        up = state["up"]
+        q = up.shape[1]
+        if not self.u2u:
+            return
+        t0 = time.perf_counter()
+        busy = 0.0
+        for wave in self._wave_steps(self.u2u, up.shape[0], "u2u"):
+            prods, b = pool.run(
+                [
+                    (lambda st=st: [
+                        up[st.src, j] @ st.mat.T for j in range(q)
+                    ])
+                    for st in wave
+                ]
+            )
+            busy += b
+            for st, cols in zip(wave, prods):
+                for j in range(q):
+                    up[st.dst, j] += cols[j]
+                profile.add_flops(st.flops * q)
+        record_parallel_spans(
+            profile, "U2U", time.perf_counter() - t0, busy,
+            len(self.u2u), pool.threads,
+        )
+
+    def _par_vli_fft_multi(self, ev, state, profile, pool) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        q = up.shape[1]
+        fft = ev.fft
+        step_flops = fft.translate_flops_per_pair()
+        per_col = (
+            np.dtype(self.cdtype).itemsize * self.kt * fft.n * fft.n * fft.nf
+        )
+
+        def groups(ch):
+            qc = max(
+                1, int(self.VLI_MULTI_BYTES // max(ch.utgt.size * per_col, 1))
+            )
+            return [(q0, min(q0 + qc, q)) for q0 in range(0, q, qc)]
+
+        def tile(ch):
+            def run():
+                src_up = up[ch.usrc]
+                for q0, q1 in groups(ch):
+                    uhat = fft.forward_multi(
+                        np.ascontiguousarray(src_up[:, q0:q1]),
+                        dtype=self.rdtype,
+                    )
+                    acc = self._buffer(
+                        "vli_acc_multi",
+                        (ch.utgt.size, q1 - q0, self.kt,
+                         fft.n, fft.n, fft.nf),
+                        self.cdtype,
+                    )
+                    acc.fill(0.0)
+                    for _off, that, tpos, spos, _npairs in ch.steps:
+                        acc[tpos] += fft.translate(that, uhat[spos])
+                    dcheck[ch.utgt, q0:q1] += fft.inverse_multi(acc)
+            return run
+
+        t0 = time.perf_counter()
+        _, busy = pool.run([tile(ch) for ch in self.vli_fft])
+        for ch in self.vli_fft:
+            for q0, q1 in groups(ch):
+                for _off, _that, _tpos, _spos, npairs in ch.steps:
+                    profile.add_flops(npairs * step_flops * (q1 - q0))
+                profile.add_flops(
+                    (ch.usrc.size * self.ks + ch.utgt.size * self.kt)
+                    * fft.fft_flops_per_box()
+                    * (q1 - q0)
+                )
+        record_parallel_spans(
+            profile, "VLI", time.perf_counter() - t0, busy,
+            len(self.vli_fft), pool.threads,
+        )
+
+    def _par_vli_dense_multi(self, ev, state, profile, pool) -> None:
+        up, dcheck = state["up"], state["dcheck"]
+        q = up.shape[1]
+        if not self.vli_dense:
+            return
+        t0 = time.perf_counter()
+        prods, busy = pool.run(
+            [
+                (lambda st=st: [
+                    self._cast(up[st.src, j]) @ st.mat.T for j in range(q)
+                ])
+                for st in self.vli_dense
+            ]
+        )
+        for st, cols in zip(self.vli_dense, prods):
+            for j in range(q):
+                dcheck[st.dst, j] += cols[j]
+            profile.add_flops(st.flops * q)
+        record_parallel_spans(
+            profile, "VLI", time.perf_counter() - t0, busy,
+            len(self.vli_dense), pool.threads,
+        )
+
+    def _par_xli_multi(self, ev, dens, state, profile, pool) -> None:
+        dcheck = state["dcheck"]
+        table = self._dens_table_multi(dens)
+        q = table.shape[2]
+
+        def tile(blk):
+            def run():
+                den = self._den_block(table, blk.den_rows)
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(ev.kernel.matrix_batch(blk.surf, blk.pts))
+                )
+                vals = gemm_cols(k, den)
+                return np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            return run
+
+        t0 = time.perf_counter()
+        sums, busy = pool.run([tile(blk) for blk in self.xli])
+        for blk, s in zip(self.xli, sums):
+            dcheck[blk.seg] += s.transpose(0, 2, 1)
+            profile.add_flops(blk.flops * q)
+        record_parallel_spans(
+            profile, "XLI", time.perf_counter() - t0, busy,
+            len(self.xli), pool.threads,
+        )
+
+    def _par_d2d_multi(self, ev, state, profile, pool) -> None:
+        dcheck, dequiv = state["dcheck"], state["dequiv"]
+        q = dcheck.shape[1]
+        if not self.d2d:
+            return
+
+        def tile(st):
+            def run():
+                for j in range(q):
+                    dcheck[st.dst, j] += dequiv[st.src, j] @ st.mat.T
+            return run
+
+        t0 = time.perf_counter()
+        busy = 0.0
+        ntiles = 0
+        for lv in self.d2d:
+            _, b = pool.run([tile(st) for st in lv.l2l])
+            busy += b
+            ntiles += len(lv.l2l)
+            for st in lv.l2l:
+                profile.add_flops(st.flops * q)
+            for j in range(q):
+                dequiv[lv.nodes, j] = dcheck[lv.nodes, j] @ lv.conv_mat.T
+            profile.add_flops(lv.conv_flops * q)
+        record_parallel_spans(
+            profile, "D2D", time.perf_counter() - t0, busy,
+            ntiles, pool.threads,
+        )
+
+    def _par_wli_multi(self, ev, wli, state, profile, pool) -> None:
+        up = state["up"]
+        q = up.shape[1]
+        potr = state["_pot_pad"]
+        kt = self.kt_eval
+
+        def tile(blk):
+            def run():
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(
+                        ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                    )
+                )
+                vals = gemm_cols(
+                    k, self._cast(up[blk.cols]).transpose(0, 2, 1)
+                )
+                return np.add.reduceat(vals[blk.order], blk.starts, axis=0)
+            return run
+
+        t0 = time.perf_counter()
+        sums, busy = pool.run([tile(blk) for blk in wli.blocks])
+        for blk, s in zip(wli.blocks, sums):
+            potr[blk.pot_rows] += s.reshape(
+                blk.seg.size, blk.pad, kt, q
+            ).transpose(0, 1, 3, 2)
+            profile.add_flops(blk.flops * q)
+        record_parallel_spans(
+            profile, "WLI", time.perf_counter() - t0, busy,
+            len(wli.blocks), pool.threads,
+        )
+
+    def _par_d2t_multi(self, ev, state, profile, pool) -> None:
+        dequiv = state["dequiv"]
+        potr = state["_pot_pad"]
+        q = dequiv.shape[1]
+        kt = self.kt_eval
+        if not self.d2t:
+            return
+
+        def tile(blk):
+            def run():
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(
+                        ev.eval_kernel.matrix_batch(blk.pts, blk.surf)
+                    )
+                )
+                return gemm_cols(
+                    k, self._cast(dequiv[blk.group]).transpose(0, 2, 1)
+                )
+            return run
+
+        t0 = time.perf_counter()
+        vals, busy = pool.run([tile(blk) for blk in self.d2t])
+        for blk, v in zip(self.d2t, vals):
+            potr[blk.pot_rows] += v.reshape(
+                blk.group.size, blk.pad, kt, q
+            ).transpose(0, 1, 3, 2)
+            profile.add_flops(blk.flops * q)
+        record_parallel_spans(
+            profile, "D2T", time.perf_counter() - t0, busy,
+            len(self.d2t), pool.threads,
+        )
+
+    def _par_uli_multi(self, ev, dens, state, profile, pool) -> None:
+        table = self._dens_table_multi(dens)
+        q = table.shape[2]
+        potr = state["_pot_pad"]
+        kt = self.kt_eval
+
+        def tile(blk):
+            def run():
+                den = self._den_block(table, blk.den_rows)
+                k = (
+                    blk.kmat
+                    if blk.kmat is not None
+                    else self._cast(
+                        ev.eval_kernel.matrix_batch(blk.tgt_pts, blk.src_pts)
+                    )
+                )
+                return gemm_cols(k, den)
+            return run
+
+        t0 = time.perf_counter()
+        vals, busy = pool.run([tile(blk) for blk in self.uli])
+        for blk, v in zip(self.uli, vals):
+            potr[blk.pot_rows] += v.reshape(
+                blk.boxes.size, blk.tp, kt, q
+            ).transpose(0, 1, 3, 2)
+            profile.add_flops(blk.flops * q)
+        record_parallel_spans(
+            profile, "ULI", time.perf_counter() - t0, busy,
+            len(self.uli), pool.threads,
+        )
 
 
 # -- compile ------------------------------------------------------------------

@@ -109,6 +109,13 @@ class DistributedFmm:
         only at ``comm.size > 1`` on non-resumed evaluations; the X-list
         half is skipped when the evaluator cannot defer it (device WX
         path).
+    threads:
+        Intra-rank parallelism: each rank runs its plan phase tiles on a
+        task pool (see :mod:`repro.core.parallel`).  The per-rank pool is
+        sized at :meth:`setup` as ``min(threads, host_cpus // comm.size)``
+        so ``p`` ranks never land more than ``host_cpus`` compute threads
+        on the host.  Bit-identical to serial at any setting; ``None``
+        (default) keeps the single-threaded apply path.
     """
 
     def __init__(
@@ -128,6 +135,7 @@ class DistributedFmm:
         precision: str = "fp64",
         precision_rtol: float | None = None,
         pipeline: bool = True,
+        threads: int | None = None,
     ):
         from repro.core.plan import PrecisionError
 
@@ -168,6 +176,7 @@ class DistributedFmm:
             )
         self.use_plan = bool(use_plan)
         self.pipeline = bool(pipeline)
+        self.threads = None if threads is None else max(1, int(threads))
         self.comm: SimComm | None = None
         self.let: LocalEssentialTree | None = None
         self.lists = None
@@ -249,6 +258,12 @@ class DistributedFmm:
     def setup(self, comm: SimComm, local_points: np.ndarray) -> None:
         """Sort, build the tree, (re)balance, build LET and lists."""
         self.comm = comm
+        if self.threads is not None:
+            from repro.core.parallel import rank_pool_size
+
+            self.evaluator.configure_threads(
+                rank_pool_size(self.threads, comm.size)
+            )
         profile = comm.profile
         with profile.phase("tree"):
             dist = distributed_points_to_octree(

@@ -28,6 +28,7 @@ __all__ = [
     "aggregate",
     "achieved_overlap_seconds",
     "overlap_report",
+    "parallel_report",
     "serve_span_summary",
 ]
 
@@ -202,6 +203,91 @@ def overlap_report(
         out["achieved"] = float(per_rank.max()) if len(profiles) else 0.0
         out["hidden_max"] = float(max(hidden.values(), default=0.0))
     return out
+
+
+def parallel_report(trace) -> dict:
+    """Modelled vs achieved intra-rank parallel speedup per phase.
+
+    Reads the ``PARALLEL:<phase>`` / ``PARALLEL:busy:<phase>`` span pairs
+    the tile executor emits (see
+    :func:`repro.core.parallel.record_parallel_spans`): the first carries
+    the section's elapsed wall seconds and its tile count (in
+    ``comm_messages``), the second the summed per-tile busy seconds and
+    the pool's thread count.  Per phase:
+
+    * ``achieved`` — summed busy over summed elapsed: how many tiles
+      were, on average, actually in flight at once.  1.0 means the
+      section ran serially (one core, GIL-bound tiles, or a 1-thread
+      pool); ``threads`` is the ceiling.
+    * ``modelled`` — ``tiles / ceil(tiles / threads)`` averaged over
+      sections (elapsed-weighted): the speedup a perfect
+      fixed-assignment schedule of equal-cost tiles would reach, i.e.
+      the quantisation-limited bound for the observed tile counts.
+
+    The ``overall`` entry aggregates every phase.  Analogous to
+    :func:`overlap_report` for comm/compute overlap: the gap between
+    achieved and modelled is lost to tile cost imbalance, combine
+    serialisation and pool handoff.
+    """
+    per_phase: dict[str, dict[str, float]] = {}
+    for ev in trace.span_events():
+        ph = ev.phase
+        if not ph.startswith("PARALLEL:"):
+            continue
+        busy = ph.startswith("PARALLEL:busy:")
+        name = ph.split(":", 2)[2] if busy else ph.split(":", 1)[1]
+        st = per_phase.setdefault(name, {
+            "elapsed_s": 0.0, "busy_s": 0.0, "tiles": 0, "sections": 0,
+            "threads": 0,
+        })
+        if busy:
+            st["busy_s"] += ev.wall_s
+            st["threads"] = max(st["threads"], int(ev.comm_messages))
+        else:
+            st["elapsed_s"] += ev.wall_s
+            st["tiles"] += int(ev.comm_messages)
+            st["sections"] += 1
+    out: dict[str, dict] = {}
+    tot_elapsed = tot_busy = 0.0
+    tot_modelled_w = 0.0
+    for name, st in per_phase.items():
+        threads = max(st["threads"], 1)
+        # elapsed-weighted mean of the per-section quantisation bound;
+        # sections of one phase share a tile count in steady state, so
+        # using the aggregate tiles/sections is faithful
+        tiles_per_section = st["tiles"] / max(st["sections"], 1)
+        waves = np.ceil(tiles_per_section / threads)
+        modelled = (
+            tiles_per_section / waves if waves > 0 else 1.0
+        )
+        achieved = (
+            st["busy_s"] / st["elapsed_s"] if st["elapsed_s"] > 0 else 1.0
+        )
+        out[name] = {
+            "modelled": float(min(modelled, threads)),
+            "achieved": float(achieved),
+            "elapsed_s": float(st["elapsed_s"]),
+            "busy_s": float(st["busy_s"]),
+            "tiles": int(st["tiles"]),
+            "sections": int(st["sections"]),
+            "threads": int(threads),
+        }
+        tot_elapsed += st["elapsed_s"]
+        tot_busy += st["busy_s"]
+        tot_modelled_w += out[name]["modelled"] * st["elapsed_s"]
+    report = {"phases": out}
+    if out:
+        report["overall"] = {
+            "modelled": float(
+                tot_modelled_w / tot_elapsed if tot_elapsed > 0 else 1.0
+            ),
+            "achieved": float(
+                tot_busy / tot_elapsed if tot_elapsed > 0 else 1.0
+            ),
+            "elapsed_s": float(tot_elapsed),
+            "busy_s": float(tot_busy),
+        }
+    return report
 
 
 def setup_seconds(

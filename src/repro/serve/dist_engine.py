@@ -248,6 +248,13 @@ class DistServeEngine:
     trace:
         Optional :class:`~repro.perf.trace.TraceRecorder` shared by
         every dispatch (heartbeat + ``RECOVERY:*`` spans land here).
+    threads:
+        Default intra-rank parallelism for registered models: forwarded
+        as ``threads=`` to every :class:`~repro.dist.driver.
+        DistributedFmm` (which sizes each rank's pool as
+        ``min(threads, host_cpus // group)`` so a ``group``-wide shard
+        never oversubscribes the host).  Per-model ``fmm_kwargs`` may
+        override.  ``None`` keeps single-threaded applies.
     """
 
     def __init__(
@@ -260,10 +267,12 @@ class DistServeEngine:
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 5.0,
         trace=None,
+        threads: int | None = None,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = int(nranks)
+        self.threads = None if threads is None else max(1, int(threads))
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
         self.integrity = bool(integrity)
@@ -377,6 +386,8 @@ class DistServeEngine:
                 f"got {placement!r}"
             )
         points = np.asarray(points, dtype=np.float64)
+        if self.threads is not None and "threads" not in fmm_kwargs:
+            fmm_kwargs = dict(fmm_kwargs, threads=self.threads)
         kern = fmm_kwargs.get("kernel", "laplace")
         kern = get_kernel(kern) if isinstance(kern, str) else kern
         if placement == "sharded":

@@ -44,6 +44,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.core.parallel import shared_pool
 from repro.core.plan import PrecisionError
 from repro.mpi.faults import ChaosFabric, FaultPlan, RetryPolicy, TRANSIENT_ERRORS
 from repro.serve.batcher import MicroBatcher
@@ -286,6 +287,15 @@ class ServeEngine:
     trace:
         Optional :class:`~repro.perf.trace.TraceRecorder`; workers emit
         ``SERVE:apply:<model>`` spans plus the usual per-phase spans.
+    threads:
+        Intra-rank parallelism for the worker applies: every registered
+        model's evaluator routes its plan tiles through **one**
+        process-wide :func:`~repro.core.parallel.shared_pool` of this
+        width — workers coordinate on the shared executor instead of
+        nesting per-model pools, so total compute threads stay bounded
+        at ``threads`` no matter how many workers are mid-apply.
+        Results remain bit-identical to serial.  ``None`` (default)
+        keeps single-threaded applies.
     """
 
     def __init__(
@@ -300,9 +310,14 @@ class ServeEngine:
         retry: RetryPolicy | None = None,
         trace=None,
         matrix_budget: int | None = None,
+        threads: int | None = None,
     ):
         self.metrics = ServeMetrics()
         self.n_workers = int(n_workers)
+        self.threads = None if threads is None else max(1, int(threads))
+        self.task_pool = (
+            shared_pool(self.threads) if self.threads is not None else None
+        )
         self.max_batch = int(max_batch)
         self.queue = FairQueue(max_depth=max_queue, weights=tenant_weights)
         self.plans = PlanCache(plan_budget, metrics=self.metrics)
@@ -338,6 +353,12 @@ class ServeEngine:
         if self._fabric is not None:
             self._fabric.bind(self._profiles, trace)
         self.pool = WorkerPool(n_workers, self._worker)
+        self.metrics.bind_pools(
+            task_pool=(
+                self.task_pool.stats if self.task_pool is not None else None
+            ),
+            workers=self.pool.stats,
+        )
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -413,6 +434,7 @@ class ServeEngine:
                 tune_grid, tune_seed, tune_measure,
             )
             precision = fmm.evaluator.precision
+        self._bind_pool(fmm)
         model = RegisteredModel(
             name, fmm, points, precision=precision, allowed=allowed
         )
@@ -487,6 +509,12 @@ class ServeEngine:
             "kernel_name": kernel_name,
         }
         return self._fmm_like(template, config), report
+
+    def _bind_pool(self, fmm) -> None:
+        """Route ``fmm``'s plan applies through the engine's shared tile
+        pool (no-op when the engine was built without ``threads=``)."""
+        if self.task_pool is not None:
+            fmm.evaluator.set_pool(self.task_pool)
 
     @staticmethod
     def _fmm_like(template, config):
@@ -695,6 +723,7 @@ class ServeEngine:
                 return {"version": old.version, "swapped": False}
             t0 = time.perf_counter()
             new_fmm = self._fmm_like(old.fmm, config)
+            self._bind_pool(new_fmm)
             new_plan = new_fmm.plan(old.points)
             version = old.version + 1
             ep = new_fmm.compile_eval_plan(

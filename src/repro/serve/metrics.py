@@ -101,6 +101,37 @@ class ServeMetrics:
         self.queue_depth_sum = 0
         self.queue_depth_samples = 0
         self.queue_depth_peak = 0
+        # live gauge callables (task pool / worker pool) sampled at raw()
+        self._pool_stats = None
+        self._worker_stats = None
+
+    def bind_pools(self, task_pool=None, workers=None) -> None:
+        """Attach live pool-stats callables, sampled at snapshot time.
+
+        ``task_pool`` returns the shared tile executor's gauges (queue
+        depth, active tiles — see :meth:`repro.core.parallel.TaskPool.
+        stats`); ``workers`` returns the serve
+        :class:`~repro.serve.scheduler.WorkerPool` gauges.  Either may be
+        ``None``; snapshots then omit that section.
+        """
+        with self._lock:
+            if task_pool is not None:
+                self._pool_stats = task_pool
+            if workers is not None:
+                self._worker_stats = workers
+
+    def _sample_pools(self) -> dict:
+        with self._lock:
+            pool_fn, worker_fn = self._pool_stats, self._worker_stats
+        out = {}
+        for key, fn in (("task_pool", pool_fn), ("workers", worker_fn)):
+            if fn is None:
+                continue
+            try:
+                out[key] = fn()
+            except Exception:
+                out[key] = None
+        return out
 
     def _stats(self, model: str) -> _ModelStats:
         st = self._models.get(model)
@@ -246,8 +277,10 @@ class ServeMetrics:
         union of per-rank reservoirs (percentiles of percentiles would
         be wrong; see the module docstring).
         """
+        pools = self._sample_pools()
         with self._lock:
             return {
+                "pools": pools,
                 "models": {
                     name: {
                         "latencies": list(st.latencies),
@@ -294,7 +327,13 @@ class ServeMetrics:
             "queue_depth_peak": 0,
         }
         by_cause: dict[str, int] = {}
+        pools: dict = {}
         for raw in raws:
+            # live gauges: first non-None wins per section (the task pool
+            # is process-wide shared, so every rank reports the same one)
+            for key, val in (raw.get("pools") or {}).items():
+                if val is not None and key not in pools:
+                    pools[key] = val
             for key in ("rejected", "expired", "retried", "plan_hits",
                         "plan_misses", "queue_depth_sum",
                         "queue_depth_samples"):
@@ -357,6 +396,8 @@ class ServeMetrics:
             },
             "models": {},
         }
+        if pools:
+            out["pools"] = pools
         if elapsed_s is not None and elapsed_s > 0:
             out["throughput_rps"] = total_completed / elapsed_s
         for name, st in models.items():

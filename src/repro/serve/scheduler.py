@@ -332,6 +332,13 @@ class WorkerPool:
     def stopping(self) -> bool:
         return self._stop.is_set()
 
+    def stats(self) -> dict:
+        """Worker-thread gauges for ``ServeMetrics`` snapshots."""
+        return {
+            "workers": len(self._threads),
+            "alive": sum(t.is_alive() for t in self._threads),
+        }
+
     def _run(self, worker_id: int) -> None:
         while not self._stop.is_set():
             self._target(worker_id)

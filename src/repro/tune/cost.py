@@ -25,6 +25,8 @@ calibrated on an idle machine tracks a loaded one.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.core.autotune import SubsampleProbe
@@ -40,6 +42,13 @@ _DEFAULT_BATCH_EFF = 0.5
 
 #: EWMA weight of each new observed-vs-predicted correction sample.
 _OBSERVE_ALPHA = 0.3
+
+#: Fraction of an apply's phase time that the tile executor can spread
+#: over threads.  The remainder (plan bookkeeping, serial combines, the
+#: D2D conversion GEMM, flop-ledger replay) stays on the coordinator —
+#: the Amdahl serial term.  Matches achieved busy/elapsed ratios on the
+#: reference host to ~10%.
+_PARALLEL_FRACTION = 0.9
 
 
 def _pair_sum(csr, counts_t, counts_s) -> float:
@@ -234,10 +243,24 @@ class CostModel:
         return out
 
     def predict_apply(
-        self, ev, tree, lists, precision: str = "fp64", batch: int = 1
+        self, ev, tree, lists, precision: str = "fp64", batch: int = 1,
+        threads: int = 1,
     ) -> float:
-        """Predicted wall seconds of one (possibly multi-RHS) apply."""
+        """Predicted wall seconds of one (possibly multi-RHS) apply.
+
+        ``threads > 1`` applies Amdahl's law over the phase-time sum:
+        the parallelisable fraction (:data:`_PARALLEL_FRACTION` of the
+        tile GEMM/translate work) divides by the *effective* thread
+        count — capped at the host's cores, because a 4-thread pool on
+        one core is pure scheduling overhead — while the serial
+        remainder and the fixed per-apply overhead do not shrink.
+        """
         base = sum(self.predict_phases(ev, tree, lists, precision).values())
+        eff_t = min(max(int(threads), 1), os.cpu_count() or 1)
+        if eff_t > 1:
+            base = base * (
+                (1.0 - _PARALLEL_FRACTION) + _PARALLEL_FRACTION / eff_t
+            )
         base += self.overhead.get(precision, 0.0)
         if batch > 1:
             eff = self.batch_eff.get(precision, _DEFAULT_BATCH_EFF)

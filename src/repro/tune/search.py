@@ -30,6 +30,7 @@ arithmetic).
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -110,12 +111,14 @@ class TuneConfig:
     max_wait_ms: float = 2.0
     vli_multi_bytes: int = EvalPlan.VLI_MULTI_BYTES
     matrix_budget: int = MATRIX_BUDGET
+    threads: int = 1
 
     def key(self) -> str:
         return (
             f"o{self.order}q{self.max_points}{self.precision}"
             f"b{self.max_batch}w{self.max_wait_ms:g}"
             f"v{self.vli_multi_bytes // 2**20}m{self.matrix_budget // 2**20}"
+            f"t{self.threads}"
         )
 
     def fmm_kwargs(self) -> dict:
@@ -124,6 +127,7 @@ class TuneConfig:
             "order": self.order,
             "max_points_per_box": self.max_points,
             "precision": self.precision,
+            "threads": self.threads if self.threads > 1 else None,
         }
 
     def to_dict(self) -> dict:
@@ -135,13 +139,14 @@ class TuneConfig:
             "max_wait_ms": self.max_wait_ms,
             "vli_multi_bytes": self.vli_multi_bytes,
             "matrix_budget": self.matrix_budget,
+            "threads": self.threads,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "TuneConfig":
         return cls(**{k: d[k] for k in (
             "order", "max_points", "precision", "max_batch", "max_wait_ms",
-            "vli_multi_bytes", "matrix_budget",
+            "vli_multi_bytes", "matrix_budget", "threads",
         ) if k in d})
 
 
@@ -188,22 +193,32 @@ def default_grid(
     leaf_sizes=(64, 144, 400),
     precisions=("fp64", "fp32"),
     batch_shapes=((8, 2.0), (16, 4.0)),
+    threads_opts=None,
+    matrix_budgets=(MATRIX_BUDGET,),
 ) -> list[TuneConfig]:
     """The discrete grid the search walks; deterministic order.
 
     Leaf sizes larger than ``n // 4`` are dropped (a near-degenerate
     tree defeats both the cost model and the point of an FMM).
+    ``threads_opts`` defaults to the host shape: ``(1,)`` on a
+    single-core box, else ``(1, min(4, cores))`` — the intra-rank pool
+    only helps when there are cores to spread the tiles over.
     """
+    if threads_opts is None:
+        cores = os.cpu_count() or 1
+        threads_opts = (1,) if cores < 2 else (1, min(4, cores))
     leaf_sizes = [q for q in leaf_sizes if q <= max(n // 4, min(leaf_sizes))]
     grid = [
         TuneConfig(
             order=o, max_points=q, precision=p,
-            max_batch=b, max_wait_ms=w,
+            max_batch=b, max_wait_ms=w, threads=t, matrix_budget=m,
         )
         for o in orders
         for q in leaf_sizes
         for p in precisions
         for (b, w) in batch_shapes
+        for t in threads_opts
+        for m in matrix_budgets
     ]
     return grid
 
@@ -220,12 +235,17 @@ def _measure_one(
     block = rng.standard_normal(
         (tree.n_points * ev.kernel.source_dim, cfg.max_batch)
     )
-    ev.evaluate_multi(tree, lists, block, PhaseProfile(), plan=plan)
-    best = np.inf
-    for _ in range(max(1, reps)):
-        t0 = time.perf_counter()
+    prev_threads = ev.threads
+    ev.configure_threads(cfg.threads if cfg.threads > 1 else None)
+    try:
         ev.evaluate_multi(tree, lists, block, PhaseProfile(), plan=plan)
-        best = min(best, time.perf_counter() - t0)
+        best = np.inf
+        for _ in range(max(1, reps)):
+            t0 = time.perf_counter()
+            ev.evaluate_multi(tree, lists, block, PhaseProfile(), plan=plan)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        ev.configure_threads(prev_threads)
     return float(best)
 
 
@@ -371,7 +391,8 @@ def tune(
         tree, lists = geom_for(cfg.max_points)
         ev = ev_for(cfg.order, cfg.precision)
         batch_s = model.predict_apply(
-            ev, tree, lists, precision=cfg.precision, batch=cfg.max_batch
+            ev, tree, lists, precision=cfg.precision, batch=cfg.max_batch,
+            threads=cfg.threads,
         )
         predicted[cfg] = _per_request_s(cfg, batch_s)
         pred_lat[cfg] = _latency_s(cfg, batch_s)

@@ -1,0 +1,462 @@
+"""Intra-rank parallel plan execution: bit-identity, determinism, pools.
+
+The tile executor's contract is that a compiled plan applied through a
+``TaskPool`` of *any* width produces byte-for-byte the same result as
+the serial apply — the pool only reorders independent tile GEMMs across
+disjoint outputs and keeps every combine in compiled tile order.  The
+matrix here exercises that claim across kernels, precisions, thread
+counts, the distributed driver, checkpoint resume, patched plans and
+concurrent serve batches, plus the trace-signature replay guarantee.
+
+Speedup claims live in ``benchmarks/bench_parallel.py`` (and its CI
+gate); the one perf assertion here — 2 threads not slower than 1.1x
+serial at tiny N — only runs on multi-core hosts.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import FmmEvaluator
+from repro.core.fmm import Fmm
+from repro.core.lists import build_lists
+from repro.core.parallel import (
+    TaskPool,
+    rank_pool_size,
+    shared_pool,
+    shared_pool_stats,
+)
+from repro.core.tree import build_tree
+from repro.datasets import uniform_cube
+from repro.dist.driver import DistributedFmm
+from repro.kernels import get_kernel
+from repro.mpi import run_spmd
+from repro.perf.model import parallel_report
+from repro.perf.trace import TraceRecorder
+from repro.util.blas import limit_blas_threads
+from repro.util.timer import PhaseProfile
+
+N = 900
+ORDER = 4
+BOX = 40
+
+KERNELS = ("laplace", "yukawa", "stokes")
+PRECISIONS = ("fp64", "fp32")
+THREADS = (1, 2, 4, 8)
+
+
+def _density(kern, n, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n * kern.source_dim)
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    pts = uniform_cube(N, seed=21)
+    tree = build_tree(pts, BOX)
+    return tree, build_lists(tree)
+
+
+@pytest.fixture(scope="module")
+def compiled(geometry):
+    """(evaluator, plan, dens, serial ref, serial multi ref) per case.
+
+    Compiled once per (kernel, precision) and shared across the thread
+    sweep; the serial references are computed with BLAS pinned to one
+    thread — the same GEMM shapes the pool runs — so the comparison
+    isolates the tile scheduler.
+    """
+    tree, lists = geometry
+    cache = {}
+
+    def get(kernel, precision):
+        key = (kernel, precision)
+        if key not in cache:
+            kern = get_kernel(kernel)
+            ev = FmmEvaluator(kern, ORDER, precision=precision)
+            plan = ev.compile_plan(tree, lists, precision=precision)
+            dens = _density(kern, tree.n_points)
+            block = np.stack([dens, 2.0 * dens, -dens], axis=1)
+            with limit_blas_threads(1):
+                ref = ev.evaluate(tree, lists, dens, PhaseProfile(),
+                                  plan=plan)
+                refm = ev.evaluate_multi(tree, lists, block, PhaseProfile(),
+                                         plan=plan)
+            cache[key] = (ev, plan, dens, block, ref, refm)
+        return cache[key]
+
+    return get
+
+
+class TestTaskPool:
+    def test_results_in_submission_order(self):
+        pool = TaskPool(4)
+        try:
+            results, busy = pool.run(
+                [lambda i=i: (time.sleep(0.002 * (7 - i)), i)[1]
+                 for i in range(8)]
+            )
+            assert results == list(range(8))
+            assert busy > 0.0
+        finally:
+            pool.shutdown()
+
+    def test_inline_when_single_thread_or_task(self):
+        pool = TaskPool(1)
+        results, _ = pool.run([lambda: 1, lambda: 2])
+        assert results == [1, 2]
+        assert pool._exec is None  # never spun up an executor
+        wide = TaskPool(8)
+        results, _ = wide.run([lambda: 3])
+        assert results == [3]
+        assert wide._exec is None
+
+    def test_stats_counters(self):
+        pool = TaskPool(2)
+        try:
+            pool.run([lambda: None] * 5)
+            st = pool.stats()
+            assert st["threads"] == 2
+            assert st["tiles_run"] == 5
+            assert st["runs"] == 1
+            assert st["tiles_active"] == 0
+            assert st["tiles_queued"] == 0
+        finally:
+            pool.shutdown()
+
+    def test_shared_pool_registry_resizes(self):
+        a = shared_pool(2, key="test-shared")
+        b = shared_pool(2, key="test-shared")
+        assert a is b
+        c = shared_pool(3, key="test-shared")
+        assert c is not a and c.threads == 3
+        assert shared_pool_stats("test-shared")["threads"] == 3
+        assert shared_pool_stats("no-such-key") is None
+        c.shutdown()
+
+    def test_rank_pool_size_never_oversubscribes(self):
+        assert rank_pool_size(4, 1, host_cpus=8) == 4
+        assert rank_pool_size(4, 2, host_cpus=8) == 4
+        assert rank_pool_size(4, 4, host_cpus=8) == 2
+        assert rank_pool_size(4, 8, host_cpus=8) == 1
+        assert rank_pool_size(4, 16, host_cpus=8) == 1  # floor at 1
+        assert rank_pool_size(1, 1, host_cpus=1) == 1
+        # p ranks x per-rank threads <= host cpus (when cpus >= ranks)
+        for cpus in (1, 2, 4, 8, 16):
+            for p in (1, 2, 4, 8):
+                t = rank_pool_size(8, p, host_cpus=cpus)
+                if cpus >= p:
+                    assert p * t <= max(cpus, p)
+
+
+class TestBitIdentitySolo:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("precision", PRECISIONS)
+    @pytest.mark.parametrize("threads", THREADS)
+    def test_matches_serial(self, compiled, geometry, kernel, precision,
+                            threads):
+        tree, lists = geometry
+        ev, plan, dens, block, ref, refm = compiled(kernel, precision)
+        ev.configure_threads(threads)
+        try:
+            out = ev.evaluate(tree, lists, dens, PhaseProfile(), plan=plan)
+            outm = ev.evaluate_multi(tree, lists, block, PhaseProfile(),
+                                     plan=plan)
+        finally:
+            ev.configure_threads(None)
+        assert np.array_equal(out, ref)
+        assert np.array_equal(outm, refm)
+
+    def test_threads_kwarg_on_fmm_and_compile(self):
+        pts = uniform_cube(600, seed=22)
+        dens = _density(get_kernel("laplace"), 600)
+        serial = Fmm("laplace", order=ORDER, max_points_per_box=BOX)
+        splan = serial.plan(pts)
+        with limit_blas_threads(1):
+            sep = serial.compile_eval_plan(splan)
+            ref = serial.evaluate(pts, dens, plan=splan, eval_plan=sep)
+        par = Fmm("laplace", order=ORDER, max_points_per_box=BOX, threads=4)
+        assert par.evaluator.threads == 4
+        pplan = par.plan(pts)
+        pep = par.compile_eval_plan(pplan)
+        assert np.array_equal(
+            par.evaluate(pts, dens, plan=pplan, eval_plan=pep), ref
+        )
+        # compile_eval_plan(threads=...) reconfigures the pool
+        par.compile_eval_plan(pplan, threads=2)
+        assert par.evaluator.threads == 2
+        assert np.array_equal(
+            par.evaluate(pts, dens, plan=pplan, eval_plan=pep), ref
+        )
+
+
+def _dist_body(comm, pts, kernel, precision, threads):
+    mine = pts[comm.rank :: comm.size]
+    fmm = DistributedFmm(
+        kernel=kernel, order=ORDER, max_points_per_box=BOX,
+        precision=precision,
+    )
+    fmm.setup(comm, mine)
+    if threads is not None:
+        # force the width (bypassing the host-cpu cap) so the pool path
+        # actually runs multi-threaded even on small CI hosts
+        fmm.evaluator.configure_threads(threads)
+    kern = get_kernel(kernel)
+    dens = np.random.default_rng(51 + comm.rank).standard_normal(
+        len(fmm.owned_points) * kern.source_dim
+    )
+    return fmm.evaluate(dens)
+
+
+class TestBitIdentityDistributed:
+    @pytest.mark.parametrize("p", [1, 4])
+    @pytest.mark.parametrize("kernel,precision", [
+        ("laplace", "fp64"), ("laplace", "fp32"),
+        ("yukawa", "fp64"), ("stokes", "fp64"),
+    ])
+    def test_matches_serial_ranks(self, p, kernel, precision):
+        pts = uniform_cube(800, seed=31)
+        base = run_spmd(p, _dist_body, pts, kernel, precision, None,
+                        timeout=560)
+        for threads in (1, 4):
+            par = run_spmd(p, _dist_body, pts, kernel, precision, threads,
+                           timeout=560)
+            for a, b in zip(base.values, par.values):
+                assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_laplace_thread_sweep(self, threads):
+        pts = uniform_cube(800, seed=32)
+        base = run_spmd(4, _dist_body, pts, "laplace", "fp64", None,
+                        timeout=560)
+        par = run_spmd(4, _dist_body, pts, "laplace", "fp64", threads,
+                       timeout=560)
+        for a, b in zip(base.values, par.values):
+            assert np.array_equal(a, b)
+
+    def test_driver_threads_sized_by_rank_count(self):
+        pts = uniform_cube(600, seed=33)
+
+        def body(comm):
+            fmm = DistributedFmm(order=ORDER, max_points_per_box=BOX,
+                                 threads=4)
+            fmm.setup(comm, pts[comm.rank :: comm.size])
+            return fmm.evaluator.threads
+
+        res = run_spmd(2, body, timeout=560)
+        want = rank_pool_size(4, 2)
+        assert all(t == want for t in res.values)
+
+
+class TestCheckpointResume:
+    def test_resume_bit_identical_under_pool(self):
+        pts = uniform_cube(800, seed=41)
+
+        def body(comm):
+            fmm = DistributedFmm(order=ORDER, max_points_per_box=BOX)
+            fmm.setup(comm, pts[comm.rank :: comm.size])
+            fmm.evaluator.configure_threads(4)
+            dens = np.random.default_rng(61 + comm.rank).standard_normal(
+                len(fmm.owned_points)
+            )
+            fresh = fmm.evaluate(dens)
+            assert fmm.checkpoint_phase == "upward"
+            resumed = fmm.evaluate(dens, resume=True)
+            # resuming under a different pool width must not change bits
+            fmm.evaluator.configure_threads(2)
+            resumed2 = fmm.evaluate(dens, resume=True)
+            return fresh, resumed, resumed2
+
+        res = run_spmd(4, body, timeout=560)
+        for fresh, resumed, resumed2 in res.values:
+            assert np.array_equal(fresh, resumed)
+            assert np.array_equal(fresh, resumed2)
+
+
+class TestPatchedPlans:
+    def test_patched_plan_parallel_apply_matches_serial(self):
+        rng = np.random.default_rng(71)
+        pts = uniform_cube(800, seed=42)
+        fmm = Fmm("laplace", order=ORDER, max_points_per_box=BOX)
+        plan = fmm.plan(pts)
+        eplan = fmm.compile_eval_plan(plan)
+        # localized blob motion: the regime patch_plan targets
+        center = pts[rng.integers(len(pts))]
+        d2 = ((pts - center) ** 2).sum(axis=1)
+        moved = np.argpartition(d2, 79)[:80]
+        new_pts = pts.copy()
+        new_pts[moved] = np.clip(
+            new_pts[moved] + rng.normal(scale=0.02, size=(80, 3)),
+            1e-9, 1.0 - 1e-9,
+        )
+        new_plan, delta = fmm.update_plan(plan, new_pts, moved=moved)
+        patched = fmm.patch_eval_plan(eplan, plan, new_plan, delta=delta)
+        dens = rng.standard_normal(len(pts))
+        with limit_blas_threads(1):
+            ref = fmm.evaluate(new_pts, dens, plan=new_plan,
+                               eval_plan=patched)
+        for threads in (1, 2, 4):
+            fmm.evaluator.configure_threads(threads)
+            try:
+                out = fmm.evaluate(new_pts, dens, plan=new_plan,
+                                   eval_plan=patched)
+            finally:
+                fmm.evaluator.configure_threads(None)
+            assert np.array_equal(out, ref)
+
+
+class TestConcurrentServe:
+    def test_concurrent_batches_on_shared_pool_bitwise(self):
+        from repro.serve import ServeEngine
+
+        pts = uniform_cube(500, seed=43)
+        fmm = Fmm("laplace", order=ORDER, max_points_per_box=BOX)
+        eng = ServeEngine(n_workers=2, max_batch=4, max_wait_ms=5.0,
+                          threads=2)
+        assert eng.task_pool is not None
+        model = eng.register("m", fmm, pts)
+        assert model.fmm.evaluator.task_pool is eng.task_pool
+        rng = np.random.default_rng(81)
+        densities = [rng.standard_normal(len(pts)) for _ in range(12)]
+        ep = model.fmm.compile_eval_plan(model.geometry.plan)
+        refs = [
+            model.fmm.evaluate(pts, d, plan=model.geometry.plan,
+                               eval_plan=ep)
+            for d in densities
+        ]
+        with eng:
+            reqs = [eng.submit("m", d) for d in densities]
+            outs = [r.result(timeout=60.0) for r in reqs]
+        for out, ref in zip(outs, refs):
+            assert np.array_equal(out, ref)
+        snap = eng.metrics.snapshot()
+        assert "pools" in snap
+        assert snap["pools"]["task_pool"]["threads"] == 2
+        assert snap["pools"]["task_pool"]["tiles_run"] > 0
+        assert snap["pools"]["workers"]["workers"] == 2
+
+    def test_engine_without_threads_keeps_serial_path(self):
+        from repro.serve import ServeEngine
+
+        eng = ServeEngine(n_workers=1)
+        assert eng.task_pool is None
+        snap = eng.metrics.snapshot()
+        assert snap["pools"]["workers"]["workers"] == 1
+        assert "task_pool" not in snap["pools"]
+
+
+class TestDeterminismReplay:
+    def test_same_seed_different_schedule_same_signature(self, geometry):
+        tree, lists = geometry
+        kern = get_kernel("laplace")
+        dens = _density(kern, tree.n_points)
+
+        def traced_run():
+            ev = FmmEvaluator(kern, ORDER)
+            plan = ev.compile_plan(tree, lists)
+            ev.configure_threads(4)
+            rec = TraceRecorder()
+            prof = PhaseProfile()
+            prof.bind_trace(rec, 0)
+            out = ev.evaluate(tree, lists, dens, prof, plan=plan)
+            ev.configure_threads(None)
+            return out, rec.signature()
+
+        out1, sig1 = traced_run()
+        out2, sig2 = traced_run()
+        assert np.array_equal(out1, out2)
+        assert sig1 == sig2
+
+    def test_distributed_signature_replay(self):
+        pts = uniform_cube(700, seed=44)
+
+        def run_once():
+            res = run_spmd(2, _dist_body, pts, "laplace", "fp64", 4,
+                           timeout=560, trace=True)
+            return res.trace.signature()
+
+        assert run_once() == run_once()
+
+
+class TestParallelSpans:
+    def test_spans_and_report(self, geometry):
+        tree, lists = geometry
+        kern = get_kernel("laplace")
+        ev = FmmEvaluator(kern, ORDER)
+        plan = ev.compile_plan(tree, lists)
+        dens = _density(kern, tree.n_points)
+        ev.configure_threads(2)
+        rec = TraceRecorder()
+        prof = PhaseProfile()
+        prof.bind_trace(rec, 0)
+        try:
+            ev.evaluate(tree, lists, dens, prof, plan=plan)
+        finally:
+            ev.configure_threads(None)
+        phases = {
+            e.phase for e in rec.span_events()
+            if e.phase.startswith("PARALLEL:")
+        }
+        assert "PARALLEL:S2U" in phases
+        assert "PARALLEL:busy:S2U" in phases
+        assert "PARALLEL:ULI" in phases
+        report = parallel_report(rec)
+        assert "overall" in report
+        for name, st in report["phases"].items():
+            assert st["threads"] == 2
+            assert st["tiles"] >= 1
+            assert 0.0 < st["achieved"] <= 2.0 + 1e-9
+            assert 1.0 <= st["modelled"] <= 2.0
+        assert report["overall"]["achieved"] > 0.0
+
+    def test_serial_run_emits_no_parallel_spans(self, geometry):
+        tree, lists = geometry
+        kern = get_kernel("laplace")
+        ev = FmmEvaluator(kern, ORDER)
+        plan = ev.compile_plan(tree, lists)
+        rec = TraceRecorder()
+        prof = PhaseProfile()
+        prof.bind_trace(rec, 0)
+        ev.evaluate(tree, lists, _density(kern, tree.n_points), prof,
+                    plan=plan)
+        assert not any(
+            e.phase.startswith("PARALLEL:") for e in rec.span_events()
+        )
+        assert parallel_report(rec) == {"phases": {}}
+
+
+class TestSmokePerf:
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="single-core host: no parallel speedup to bound",
+    )
+    def test_two_threads_not_slower_than_serial(self):
+        pts = uniform_cube(2_000, seed=45)
+        fmm = Fmm("laplace", order=ORDER, max_points_per_box=64)
+        plan = fmm.plan(pts)
+        ep = fmm.compile_eval_plan(plan)
+        dens = np.random.default_rng(91).standard_normal(len(pts))
+
+        def best_of(reps):
+            best = np.inf
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                fmm.evaluate(pts, dens, plan=plan, eval_plan=ep)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        with limit_blas_threads(1):
+            fmm.evaluate(pts, dens, plan=plan, eval_plan=ep)  # warm
+            serial = best_of(5)
+        fmm.evaluator.configure_threads(2)
+        try:
+            fmm.evaluate(pts, dens, plan=plan, eval_plan=ep)  # warm pool
+            parallel = best_of(5)
+        finally:
+            fmm.evaluator.configure_threads(None)
+        assert parallel <= serial * 1.1, (
+            f"2-thread apply {parallel * 1e3:.1f}ms vs serial "
+            f"{serial * 1e3:.1f}ms exceeds the 1.1x smoke bound"
+        )
